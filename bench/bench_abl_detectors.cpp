@@ -1,0 +1,69 @@
+// Ablation B: robustness of the four period detectors against measurement
+// noise. Real boards do not give bit-exact execution times; the
+// methodology's confidence hinges on detectors that degrade gracefully.
+// Injects multiplicative noise into a true period-27 dbus series and
+// reports each detector's recovery rate over 100 seeded trials.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+std::vector<double> noisy_sawtooth(std::size_t period, std::size_t n,
+                                   double noise, Pcg32& rng) {
+    std::vector<double> xs;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double clean =
+            static_cast<double>(period - (k % period)) * 100000.0;
+        const double jitter = (rng.next_double() * 2.0 - 1.0) * noise *
+                              100000.0 * static_cast<double>(period);
+        xs.push_back(clean + jitter);
+    }
+    return xs;
+}
+
+void print_figure() {
+    rrbench::print_header(
+        "Ablation B — period detectors vs measurement noise (true period 27)",
+        "exact match fails first, then Equation 3 and peak spacing; "
+        "autocorrelation holds to 8%, and the consensus falls back to the "
+        "most confident detector when no majority forms");
+
+    std::printf("%8s %10s %12s %8s %10s %10s\n", "noise", "exact",
+                "equal-value", "peaks", "autocorr", "consensus");
+    for (const double noise : {0.0, 0.001, 0.005, 0.01, 0.03, 0.08}) {
+        int ok_exact = 0;
+        int ok_equal = 0;
+        int ok_peaks = 0;
+        int ok_ac = 0;
+        int ok_cons = 0;
+        const int trials = 100;
+        for (int t = 0; t < trials; ++t) {
+            Pcg32 rng(static_cast<std::uint64_t>(t) * 7919 + 13);
+            const auto xs = noisy_sawtooth(27, 70, noise, rng);
+            const double tol = (summarize(xs).max - summarize(xs).min) *
+                               (noise > 0 ? noise * 1.2 : 0.0);
+            if (exact_period(xs, tol).period == 27) ++ok_exact;
+            if (equal_value_period(xs, tol).period == 27) ++ok_equal;
+            if (peak_spacing_period(xs).period == 27) ++ok_peaks;
+            if (autocorrelation_period(xs).period == 27) ++ok_ac;
+            if (consensus_period(xs, tol).period == 27) ++ok_cons;
+        }
+        std::printf("%7.1f%% %9d%% %11d%% %7d%% %9d%% %9d%%\n",
+                    100.0 * noise, ok_exact, ok_equal, ok_peaks, ok_ac,
+                    ok_cons);
+    }
+}
+
+void BM_ConsensusDetection(benchmark::State& state) {
+    Pcg32 rng(1);
+    const auto xs = noisy_sawtooth(27, 70, 0.01, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(consensus_period(xs, 1000.0));
+    }
+}
+BENCHMARK(BM_ConsensusDetection);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,69 @@
+// Extension 1: randomized-alignment measurement campaigns vs the bound.
+//
+// MBTA practice observes a high-water mark (HWM) over many runs with
+// randomized release offsets and pads it. This bench shows, per
+// EEMBC-like application, the campaign HWM, the per-request slowdown it
+// implies, and the composable bound ETB = et_isol + nr * ubd: the HWM
+// approaches but never crosses the bound, and padding with the naive
+// (under-estimated) ubdm = 26 eats into the safety margin.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+void print_figure() {
+    rrbench::print_header(
+        "Extension — HWM campaigns (20 randomized runs) vs composable ETB",
+        "HWM <= ETB always; per-request HWM slowdown < ubd; the naive "
+        "ubdm pad is tighter but unsound in principle");
+
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Cycle ubd = cfg.ubd_analytic();
+
+    std::printf("%-8s %10s %10s %12s %12s %12s %10s\n", "scua", "et_isol",
+                "hwm", "hwm/req", "etb(ubd=27)", "etb(naive26)", "bounded");
+    for (const Autobench kernel :
+         {Autobench::kCacheb, Autobench::kMatrix, Autobench::kTblook,
+          Autobench::kPntrch, Autobench::kIdctrn, Autobench::kAifirf}) {
+        const Program scua = make_autobench(kernel, 0x0100'0000, 150, 9);
+        HwmCampaignOptions opt;
+        opt.runs = 20;
+        opt.seed = 11;
+        const HwmCampaignResult hwm = run_hwm_campaign(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad), opt);
+        const Cycle etb = hwm.et_isolation + hwm.nr * ubd;
+        const Cycle etb_naive = hwm.et_isolation + hwm.nr * (ubd - 1);
+        std::printf("%-8s %10llu %10llu %12.2f %12llu %12llu %10s\n",
+                    to_string(kernel),
+                    static_cast<unsigned long long>(hwm.et_isolation),
+                    static_cast<unsigned long long>(hwm.high_water_mark),
+                    hwm.hwm_slowdown_per_request(),
+                    static_cast<unsigned long long>(etb),
+                    static_cast<unsigned long long>(etb_naive),
+                    hwm.high_water_mark <= etb ? "yes" : "NO");
+    }
+    std::printf(
+        "\nhwm/req stays below ubd = %llu on every row: no campaign can\n"
+        "synthesize the worst alignment, which is the paper's core\n"
+        "argument for deriving ubd analytically from the saw-tooth\n"
+        "instead of trusting observed maxima.\n",
+        static_cast<unsigned long long>(ubd));
+}
+
+void BM_OneCampaign(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, 150, 9);
+    for (auto _ : state) {
+        HwmCampaignOptions opt;
+        opt.runs = 20;
+        benchmark::DoNotOptimize(run_hwm_campaign(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad), opt));
+    }
+}
+BENCHMARK(BM_OneCampaign)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,114 @@
+// Extension 3: the system-level stake of getting ubd right.
+//
+// Builds a periodic task set from measured EEMBC-like kernels (et_isol
+// and nr from the PMCs), pads every WCET with nr * ubd, and runs
+// deadline-monotonic response-time analysis. Sweeping the ubd used for
+// padding shows the schedulability cliff: an optimistic ubdm (e.g. the
+// naive 26 instead of 27) admits task sets whose real worst case can
+// miss deadlines, while the measured-exact 27 sits safely on the right
+// side of the cliff found by binary search.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+struct MeasuredTask {
+    Autobench kernel;
+    Cycle period;
+    Cycle deadline;
+};
+
+void print_figure() {
+    rrbench::print_header(
+        "Extension — schedulability impact of the ubd estimate",
+        "RTA over ETB-padded WCETs: the ubd feeding the pad decides "
+        "admission; the naive under-estimate is optimistic exactly at "
+        "the cliff");
+
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+
+    const std::vector<MeasuredTask> spec = {
+        {Autobench::kCanrdr, 600'000, 450'000},
+        {Autobench::kRspeed, 400'000, 300'000},
+        {Autobench::kTblook, 900'000, 700'000},
+        {Autobench::kA2time, 1'200'000, 1'000'000},
+        {Autobench::kPntrch, 1'600'000, 1'400'000},
+    };
+
+    std::vector<Task> skeleton;
+    std::vector<Cycle> isolated;
+    std::vector<std::uint64_t> requests;
+    std::printf("%-8s %10s %8s %10s %10s\n", "task", "et_isol", "nr",
+                "period", "deadline");
+    for (const MeasuredTask& mt : spec) {
+        const Program scua = make_autobench(mt.kernel, 0x0100'0000, 300, 3);
+        const Measurement isol = run_isolation(cfg, scua);
+        skeleton.push_back(
+            {to_string(mt.kernel), 1, mt.period, mt.deadline});
+        isolated.push_back(isol.exec_time);
+        requests.push_back(isol.bus_requests);
+        std::printf("%-8s %10llu %8llu %10llu %10llu\n",
+                    to_string(mt.kernel),
+                    static_cast<unsigned long long>(isol.exec_time),
+                    static_cast<unsigned long long>(isol.bus_requests),
+                    static_cast<unsigned long long>(mt.period),
+                    static_cast<unsigned long long>(mt.deadline));
+    }
+
+    const auto cliff =
+        max_schedulable_ubd(skeleton, isolated, requests, 500);
+
+    std::printf("\n%8s %14s %14s\n", "ubd pad", "utilization",
+                "schedulable");
+    std::vector<Cycle> pads = {0, 26, 27};
+    if (cliff) {
+        pads.push_back(*cliff);
+        pads.push_back(*cliff + 1);
+        pads.push_back(*cliff + 10);
+    }
+    for (const Cycle ubd : pads) {
+        TaskSet padded = pad_task_set(skeleton, isolated, requests, ubd);
+        padded.sort_deadline_monotonic();
+        const ResponseTimeResult r = response_time_analysis(padded);
+        std::printf("%8llu %13.1f%% %14s\n",
+                    static_cast<unsigned long long>(ubd),
+                    100.0 * padded.utilization(),
+                    r.schedulable ? "yes" : "NO");
+    }
+    if (cliff) {
+        std::printf("\nlargest schedulable ubd pad = %llu; platform ubd = "
+                    "%llu -> margin = %lld cycles/request\n",
+                    static_cast<unsigned long long>(*cliff),
+                    static_cast<unsigned long long>(cfg.ubd_analytic()),
+                    static_cast<long long>(*cliff) -
+                        static_cast<long long>(cfg.ubd_analytic()));
+        std::printf("A ubdm below %llu that admitted this set on a platform "
+                    "whose true ubd exceeds the cliff would be an unsound "
+                    "certification argument.\n",
+                    static_cast<unsigned long long>(cfg.ubd_analytic()));
+    }
+}
+
+void BM_RtaOnPaddedSet(benchmark::State& state) {
+    std::vector<Task> skeleton;
+    std::vector<Cycle> isolated;
+    std::vector<std::uint64_t> requests;
+    for (int i = 0; i < 5; ++i) {
+        skeleton.push_back({"t" + std::to_string(i), 1,
+                            100'000u * (static_cast<Cycle>(i) + 1),
+                            90'000u * (static_cast<Cycle>(i) + 1)});
+        isolated.push_back(10'000u * (static_cast<Cycle>(i) + 1));
+        requests.push_back(500);
+    }
+    for (auto _ : state) {
+        TaskSet padded = pad_task_set(skeleton, isolated, requests, 27);
+        padded.sort_deadline_monotonic();
+        benchmark::DoNotOptimize(response_time_analysis(padded));
+    }
+}
+BENCHMARK(BM_RtaOnPaddedSet);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,66 @@
+// Figure 3: the contention delay gamma as a function of the injection
+// time delta on a saturated RR bus (4 cores, lbus = 2, ubd = 6).
+// Reproduces the delta/gamma matrix at the bottom of the figure and
+// cross-checks every simulated entry against Equation 2.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+std::uint64_t simulated_gamma(const MachineConfig& cfg, std::uint32_t k) {
+    RskParams params;
+    params.dl1_geometry = cfg.core.dl1_geometry;
+    params.iterations = 50;
+    const Program scua = make_rsk_nop(params, k);
+    const Measurement m = run_contention(
+        cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad));
+    return m.gamma.mode();
+}
+
+void print_figure() {
+    rrbench::print_header(
+        "Figure 3 — gamma(delta) matrix, 4 cores, lbus=2, ubd=6",
+        "gamma = ubd at delta=0; decreases to 0 at delta=ubd; wraps to "
+        "ubd-1 at delta=ubd+1 (Equation 2)");
+
+    const MachineConfig cfg = MachineConfig::textbook();
+    const Cycle ubd = cfg.ubd_analytic();
+
+    std::printf("%6s %6s %11s %11s %6s\n", "k", "delta", "gamma(sim)",
+                "gamma(Eq.2)", "match");
+    int mismatches = 0;
+    // delta = 0 is unreachable for loads (dl1 lookup takes >= 1 cycle) —
+    // print the model row, then sweep delta = 1..13 via k = 0..12.
+    std::printf("%6s %6d %11s %11llu %6s\n", "-", 0, "(stores)",
+                static_cast<unsigned long long>(gamma_eq2(0, ubd)), "-");
+    for (std::uint32_t k = 0; k <= 12; ++k) {
+        const Cycle delta = k + 1;
+        const std::uint64_t sim = simulated_gamma(cfg, k);
+        const Cycle model = gamma_eq2(delta, ubd);
+        const bool ok = sim == model;
+        if (!ok) ++mismatches;
+        std::printf("%6u %6llu %11llu %11llu %6s\n", k,
+                    static_cast<unsigned long long>(delta),
+                    static_cast<unsigned long long>(sim),
+                    static_cast<unsigned long long>(model),
+                    ok ? "yes" : "NO");
+    }
+    std::printf("mismatches: %d\n", mismatches);
+}
+
+void BM_GammaMeasurement(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::textbook();
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulated_gamma(cfg, k));
+    }
+    state.counters["gamma"] = static_cast<double>(
+        gamma_eq2(k + 1, cfg.ubd_analytic()));
+}
+BENCHMARK(BM_GammaMeasurement)->Arg(0)->Arg(5)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

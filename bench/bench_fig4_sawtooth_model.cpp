@@ -1,0 +1,58 @@
+// Figure 4: the saw-tooth behaviour of the per-request contention delay
+// gamma(delta) under high load. Renders Equation 2's model and overlays
+// the simulated values on the NGMP reference platform (ubd = 27), showing
+// that the maximum reachable contention for delta > 0 is ubd - 1 while
+// the *period* is exactly ubd.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+void print_figure() {
+    rrbench::print_header(
+        "Figure 4 — saw-tooth of gamma(delta), NGMP ref (ubd=27)",
+        "max contention ubd only at delta=0; ubd-1 at delta=1 mod ubd; "
+        "period = ubd regardless of delta_rsk");
+
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Cycle ubd = cfg.ubd_analytic();
+
+    const std::vector<double> model = sawtooth_model(ubd, 0, 1, 81);
+    ChartOptions opts;
+    opts.title = "gamma(delta), Equation 2 (delta on x, 0..81)";
+    opts.height = 9;
+    std::printf("%s\n", render_series(model, opts).c_str());
+
+    // Simulated overlay: sample gamma at delta = 1..40 via rsk-nop.
+    std::printf("delta  gamma(model)  gamma(sim)\n");
+    int mismatches = 0;
+    for (std::uint32_t k = 0; k <= 39; k += 3) {
+        const Cycle delta = k + 1;
+        RskParams params;
+        params.iterations = 40;
+        const Program scua = make_rsk_nop(params, k);
+        const Measurement m = run_contention(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad));
+        const Cycle expect = gamma_eq2(delta, ubd);
+        if (m.gamma.mode() != expect) ++mismatches;
+        std::printf("%5llu %13llu %11llu\n",
+                    static_cast<unsigned long long>(delta),
+                    static_cast<unsigned long long>(expect),
+                    static_cast<unsigned long long>(m.gamma.mode()));
+    }
+    std::printf("mismatches: %d; peaks of the model at delta = 1 + m*ubd "
+                "(value ubd-1 = %llu)\n",
+                mismatches, static_cast<unsigned long long>(ubd - 1));
+}
+
+void BM_SawtoothModelEval(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sawtooth_model(27, 1, 1, 1000));
+    }
+}
+BENCHMARK(BM_SawtoothModelEval);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

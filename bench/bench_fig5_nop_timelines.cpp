@@ -1,0 +1,71 @@
+// Figure 5: timelines of the Figure 3 scenario as nop operations are
+// added between the scua's bus accesses (k = 1, 2, 5, 6 on the lbus=2
+// platform). Shows gamma stepping down 5 -> 4 -> 1 and wrapping back to 5
+// when the injection time crosses the round-robin window.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+void run_case(std::uint32_t k) {
+    const MachineConfig cfg = MachineConfig::textbook();
+    Machine machine(cfg);
+    machine.tracer().enable();
+
+    RskParams scua;
+    scua.iterations = 30;
+    scua.data_base = 0x0070'0000;
+    scua.code_base = 0x0003'0000;
+    machine.load_program(3, make_rsk_nop(scua, k));
+    machine.warm_static_footprint(3);
+    for (CoreId c = 0; c < 3; ++c) {
+        RskParams p;
+        p.iterations = 100000;
+        p.data_base = 0x0010'0000 + c * 0x0010'0000;
+        p.code_base = c * 0x0001'0000;
+        machine.load_program(c, make_rsk(p));
+        machine.warm_static_footprint(c);
+    }
+    machine.run_until_core(3, 100000);
+
+    const Cycle delta = 1 + k;  // dl1_latency + k nops
+    const BusCoreCounters& c3 = machine.bus().counters(3);
+    std::printf("k=%u (delta=%llu): gamma(sim)=%llu gamma(Eq.2)=%llu\n", k,
+                static_cast<unsigned long long>(delta),
+                static_cast<unsigned long long>(c3.gamma.mode()),
+                static_cast<unsigned long long>(
+                    gamma_eq2(delta, cfg.ubd_analytic())));
+    std::printf("%s\n",
+                machine.tracer().render_bus_timeline(200, 260, 4).c_str());
+}
+
+void print_figure() {
+    rrbench::print_header(
+        "Figure 5 — timelines as nops are added (lbus=2, core c3 is scua)",
+        "k=1..5 decreases gamma stepwise; k=6 wraps and gamma jumps back "
+        "up — alignment scenarios explored by varying k");
+    for (const std::uint32_t k : {1u, 2u, 5u, 6u}) run_case(k);
+}
+
+void BM_TimelineCase(benchmark::State& state) {
+    for (auto _ : state) {
+        const MachineConfig cfg = MachineConfig::textbook();
+        Machine machine(cfg);
+        RskParams scua;
+        scua.iterations = 30;
+        machine.load_program(3, make_rsk_nop(scua, 5));
+        for (CoreId c = 0; c < 3; ++c) {
+            RskParams p;
+            p.iterations = 100000;
+            p.data_base = 0x0010'0000 + c * 0x0010'0000;
+            machine.load_program(c, make_rsk(p));
+        }
+        benchmark::DoNotOptimize(machine.run_until_core(3, 100000));
+    }
+}
+BENCHMARK(BM_TimelineCase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,53 @@
+// Figure 6(b): histogram of the contention delay suffered by all requests
+// of the rsk when run against 3 rsk copies, on the reference and variant
+// architectures. The synchrony effect concentrates ~98% of requests on a
+// single delay; the observed upper bound (ubdm) is 26 on ref and 23 on
+// var — both short of the true ubd = 27, and by *different* margins.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+Measurement rsk_vs_rsk(const MachineConfig& cfg) {
+    RskParams params;
+    params.dl1_geometry = cfg.core.dl1_geometry;
+    params.iterations = 150;
+    const Program scua = make_rsk(params);
+    return run_contention(cfg, scua,
+                          make_rsk_contenders(cfg, OpKind::kLoad));
+}
+
+void print_figure() {
+    rrbench::print_header(
+        "Figure 6(b) — per-request contention delay, rsk vs 3 rsk",
+        "ubdm(ref)=26, ubdm(var)=23 vs true ubd=27: naive rsk-vs-rsk "
+        "under-estimates, and the gap depends on the architecture");
+
+    for (const bool variant : {false, true}) {
+        const MachineConfig cfg =
+            variant ? MachineConfig::ngmp_var() : MachineConfig::ngmp_ref();
+        const Measurement m = rsk_vs_rsk(cfg);
+        ChartOptions opts;
+        opts.title = std::string(variant ? "var" : "ref") +
+                     " architecture (delta_rsk = " +
+                     std::to_string(cfg.core.dl1_latency) + ")";
+        opts.max_width = 48;
+        std::printf("%s", render_histogram(m.gamma, opts).c_str());
+        std::printf("  dominant delay share: %.1f%%   ubdm = %llu   "
+                    "true ubd = %llu\n\n",
+                    100.0 * m.gamma.mode_fraction(),
+                    static_cast<unsigned long long>(m.max_gamma),
+                    static_cast<unsigned long long>(cfg.ubd_analytic()));
+    }
+}
+
+void BM_RskVsRskRef(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    for (auto _ : state) benchmark::DoNotOptimize(rsk_vs_rsk(cfg));
+}
+BENCHMARK(BM_RskVsRskRef)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,76 @@
+// Figure 7(b): the store variant. The store buffer hides store latency:
+// drains inject with delta = 0 (full ubd per drain), and the slowdown of
+// rsk-nop(store, k) is the difference between the drain slot latency and
+// the injection time — a single descending span of length ~ubd followed by
+// zeros once the buffer always has a free entry.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+std::vector<double> sweep(const MachineConfig& cfg, std::uint32_t k_max) {
+    std::vector<double> dbus;
+    for (std::uint32_t k = 0; k <= k_max; ++k) {
+        RskParams params;
+        params.dl1_geometry = cfg.core.dl1_geometry;
+        params.access = OpKind::kStore;
+        params.unroll = 12;
+        params.iterations = 40;
+        const Program scua = make_rsk_nop(params, k);
+        const SlowdownResult r = run_slowdown(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kStore));
+        dbus.push_back(static_cast<double>(r.slowdown()));
+    }
+    return dbus;
+}
+
+void print_figure() {
+    rrbench::print_header(
+        "Figure 7(b) — slowdown of store rsk-nop vs k, ref",
+        "one saw-tooth span whose length matches ubd (+1 shift from the "
+        "buffer depth/processing), then zero: the buffer hides stores "
+        "once delta exceeds the drain slot");
+
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const std::vector<double> dbus = sweep(cfg, 60);
+
+    ChartOptions opts;
+    opts.title = "dbus(store,k), ref architecture (x = k, 0..60)";
+    opts.height = 10;
+    std::printf("%s", render_series(dbus, opts).c_str());
+
+    // The library's span estimator: plateau height / ramp slope = ubd.
+    UbdEstimatorOptions opt;
+    opt.k_max = 60;
+    opt.unroll = 12;
+    opt.rsk_iterations = 40;
+    const StoreSpanEstimate e = estimate_ubd_store_span(cfg, opt);
+    std::printf("  plateau (buffer-full regime) up to k=%zu; sustained "
+                "zero from k=%zu\n",
+                e.plateau_end, e.first_zero);
+    std::printf("  store-span estimate: ubd = %llu (Equation 1 says "
+                "%llu)\n",
+                static_cast<unsigned long long>(e.found ? e.ubd : 0),
+                static_cast<unsigned long long>(cfg.ubd_analytic()));
+    std::printf("  slowdown stays zero for all larger k: %s\n",
+                e.found ? "yes" : "NO");
+}
+
+void BM_StoreSlowdownMeasurement(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    for (auto _ : state) {
+        RskParams params;
+        params.access = OpKind::kStore;
+        params.unroll = 12;
+        params.iterations = 40;
+        const Program scua = make_rsk_nop(params, 10);
+        benchmark::DoNotOptimize(run_slowdown(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kStore)));
+    }
+}
+BENCHMARK(BM_StoreSlowdownMeasurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,76 @@
+// Section 5.1/5.2 setup validation table: the platform parameters the
+// paper fixes, the quantities the methodology derives, and the agreement
+// between them on both evaluation architectures.
+#include "fig_common.h"
+
+using namespace rrb;
+
+namespace {
+
+void print_figure() {
+    rrbench::print_header(
+        "Setup validation — NGMP model parameters and measured quantities",
+        "lbus = 9 (6 L2-hit + 3 transfer/arbitration), ubd = 27 = (4-1)x9; "
+        "delta_rsk = 1 (ref) / 4 (var); delta_nop = 1");
+
+    std::printf("%-34s %10s %10s\n", "quantity", "ref", "var");
+    const MachineConfig ref = MachineConfig::ngmp_ref();
+    const MachineConfig var = MachineConfig::ngmp_var();
+
+    std::printf("%-34s %10u %10u\n", "cores", ref.num_cores, var.num_cores);
+    std::printf("%-34s %10llu %10llu\n", "lbus (hidden from estimator)",
+                static_cast<unsigned long long>(ref.load_hit_service()),
+                static_cast<unsigned long long>(var.load_hit_service()));
+    std::printf("%-34s %10llu %10llu\n", "ubd = (Nc-1)*lbus (Eq. 1)",
+                static_cast<unsigned long long>(ref.ubd_analytic()),
+                static_cast<unsigned long long>(var.ubd_analytic()));
+    std::printf("%-34s %10u %10u\n", "DL1 latency (=> delta_rsk)",
+                ref.core.dl1_latency, var.core.dl1_latency);
+
+    const NopCalibration cal_ref = calibrate_delta_nop(ref);
+    const NopCalibration cal_var = calibrate_delta_nop(var);
+    std::printf("%-34s %10.4f %10.4f\n", "delta_nop (measured)",
+                cal_ref.delta_nop, cal_var.delta_nop);
+
+    UbdEstimatorOptions opt;
+    opt.k_max = 60;
+    opt.unroll = 8;
+    opt.rsk_iterations = 30;
+    const UbdEstimate e_ref = estimate_ubd(ref, opt);
+    const UbdEstimate e_var = estimate_ubd(var, opt);
+    std::printf("%-34s %9.1f%% %9.1f%%\n", "bus utilization under 4 rsk",
+                100.0 * e_ref.confidence.saturation_utilization,
+                100.0 * e_var.confidence.saturation_utilization);
+    std::printf("%-34s %10zu %10zu\n", "saw-tooth period (nop steps)",
+                e_ref.period_k, e_var.period_k);
+    std::printf("%-34s %10llu %10llu\n", "ubd measured (methodology)",
+                static_cast<unsigned long long>(e_ref.ubd),
+                static_cast<unsigned long long>(e_var.ubd));
+    std::printf("%-34s %10s %10s\n", "matches Equation 1",
+                e_ref.found && e_ref.ubd == ref.ubd_analytic() ? "yes" : "NO",
+                e_var.found && e_var.ubd == var.ubd_analytic() ? "yes" : "NO");
+}
+
+void BM_DeltaNopCalibration(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(calibrate_delta_nop(cfg));
+    }
+}
+BENCHMARK(BM_DeltaNopCalibration)->Unit(benchmark::kMillisecond);
+
+void BM_FullEstimation(benchmark::State& state) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    UbdEstimatorOptions opt;
+    opt.k_max = 60;
+    opt.unroll = 8;
+    opt.rsk_iterations = 30;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimate_ubd(cfg, opt));
+    }
+}
+BENCHMARK(BM_FullEstimation)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+RRBENCH_MAIN(print_figure)

@@ -1,0 +1,41 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary reproduces one figure or table of the paper: it prints
+// the paper-style data (ASCII chart + rows) once at startup, then runs a
+// small set of google-benchmark timings of the underlying simulations so
+// `for b in build/bench/*; do $b; done` doubles as a performance check of
+// the simulator itself.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/rrb.h"
+
+namespace rrbench {
+
+inline void print_header(const char* experiment, const char* claim) {
+    std::printf("\n==============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", claim);
+    std::printf("==============================================================\n");
+}
+
+inline void print_row(const std::string& row) {
+    std::printf("%s\n", row.c_str());
+}
+
+/// Boilerplate main: figure output first, then the registered benchmarks.
+#define RRBENCH_MAIN(print_figure_fn)                          \
+    int main(int argc, char** argv) {                         \
+        print_figure_fn();                                     \
+        ::benchmark::Initialize(&argc, argv);                  \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+        ::benchmark::RunSpecifiedBenchmarks();                 \
+        ::benchmark::Shutdown();                               \
+        return 0;                                              \
+    }
+
+}  // namespace rrbench

@@ -1,0 +1,58 @@
+// Store-buffer study: the two independent measurement paths to ubd.
+//
+//   $ ./store_buffer_study
+//
+// The load path (Figure 7(a)) reads ubd off the saw-tooth period but can
+// never make a request suffer the full ubd (delta >= dl1 latency > 0).
+// The store path (Figure 7(b)) reaches the true delta = 0 alignment
+// through the store buffer's back-to-back drains and reads ubd off the
+// length of the descending slowdown span. Two structurally different
+// measurements agreeing on one number is the paper's titular "increased
+// confidence".
+#include <cstdio>
+
+#include "core/rrb.h"
+
+using namespace rrb;
+
+int main() {
+    for (const bool variant : {false, true}) {
+        const MachineConfig config =
+            variant ? MachineConfig::ngmp_var() : MachineConfig::ngmp_ref();
+        std::printf("=== %s architecture (hidden ubd = %llu) ===\n",
+                    variant ? "var" : "ref",
+                    static_cast<unsigned long long>(config.ubd_analytic()));
+
+        UbdEstimatorOptions options;
+        options.k_max = 60;
+        options.unroll = 8;
+        options.rsk_iterations = 30;
+        const CrossCheckedEstimate e =
+            estimate_ubd_cross_checked(config, options);
+
+        std::printf("load path  : %s, ubd = %llu (saw-tooth period %zu, "
+                    "%d/4 detectors)\n",
+                    e.load_path.found ? "found" : "NOT FOUND",
+                    static_cast<unsigned long long>(e.load_path.ubd),
+                    e.load_path.period_k,
+                    e.load_path.confidence.detector_votes);
+        std::printf("store path : %s, ubd = %llu (plateau ends k=%zu, "
+                    "zero from k=%zu)\n",
+                    e.store_path.found ? "found" : "NOT FOUND",
+                    static_cast<unsigned long long>(e.store_path.ubd),
+                    e.store_path.plateau_end, e.store_path.first_zero);
+        std::printf("cross-check: %s\n\n",
+                    e.agree ? "AGREE — high confidence" : "DISAGREE");
+
+        ChartOptions opts;
+        opts.title = "store sweep dbus(store, k)";
+        opts.height = 8;
+        std::printf("%s\n", render_series(e.store_path.dbus, opts).c_str());
+    }
+
+    std::printf(
+        "Note how the store path is immune to the DL1-latency change that\n"
+        "shifts the load path's phase between ref and var: buffer drains\n"
+        "always inject with delta = 0.\n");
+    return 0;
+}

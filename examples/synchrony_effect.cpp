@@ -1,0 +1,85 @@
+// Demonstrates the synchrony effect (Section 3): why running rsk against
+// rsk does NOT measure ubd, and how the per-request contention delay is
+// dictated by the injection time (Equation 2).
+//
+//   $ ./synchrony_effect
+//
+// Prints (a) a bus-grant timeline under saturation showing the locked
+// rotation, (b) the per-request delay histograms on the ref and var
+// architectures — reproducing Figure 6(b)'s ubdm = 26 / 23 vs true 27 —
+// and (c) the measured gamma(delta) staircase against Equation 2.
+#include <cstdio>
+
+#include "core/rrb.h"
+
+using namespace rrb;
+
+namespace {
+
+Measurement rsk_vs_rsk(const MachineConfig& config, std::uint32_t k) {
+    RskParams params;
+    params.dl1_geometry = config.core.dl1_geometry;
+    params.iterations = 60;
+    const Program scua = make_rsk_nop(params, k);
+    return run_contention(config, scua,
+                          make_rsk_contenders(config, OpKind::kLoad));
+}
+
+}  // namespace
+
+int main() {
+    // (a) the locked rotation, on the didactic lbus=2 platform of Fig. 2/3.
+    {
+        Machine machine(MachineConfig::textbook());
+        machine.tracer().enable();
+        for (CoreId c = 0; c < 4; ++c) {
+            RskParams p;
+            p.iterations = 30;
+            p.data_base = 0x0010'0000 + c * 0x0010'0000;
+            p.code_base = c * 0x0001'0000;
+            machine.load_program(c, make_rsk(p));
+            machine.warm_static_footprint(c);
+        }
+        machine.run_until_core(0, 100000);
+        std::printf("Saturated round-robin bus, lbus=2 (Figure 2 style):\n");
+        std::printf("  '#' = holding the bus, '.' = waiting\n");
+        std::printf("%s\n",
+                    machine.tracer().render_bus_timeline(200, 264, 4).c_str());
+    }
+
+    // (b) Figure 6(b): rsk-vs-rsk delay histograms on ref and var.
+    for (const bool variant : {false, true}) {
+        const MachineConfig config =
+            variant ? MachineConfig::ngmp_var() : MachineConfig::ngmp_ref();
+        const Measurement m = rsk_vs_rsk(config, 0);
+        ChartOptions opts;
+        opts.title = std::string("Per-request contention delay, ") +
+                     (variant ? "var" : "ref") + " architecture (true ubd=27)";
+        opts.max_width = 48;
+        std::printf("%s", render_histogram(m.gamma, opts).c_str());
+        std::printf("  -> ubdm (max observed) = %llu, true ubd = %llu\n\n",
+                    static_cast<unsigned long long>(m.max_gamma),
+                    static_cast<unsigned long long>(
+                        config.ubd_analytic()));
+    }
+
+    // (c) gamma as a function of injection time vs Equation 2.
+    {
+        const MachineConfig config = MachineConfig::textbook();
+        const Cycle ubd = config.ubd_analytic();
+        std::printf("gamma(delta) on the lbus=2 platform (Figure 3 matrix):\n");
+        std::printf("  k  delta  gamma(sim)  gamma(Eq.2)\n");
+        for (std::uint32_t k = 0; k <= 13; ++k) {
+            const Cycle delta = k + 1;  // delta_rsk = 1
+            const Measurement m = rsk_vs_rsk(config, k);
+            std::printf("  %2u  %4llu  %9llu  %10llu\n", k,
+                        static_cast<unsigned long long>(delta),
+                        static_cast<unsigned long long>(m.gamma.mode()),
+                        static_cast<unsigned long long>(gamma_eq2(delta, ubd)));
+        }
+        std::printf("\nNote gamma never reaches ubd=%llu for delta>0 — the\n"
+                    "synchrony effect caps naive measurements at ubd-1.\n",
+                    static_cast<unsigned long long>(ubd));
+    }
+    return 0;
+}

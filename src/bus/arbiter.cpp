@@ -1,0 +1,142 @@
+#include "bus/arbiter.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+RoundRobinArbiter::RoundRobinArbiter(CoreId num_cores)
+    : num_cores_(num_cores), head_(0) {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+}
+
+std::optional<CoreId> RoundRobinArbiter::pick(
+    std::span<const ArbCandidate> candidates, Cycle /*now*/) {
+    RRB_ENSURE(candidates.size() == num_cores_);
+    for (CoreId offset = 0; offset < num_cores_; ++offset) {
+        const CoreId core = (head_ + offset) % num_cores_;
+        if (candidates[core].ready) return core;
+    }
+    return std::nullopt;
+}
+
+void RoundRobinArbiter::granted(CoreId core, Cycle /*now*/) {
+    RRB_ENSURE(core < num_cores_);
+    head_ = (core + 1) % num_cores_;
+}
+
+void RoundRobinArbiter::reset() { head_ = 0; }
+
+FixedPriorityArbiter::FixedPriorityArbiter(CoreId num_cores)
+    : num_cores_(num_cores) {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+}
+
+std::optional<CoreId> FixedPriorityArbiter::pick(
+    std::span<const ArbCandidate> candidates, Cycle /*now*/) {
+    RRB_ENSURE(candidates.size() == num_cores_);
+    for (CoreId core = 0; core < num_cores_; ++core) {
+        if (candidates[core].ready) return core;
+    }
+    return std::nullopt;
+}
+
+void FixedPriorityArbiter::granted(CoreId core, Cycle /*now*/) {
+    RRB_ENSURE(core < num_cores_);
+}
+
+TdmaArbiter::TdmaArbiter(CoreId num_cores, Cycle slot_cycles)
+    : num_cores_(num_cores), slot_cycles_(slot_cycles) {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+    RRB_REQUIRE(slot_cycles >= 1, "slot must be at least one cycle");
+}
+
+std::optional<CoreId> TdmaArbiter::pick(
+    std::span<const ArbCandidate> candidates, Cycle now) {
+    RRB_ENSURE(candidates.size() == num_cores_);
+    const CoreId owner =
+        static_cast<CoreId>((now / slot_cycles_) % num_cores_);
+    if (!candidates[owner].ready) return std::nullopt;
+    const Cycle slot_end = (now / slot_cycles_ + 1) * slot_cycles_;
+    if (now + candidates[owner].duration > slot_end) return std::nullopt;
+    return owner;
+}
+
+void TdmaArbiter::granted(CoreId core, Cycle /*now*/) {
+    RRB_ENSURE(core < num_cores_);
+}
+
+WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(
+    std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)), head_(0) {
+    RRB_REQUIRE(!weights_.empty(), "need at least one core");
+    for (const std::uint32_t w : weights_) {
+        RRB_REQUIRE(w >= 1, "every weight must be >= 1");
+    }
+    credits_ = weights_[0];
+}
+
+void WeightedRoundRobinArbiter::advance_head() {
+    head_ = (head_ + 1) % static_cast<CoreId>(weights_.size());
+    credits_ = weights_[head_];
+}
+
+std::optional<CoreId> WeightedRoundRobinArbiter::pick(
+    std::span<const ArbCandidate> candidates, Cycle /*now*/) {
+    RRB_ENSURE(candidates.size() == weights_.size());
+    const auto n = static_cast<CoreId>(weights_.size());
+    for (CoreId offset = 0; offset < n; ++offset) {
+        const CoreId core = (head_ + offset) % n;
+        if (candidates[core].ready) return core;
+    }
+    return std::nullopt;
+}
+
+void WeightedRoundRobinArbiter::granted(CoreId core, Cycle /*now*/) {
+    RRB_ENSURE(core < weights_.size());
+    if (core != head_) {
+        // Work-conserving grant to a lower-priority core: the head keeps
+        // its position and remaining credits (it was simply not ready).
+        return;
+    }
+    RRB_ENSURE(credits_ >= 1);
+    --credits_;
+    if (credits_ == 0) advance_head();
+}
+
+std::uint64_t WeightedRoundRobinArbiter::worst_case_window(
+    CoreId core) const {
+    RRB_REQUIRE(core < weights_.size(), "core id out of range");
+    std::uint64_t total = 0;
+    for (const std::uint32_t w : weights_) total += w;
+    return total - weights_[core];
+}
+
+void WeightedRoundRobinArbiter::reset() {
+    head_ = 0;
+    credits_ = weights_[0];
+}
+
+std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind, CoreId num_cores,
+                                      Cycle tdma_slot_cycles,
+                                      std::vector<std::uint32_t> weights) {
+    switch (kind) {
+        case ArbiterKind::kRoundRobin:
+            return std::make_unique<RoundRobinArbiter>(num_cores);
+        case ArbiterKind::kFixedPriority:
+            return std::make_unique<FixedPriorityArbiter>(num_cores);
+        case ArbiterKind::kTdma:
+            return std::make_unique<TdmaArbiter>(num_cores, tdma_slot_cycles);
+        case ArbiterKind::kWeightedRoundRobin: {
+            if (weights.empty()) {
+                weights.assign(num_cores, 1);  // degenerates to plain RR
+            }
+            RRB_REQUIRE(weights.size() == num_cores,
+                        "one weight per core required");
+            return std::make_unique<WeightedRoundRobinArbiter>(
+                std::move(weights));
+        }
+    }
+    RRB_ENSURE(false);
+}
+
+}  // namespace rrb

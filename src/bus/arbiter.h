@@ -1,0 +1,156 @@
+// Bus arbitration policies.
+//
+// The paper's methodology targets round-robin (RR) arbitration, whose
+// "synchrony effect" under saturation is what makes the ubd measurable from
+// saw-tooth periods (Section 3). Fixed-priority and TDMA arbiters are
+// provided for the ablation benches: the saw-tooth signature is specific to
+// RR, and a user applying the methodology to the wrong arbiter should see
+// it fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rrb {
+
+/// One per-core arbitration candidate for the current cycle.
+struct ArbCandidate {
+    bool ready = false;   ///< the core has a request eligible this cycle
+    Cycle duration = 0;   ///< bus cycles the transaction would occupy
+};
+
+class Arbiter {
+public:
+    virtual ~Arbiter() = default;
+
+    /// Chooses the core to grant at cycle `now` among `candidates`
+    /// (indexed by core), or nullopt to leave the bus idle this cycle.
+    /// Must not be called while the bus is busy.
+    [[nodiscard]] virtual std::optional<CoreId> pick(
+        std::span<const ArbCandidate> candidates, Cycle now) = 0;
+
+    /// Informs the policy that `core` was granted at `now` (updates
+    /// rotation state where applicable).
+    virtual void granted(CoreId core, Cycle now) = 0;
+
+    /// Policy name for reports.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Resets internal state to power-on.
+    virtual void reset() = 0;
+};
+
+/// Round-robin: after core ci is granted, the priority order for the next
+/// arbitration is ci+1, ci+2, ..., cNc, c1, ..., ci (Section 2). Work
+/// conserving: any ready requester can win when higher-priority ones are
+/// idle.
+class RoundRobinArbiter final : public Arbiter {
+public:
+    explicit RoundRobinArbiter(CoreId num_cores);
+
+    [[nodiscard]] std::optional<CoreId> pick(
+        std::span<const ArbCandidate> candidates, Cycle now) override;
+    void granted(CoreId core, Cycle now) override;
+    [[nodiscard]] std::string name() const override { return "round-robin"; }
+    void reset() override;
+
+    /// Core that currently holds the highest priority (exposed for tests
+    /// that assert the rotation sequence of Figures 2/3).
+    [[nodiscard]] CoreId highest_priority() const noexcept { return head_; }
+
+private:
+    CoreId num_cores_;
+    CoreId head_;  ///< highest-priority core for the next round
+};
+
+/// Fixed priority: lower core id always wins. Not time-composable; the
+/// lowest-priority core can starve. Included for ablation only.
+class FixedPriorityArbiter final : public Arbiter {
+public:
+    explicit FixedPriorityArbiter(CoreId num_cores);
+
+    [[nodiscard]] std::optional<CoreId> pick(
+        std::span<const ArbCandidate> candidates, Cycle now) override;
+    void granted(CoreId core, Cycle now) override;
+    [[nodiscard]] std::string name() const override { return "fixed-priority"; }
+    void reset() override {}
+
+private:
+    CoreId num_cores_;
+};
+
+/// TDMA: the timeline is divided into fixed slots rotating across cores; a
+/// transaction is granted only to the slot owner and only when it fits in
+/// the remainder of the slot. Non-work-conserving (idle slots stay idle),
+/// which is exactly why it shows no synchrony effect.
+class TdmaArbiter final : public Arbiter {
+public:
+    TdmaArbiter(CoreId num_cores, Cycle slot_cycles);
+
+    [[nodiscard]] std::optional<CoreId> pick(
+        std::span<const ArbCandidate> candidates, Cycle now) override;
+    void granted(CoreId core, Cycle now) override;
+    [[nodiscard]] std::string name() const override { return "tdma"; }
+    void reset() override {}
+
+    [[nodiscard]] Cycle slot_cycles() const noexcept { return slot_cycles_; }
+
+private:
+    CoreId num_cores_;
+    Cycle slot_cycles_;
+};
+
+/// Weighted round-robin (a single-level MBBA [Bourgade et al.] /
+/// round-robin-with-groups [Paolieri et al.] style policy from the
+/// paper's related work): the rotation head may win up to `weight[i]`
+/// consecutive transactions before the head advances. With all weights 1
+/// this is exactly plain round-robin; larger weights trade fairness for
+/// bandwidth and stretch the worst-case window of the other cores to
+/// sum(weights) - weight[i] transactions.
+class WeightedRoundRobinArbiter final : public Arbiter {
+public:
+    explicit WeightedRoundRobinArbiter(std::vector<std::uint32_t> weights);
+
+    [[nodiscard]] std::optional<CoreId> pick(
+        std::span<const ArbCandidate> candidates, Cycle now) override;
+    void granted(CoreId core, Cycle now) override;
+    [[nodiscard]] std::string name() const override {
+        return "weighted-round-robin";
+    }
+    void reset() override;
+
+    [[nodiscard]] CoreId head() const noexcept { return head_; }
+    [[nodiscard]] std::uint32_t credits_left() const noexcept {
+        return credits_;
+    }
+    /// Worst-case bus window for core i in transactions: every other core
+    /// spends its full weight per rotation.
+    [[nodiscard]] std::uint64_t worst_case_window(CoreId core) const;
+
+private:
+    void advance_head();
+
+    std::vector<std::uint32_t> weights_;
+    CoreId head_;
+    std::uint32_t credits_;  ///< grants the head may still take
+};
+
+/// Factory helpers so configs can name a policy.
+enum class ArbiterKind : std::uint8_t {
+    kRoundRobin,
+    kFixedPriority,
+    kTdma,
+    kWeightedRoundRobin,
+};
+
+[[nodiscard]] std::unique_ptr<Arbiter> make_arbiter(
+    ArbiterKind kind, CoreId num_cores, Cycle tdma_slot_cycles = 0,
+    std::vector<std::uint32_t> weights = {});
+
+}  // namespace rrb

@@ -1,0 +1,132 @@
+#include "bus/bus.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+const char* to_string(BusOp op) noexcept {
+    switch (op) {
+        case BusOp::kInstrFetch: return "ifetch";
+        case BusOp::kDataLoad: return "load";
+        case BusOp::kDataStore: return "store";
+        case BusOp::kMissRequest: return "miss-req";
+        case BusOp::kFillResponse: return "fill";
+    }
+    return "?";
+}
+
+Bus::Bus(CoreId num_cores, std::unique_ptr<Arbiter> arbiter)
+    : arbiter_(std::move(arbiter)),
+      ports_(num_cores),
+      counters_(num_cores) {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+    RRB_REQUIRE(arbiter_ != nullptr, "arbiter required");
+}
+
+void Bus::post(const BusRequest& request, BusCompletionFn on_complete) {
+    RRB_REQUIRE(request.core < ports_.size(), "core id out of range");
+    RRB_REQUIRE(request.duration >= 1, "zero-length transaction");
+    Port& port = ports_[request.core];
+    RRB_ENSURE(!port.pending.has_value());  // one outstanding per requester
+    RRB_ENSURE(!(active_ && active_->core == request.core));
+
+    // Confidence metric for Figure 6(a): how many *other* requesters have a
+    // transaction pending or in flight the moment this request is born.
+    std::uint64_t others = 0;
+    for (CoreId c = 0; c < ports_.size(); ++c) {
+        if (c == request.core) continue;
+        if (ports_[c].pending || (active_ && active_->core == c)) ++others;
+    }
+    BusCoreCounters& ctr = counters_[request.core];
+    ctr.ready_contenders.add(others);
+    ++ctr.requests;
+
+    port.pending = request;
+    port.on_complete = std::move(on_complete);
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->record(request.ready, TraceKind::kRequestReady, request.core,
+                        request.addr);
+    }
+}
+
+bool Bus::busy(CoreId core) const {
+    RRB_REQUIRE(core < ports_.size(), "core id out of range");
+    return ports_[core].pending.has_value() ||
+           (active_ && active_->core == core);
+}
+
+void Bus::complete_phase(Cycle now) {
+    if (!active_ || busy_until_ != now) return;
+    const BusRequest finished = *active_;
+    BusCompletionFn callback = std::move(active_on_complete_);
+    active_.reset();
+    active_on_complete_ = nullptr;
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->record(now - 1, TraceKind::kBusRelease, finished.core,
+                        finished.addr);
+    }
+    if (callback) callback(finished, now);
+}
+
+void Bus::arbitrate_phase(Cycle now) {
+    if (active_) {
+        RRB_ENSURE(busy_until_ > now);
+        return;
+    }
+
+    std::vector<ArbCandidate> candidates(ports_.size());
+    bool any = false;
+    for (CoreId c = 0; c < ports_.size(); ++c) {
+        const Port& port = ports_[c];
+        if (port.pending && port.pending->ready <= now) {
+            candidates[c] = {true, port.pending->duration};
+            any = true;
+        }
+    }
+    if (!any) return;
+
+    const std::optional<CoreId> winner = arbiter_->pick(candidates, now);
+    if (!winner) return;  // e.g. TDMA slot owner not ready
+
+    Port& port = ports_[*winner];
+    RRB_ENSURE(port.pending.has_value());
+    active_ = *port.pending;
+    active_on_complete_ = std::move(port.on_complete);
+    port.pending.reset();
+    port.on_complete = nullptr;
+
+    arbiter_->granted(*winner, now);
+    busy_until_ = now + active_->duration;
+    total_busy_cycles_ += active_->duration;
+
+    BusCoreCounters& ctr = counters_[*winner];
+    const std::uint64_t gamma = now - active_->ready;
+    ctr.busy_cycles += active_->duration;
+    ctr.wait_cycles += gamma;
+    ctr.max_wait = std::max(ctr.max_wait, gamma);
+    ctr.gamma.add(gamma);
+
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->record(now, TraceKind::kBusGrant, *winner, gamma);
+    }
+}
+
+const BusCoreCounters& Bus::counters(CoreId core) const {
+    RRB_REQUIRE(core < counters_.size(), "core id out of range");
+    return counters_[core];
+}
+
+double Bus::utilization(Cycle elapsed) const {
+    RRB_REQUIRE(elapsed > 0, "elapsed must be positive");
+    return static_cast<double>(total_busy_cycles_) /
+           static_cast<double>(elapsed);
+}
+
+void Bus::reset_counters() {
+    for (auto& c : counters_) c = {};
+    total_busy_cycles_ = 0;
+}
+
+}  // namespace rrb

@@ -1,0 +1,125 @@
+// The shared on-chip bus: cores on one side, the L2 cache on the other
+// (NGMP topology — "the bus serves as bridge between private on-core L1
+// caches and the L2 cache").
+//
+// Timing protocol (single outstanding transaction, AHB-like):
+//   * a request posted with ready cycle R may be granted at any cycle
+//     g >= R when the bus is free and the arbiter selects it;
+//   * the bus is then busy for `duration` cycles [g, g+duration) and can
+//     grant again at g+duration, including to a request that becomes
+//     ready exactly at g+duration (back-to-back, 100% utilization);
+//   * per-request contention delay gamma = g - R; this is the quantity the
+//     paper's ubd bounds.
+//
+// The bus does not know cache contents: the component that posts a request
+// has already decided its `duration` (e.g. L2 hit = transfer + hit latency
+// + handover), and registers a completion callback via BusListener.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bus/arbiter.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+#include "stats/histogram.h"
+
+namespace rrb {
+
+enum class BusOp : std::uint8_t {
+    kInstrFetch,    ///< IL1 miss fill
+    kDataLoad,      ///< DL1 load miss (L2 hit keeps the bus busy end-to-end)
+    kDataStore,     ///< write-through store drain
+    kMissRequest,   ///< address phase of an L2 miss (split transaction)
+    kFillResponse,  ///< data return of an L2 miss
+};
+
+const char* to_string(BusOp op) noexcept;
+
+struct BusRequest {
+    CoreId core = 0;
+    BusOp op = BusOp::kDataLoad;
+    Addr addr = 0;
+    Cycle ready = 0;     ///< first cycle eligible for arbitration
+    Cycle duration = 1;  ///< bus occupancy once granted
+    std::uint64_t tag = 0;  ///< caller-defined correlation id
+};
+
+/// Completion notification: the transaction for `request` finished; the bus
+/// is free again at cycle `completion` (= grant + duration).
+using BusCompletionFn =
+    std::function<void(const BusRequest& request, Cycle completion)>;
+
+/// Per-core performance monitoring counters, mirroring the NGMP's bus
+/// utilization counters (0x17 per-core / 0x18 total in the LEON4 manual).
+struct BusCoreCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t busy_cycles = 0;     ///< cycles this core held the bus
+    std::uint64_t wait_cycles = 0;     ///< sum of per-request gamma
+    std::uint64_t max_wait = 0;        ///< max per-request gamma
+    Histogram gamma;                   ///< per-request contention delay
+    Histogram ready_contenders;        ///< #other cores with a request
+                                       ///  pending/in-service at post time
+};
+
+class Bus {
+public:
+    Bus(CoreId num_cores, std::unique_ptr<Arbiter> arbiter);
+
+    /// Posts a request. Precondition: the core has no pending request (one
+    /// outstanding transaction per requester) and request.ready >= the
+    /// current cycle.
+    void post(const BusRequest& request, BusCompletionFn on_complete);
+
+    /// True when `core` has a request waiting or in service.
+    [[nodiscard]] bool busy(CoreId core) const;
+
+    /// Phase 1 of a cycle: completes a transaction whose service ends at
+    /// `now` and fires its callback. Call before cores execute.
+    void complete_phase(Cycle now);
+
+    /// Phase 2 of a cycle: arbitration among requests with ready <= now.
+    /// Call after cores executed (so a request posted at `now` can be
+    /// granted at `now`).
+    void arbitrate_phase(Cycle now);
+
+    [[nodiscard]] CoreId num_cores() const noexcept {
+        return static_cast<CoreId>(ports_.size());
+    }
+    [[nodiscard]] const Arbiter& arbiter() const noexcept { return *arbiter_; }
+
+    /// PMC access.
+    [[nodiscard]] const BusCoreCounters& counters(CoreId core) const;
+    [[nodiscard]] std::uint64_t total_busy_cycles() const noexcept {
+        return total_busy_cycles_;
+    }
+    /// Bus utilization over [0, elapsed): fraction of cycles the bus was
+    /// occupied. This is the confidence check of Section 4.3.
+    [[nodiscard]] double utilization(Cycle elapsed) const;
+
+    void reset_counters();
+
+    /// Optional tracer for timeline benches / golden tests.
+    void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+private:
+    struct Port {
+        std::optional<BusRequest> pending;
+        BusCompletionFn on_complete;
+    };
+
+    std::unique_ptr<Arbiter> arbiter_;
+    std::vector<Port> ports_;
+    std::vector<BusCoreCounters> counters_;
+
+    std::optional<BusRequest> active_;
+    BusCompletionFn active_on_complete_;
+    Cycle busy_until_ = 0;  ///< bus free again at this cycle
+    std::uint64_t total_busy_cycles_ = 0;
+    Tracer* tracer_ = nullptr;
+};
+
+}  // namespace rrb

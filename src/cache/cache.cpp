@@ -1,0 +1,209 @@
+#include "cache/cache.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+void CacheGeometry::validate() const {
+    RRB_REQUIRE(line_bytes >= 4 && is_pow2(line_bytes),
+                "line size must be a power of two >= 4");
+    RRB_REQUIRE(ways >= 1, "at least one way");
+    RRB_REQUIRE(size_bytes >= static_cast<std::uint64_t>(ways) * line_bytes,
+                "cache must hold at least one line per way");
+    RRB_REQUIRE(size_bytes % (static_cast<std::uint64_t>(ways) * line_bytes) ==
+                    0,
+                "size must be a multiple of ways*line");
+    RRB_REQUIRE(is_pow2(num_sets()), "number of sets must be a power of two");
+}
+
+Cache::Cache(CacheGeometry geometry, ReplacementPolicy replacement,
+             WritePolicy write_policy, AllocPolicy alloc_policy,
+             std::uint64_t rng_seed)
+    : geometry_(geometry),
+      replacement_(replacement),
+      write_policy_(write_policy),
+      alloc_policy_(alloc_policy),
+      rng_(rng_seed) {
+    geometry_.validate();
+    lines_.resize(geometry_.num_sets() * geometry_.ways);
+    if (replacement_ == ReplacementPolicy::kPlru) {
+        RRB_REQUIRE(is_pow2(geometry_.ways) && geometry_.ways <= 32,
+                    "tree-PLRU needs a power-of-two way count <= 32");
+        plru_bits_.assign(geometry_.num_sets(), 0);
+    }
+}
+
+std::uint32_t Cache::plru_victim(std::uint64_t set) const {
+    const std::uint32_t bits = plru_bits_[set];
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t size = geometry_.ways;
+    while (size > 1) {
+        const bool go_right = (bits >> node) & 1u;
+        size /= 2;
+        if (go_right) {
+            lo += size;
+            node = 2 * node + 2;
+        } else {
+            node = 2 * node + 1;
+        }
+    }
+    return lo;
+}
+
+void Cache::plru_touch(std::uint64_t set, std::uint32_t way) {
+    std::uint32_t& bits = plru_bits_[set];
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t size = geometry_.ways;
+    while (size > 1) {
+        size /= 2;
+        const bool in_right = way >= lo + size;
+        if (in_right) {
+            bits &= ~(1u << node);  // point the victim path left
+            lo += size;
+            node = 2 * node + 2;
+        } else {
+            bits |= (1u << node);  // point the victim path right
+            node = 2 * node + 1;
+        }
+    }
+}
+
+void Cache::touch(std::uint64_t set, std::uint32_t way) {
+    switch (replacement_) {
+        case ReplacementPolicy::kLru:
+            line_at(set, way).order = ++tick_;
+            break;
+        case ReplacementPolicy::kPlru:
+            plru_touch(set, way);
+            break;
+        case ReplacementPolicy::kFifo:
+        case ReplacementPolicy::kRandom:
+            break;  // hits do not update state
+    }
+}
+
+std::optional<std::uint32_t> Cache::find_way(std::uint64_t set,
+                                             std::uint64_t tag) const {
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        const Line& l = line_at(set, w);
+        if (l.valid && l.tag == tag) return w;
+    }
+    return std::nullopt;
+}
+
+std::uint32_t Cache::choose_victim(std::uint64_t set) {
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+        if (!line_at(set, w).valid) return w;
+    }
+    switch (replacement_) {
+        case ReplacementPolicy::kLru:
+        case ReplacementPolicy::kFifo: {
+            // Smallest order = least recently used / first inserted.
+            std::uint32_t victim = 0;
+            for (std::uint32_t w = 1; w < geometry_.ways; ++w) {
+                if (line_at(set, w).order < line_at(set, victim).order) {
+                    victim = w;
+                }
+            }
+            return victim;
+        }
+        case ReplacementPolicy::kRandom:
+            return rng_.next_below(geometry_.ways);
+        case ReplacementPolicy::kPlru:
+            return plru_victim(set);
+    }
+    RRB_ENSURE(false);
+}
+
+CacheAccess Cache::install(std::uint64_t set, std::uint64_t tag, bool dirty) {
+    CacheAccess result;
+    const std::uint32_t way = choose_victim(set);
+    Line& l = line_at(set, way);
+    if (l.valid) {
+        ++stats_.evictions;
+        result.victim_line = l.tag * geometry_.num_sets() + set;
+        if (l.dirty) {
+            ++stats_.writebacks;
+            result.dirty_eviction = true;
+        }
+    }
+    l.valid = true;
+    l.tag = tag;
+    l.dirty = dirty;
+    l.order = ++tick_;
+    if (replacement_ == ReplacementPolicy::kPlru) plru_touch(set, way);
+    result.allocated = true;
+    return result;
+}
+
+CacheAccess Cache::read(Addr addr) {
+    const std::uint64_t set = geometry_.set_of(addr);
+    const std::uint64_t tag = geometry_.tag_of(addr);
+    if (const auto way = find_way(set, tag)) {
+        ++stats_.read_hits;
+        touch(set, *way);
+        CacheAccess result;
+        result.hit = true;
+        return result;
+    }
+    ++stats_.read_misses;
+    CacheAccess result = install(set, tag, /*dirty=*/false);
+    result.hit = false;
+    return result;
+}
+
+CacheAccess Cache::write(Addr addr) {
+    const std::uint64_t set = geometry_.set_of(addr);
+    const std::uint64_t tag = geometry_.tag_of(addr);
+    if (const auto way = find_way(set, tag)) {
+        ++stats_.write_hits;
+        Line& l = line_at(set, *way);
+        touch(set, *way);
+        if (write_policy_ == WritePolicy::kWriteBack) l.dirty = true;
+        CacheAccess result;
+        result.hit = true;
+        return result;
+    }
+    ++stats_.write_misses;
+    if (alloc_policy_ == AllocPolicy::kNoWriteAllocate) {
+        // Miss without fill: the write is forwarded downstream unmodified.
+        return {};
+    }
+    CacheAccess result =
+        install(set, tag, write_policy_ == WritePolicy::kWriteBack);
+    result.hit = false;
+    return result;
+}
+
+bool Cache::probe(Addr addr) const {
+    return find_way(geometry_.set_of(addr), geometry_.tag_of(addr))
+        .has_value();
+}
+
+void Cache::flush() {
+    for (Line& l : lines_) l = {};
+    if (replacement_ == ReplacementPolicy::kPlru) {
+        plru_bits_.assign(geometry_.num_sets(), 0);
+    }
+}
+
+void Cache::warm(Addr addr) {
+    const std::uint64_t set = geometry_.set_of(addr);
+    const std::uint64_t tag = geometry_.tag_of(addr);
+    if (find_way(set, tag)) return;
+    // Install without statistics: remember, restore.
+    const CacheStats saved = stats_;
+    install(set, tag, /*dirty=*/false);
+    stats_ = saved;
+}
+
+}  // namespace rrb

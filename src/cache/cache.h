@@ -1,0 +1,153 @@
+// Set-associative cache model (functional: state + hit/miss, no timing —
+// latency is charged by the components that own the cache).
+//
+// Models the NGMP memory hierarchy pieces the paper fixes:
+//   IL1/DL1: 16KB, 4-way, 32-byte lines, LRU; DL1 is write-through
+//   no-allocate.
+//   L2: 256KB, 4-way, LRU, way-partitioned one way per core (see
+//   partitioned_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+struct CacheGeometry {
+    std::uint64_t size_bytes = 16 * 1024;
+    std::uint32_t ways = 4;
+    std::uint32_t line_bytes = 32;
+
+    [[nodiscard]] std::uint64_t num_sets() const noexcept {
+        return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+    }
+    [[nodiscard]] Addr line_of(Addr addr) const noexcept {
+        return addr / line_bytes;
+    }
+    [[nodiscard]] std::uint64_t set_of(Addr addr) const noexcept {
+        return line_of(addr) % num_sets();
+    }
+    [[nodiscard]] std::uint64_t tag_of(Addr addr) const noexcept {
+        return line_of(addr) / num_sets();
+    }
+    /// Byte distance between two addresses mapping to the same set.
+    [[nodiscard]] std::uint64_t set_stride() const noexcept {
+        return num_sets() * line_bytes;
+    }
+    /// Throws std::invalid_argument when sizes are inconsistent or not
+    /// powers of two.
+    void validate() const;
+};
+
+/// kPlru is the tree-based pseudo-LRU found in many real cores; it needs
+/// a power-of-two way count. The rsk construction (W+1 same-set lines)
+/// defeats it just like true LRU for sequential access patterns.
+enum class ReplacementPolicy : std::uint8_t { kLru, kFifo, kRandom, kPlru };
+enum class WritePolicy : std::uint8_t { kWriteThrough, kWriteBack };
+enum class AllocPolicy : std::uint8_t { kWriteAllocate, kNoWriteAllocate };
+
+struct CacheStats {
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    [[nodiscard]] std::uint64_t hits() const noexcept {
+        return read_hits + write_hits;
+    }
+    [[nodiscard]] std::uint64_t misses() const noexcept {
+        return read_misses + write_misses;
+    }
+    [[nodiscard]] std::uint64_t accesses() const noexcept {
+        return hits() + misses();
+    }
+    [[nodiscard]] double miss_ratio() const noexcept {
+        return accesses() == 0 ? 0.0
+                               : static_cast<double>(misses()) /
+                                     static_cast<double>(accesses());
+    }
+};
+
+/// Outcome of one access.
+struct CacheAccess {
+    bool hit = false;
+    bool allocated = false;           ///< a line was filled by this access
+    bool dirty_eviction = false;      ///< an eviction required a writeback
+    std::optional<Addr> victim_line;  ///< line address evicted, if any
+};
+
+class Cache {
+public:
+    Cache(CacheGeometry geometry, ReplacementPolicy replacement,
+          WritePolicy write_policy, AllocPolicy alloc_policy,
+          std::uint64_t rng_seed = 1);
+
+    /// Performs a read; on miss the line is allocated (the caller charges
+    /// the fill latency / bus traffic).
+    CacheAccess read(Addr addr);
+
+    /// Performs a write. Write-through no-allocate: miss does not fill.
+    /// Write-back write-allocate: miss fills and marks dirty.
+    CacheAccess write(Addr addr);
+
+    /// Hit test without touching replacement state.
+    [[nodiscard]] bool probe(Addr addr) const;
+
+    /// Drops every line (power-on state).
+    void flush();
+
+    /// Pre-loads a line without counting statistics (test setup / warmup).
+    void warm(Addr addr);
+
+    [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = {}; }
+    [[nodiscard]] const CacheGeometry& geometry() const noexcept {
+        return geometry_;
+    }
+
+private:
+    struct Line {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t order = 0;  ///< LRU timestamp or FIFO insertion tick
+    };
+
+    /// Index into the way array of the hit line, if present.
+    [[nodiscard]] std::optional<std::uint32_t> find_way(std::uint64_t set,
+                                                        std::uint64_t tag) const;
+    /// Tree-PLRU helpers (policy kPlru only).
+    [[nodiscard]] std::uint32_t plru_victim(std::uint64_t set) const;
+    void plru_touch(std::uint64_t set, std::uint32_t way);
+    /// Updates replacement metadata after a hit or install.
+    void touch(std::uint64_t set, std::uint32_t way);
+    /// Chooses a victim way in the set according to the replacement policy.
+    [[nodiscard]] std::uint32_t choose_victim(std::uint64_t set);
+    /// Installs a tag into a way, returning eviction info.
+    CacheAccess install(std::uint64_t set, std::uint64_t tag, bool dirty);
+
+    Line& line_at(std::uint64_t set, std::uint32_t way) {
+        return lines_[set * geometry_.ways + way];
+    }
+    const Line& line_at(std::uint64_t set, std::uint32_t way) const {
+        return lines_[set * geometry_.ways + way];
+    }
+
+    CacheGeometry geometry_;
+    ReplacementPolicy replacement_;
+    WritePolicy write_policy_;
+    AllocPolicy alloc_policy_;
+    std::vector<Line> lines_;
+    std::vector<std::uint32_t> plru_bits_;  ///< one tree per set (kPlru)
+    std::uint64_t tick_ = 0;  ///< monotonically increasing access counter
+    Pcg32 rng_;
+    CacheStats stats_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,248 @@
+#include "cli/cli.h"
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/rrb.h"
+
+namespace rrb::cli {
+
+namespace {
+
+struct ParsedFlags {
+    std::optional<CoreId> cores;
+    std::optional<Cycle> lbus;
+    bool variant = false;
+    std::uint32_t k_max = 70;
+    std::uint64_t iterations = 40;
+    std::uint32_t nop_latency = 1;
+    bool store_span = false;
+    std::string csv_path;
+    std::string error;  ///< non-empty when parsing failed
+};
+
+std::optional<std::uint64_t> parse_number(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+ParsedFlags parse_flags(const std::vector<std::string>& args,
+                        std::size_t first) {
+    ParsedFlags flags;
+    for (std::size_t i = first; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        auto next_number = [&](const char* name)
+            -> std::optional<std::uint64_t> {
+            if (i + 1 >= args.size()) {
+                flags.error = std::string(name) + " needs a value";
+                return std::nullopt;
+            }
+            const auto value = parse_number(args[++i]);
+            if (!value) flags.error = std::string(name) + " needs a number";
+            return value;
+        };
+        if (arg == "--cores") {
+            if (const auto v = next_number("--cores")) {
+                flags.cores = static_cast<CoreId>(*v);
+            }
+        } else if (arg == "--lbus") {
+            if (const auto v = next_number("--lbus")) flags.lbus = *v;
+        } else if (arg == "--var") {
+            flags.variant = true;
+        } else if (arg == "--kmax") {
+            if (const auto v = next_number("--kmax")) {
+                flags.k_max = static_cast<std::uint32_t>(*v);
+            }
+        } else if (arg == "--iterations") {
+            if (const auto v = next_number("--iterations")) {
+                flags.iterations = *v;
+            }
+        } else if (arg == "--nop-latency") {
+            if (const auto v = next_number("--nop-latency")) {
+                flags.nop_latency = static_cast<std::uint32_t>(*v);
+            }
+        } else if (arg == "--store-span") {
+            flags.store_span = true;
+        } else if (arg == "--csv") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--csv needs a path";
+            } else {
+                flags.csv_path = args[++i];
+            }
+        } else {
+            flags.error = "unknown flag: " + arg;
+        }
+        if (!flags.error.empty()) break;
+    }
+    return flags;
+}
+
+MachineConfig build_config(const ParsedFlags& flags) {
+    if (flags.cores || flags.lbus) {
+        return MachineConfig::scaled(flags.cores.value_or(4),
+                                     flags.lbus.value_or(9));
+    }
+    return flags.variant ? MachineConfig::ngmp_var()
+                         : MachineConfig::ngmp_ref();
+}
+
+UbdEstimatorOptions build_options(const ParsedFlags& flags) {
+    UbdEstimatorOptions opt;
+    opt.k_max = flags.k_max;
+    opt.unroll = 8;
+    opt.rsk_iterations = flags.iterations;
+    opt.nop_latency = flags.nop_latency;
+    return opt;
+}
+
+int cmd_estimate(const ParsedFlags& flags, std::ostream& out) {
+    const MachineConfig config = build_config(flags);
+    const UbdEstimatorOptions options = build_options(flags);
+
+    if (flags.store_span) {
+        const CrossCheckedEstimate e =
+            estimate_ubd_cross_checked(config, options);
+        out << "load path : "
+            << (e.load_path.found ? std::to_string(e.load_path.ubd)
+                                  : std::string("not found"))
+            << " (period " << e.load_path.period_k << ", votes "
+            << e.load_path.confidence.detector_votes << "/4)\n";
+        out << "store path: "
+            << (e.store_path.found ? std::to_string(e.store_path.ubd)
+                                   : std::string("not found"))
+            << "\n";
+        out << "cross-check: " << (e.agree ? "AGREE" : "DISAGREE") << "\n";
+        if (e.agree) out << "ubd = " << e.ubd << " cycles\n";
+        return e.agree ? 0 : 2;
+    }
+
+    const UbdEstimate e = estimate_ubd(config, options);
+    if (!e.found) {
+        out << "no saw-tooth period found\n";
+        for (const auto& w : e.confidence.warnings) {
+            out << "warning: " << w << "\n";
+        }
+        return 2;
+    }
+    out << "ubd = " << e.ubd << " cycles (period " << e.period_k
+        << " nop steps, delta_nop = " << e.confidence.nop.delta_nop
+        << ", votes " << e.confidence.detector_votes << "/4, saturation "
+        << static_cast<int>(100.0 * e.confidence.saturation_utilization)
+        << "%)\n";
+    for (const auto& w : e.confidence.warnings) {
+        out << "warning: " << w << "\n";
+    }
+    if (!flags.csv_path.empty()) {
+        const std::vector<std::string> names = {"dbus", "et_isolation",
+                                                "et_contention"};
+        const std::vector<std::vector<double>> cols = {
+            e.dbus, e.et_isolation, e.et_contention};
+        if (!write_text_file(flags.csv_path, to_csv(names, cols))) {
+            out << "warning: could not write " << flags.csv_path << "\n";
+        } else {
+            out << "sweep written to " << flags.csv_path << "\n";
+        }
+    }
+    return 0;
+}
+
+int cmd_calibrate(const ParsedFlags& flags, std::ostream& out) {
+    const MachineConfig config = build_config(flags);
+    const NopCalibration cal =
+        calibrate_delta_nop(config, 2048, 64, flags.nop_latency);
+    out << "delta_nop = " << cal.delta_nop << " cycles ("
+        << cal.nops_executed << " nops in " << cal.exec_time
+        << " cycles; rounded " << cal.rounded() << ", residual "
+        << cal.residual() << ")\n";
+    return 0;
+}
+
+int cmd_baseline(const ParsedFlags& flags, std::ostream& out) {
+    const MachineConfig config = build_config(flags);
+    const NaiveUbdm naive =
+        naive_ubdm_rsk_vs_rsk(config, OpKind::kLoad, flags.iterations);
+    out << "naive rsk-vs-rsk: ubdm(mean det/nr) = " << naive.ubdm_mean
+        << ", ubdm(max observed delay) = " << naive.ubdm_max_gamma
+        << ", true ubd = " << config.ubd_analytic() << "\n";
+    return 0;
+}
+
+int cmd_sweep(const ParsedFlags& flags, std::ostream& out) {
+    const MachineConfig config = build_config(flags);
+    const UbdEstimate e = estimate_ubd(config, build_options(flags));
+    const std::vector<std::string> names = {"dbus"};
+    const std::vector<std::vector<double>> cols = {e.dbus};
+    const std::string csv = to_csv(names, cols);
+    if (flags.csv_path.empty()) {
+        out << csv;
+    } else if (write_text_file(flags.csv_path, csv)) {
+        out << "sweep written to " << flags.csv_path << "\n";
+    } else {
+        out << "error: could not write " << flags.csv_path << "\n";
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+    return "rrbtool — measurement-based contention bounds for round-robin "
+           "buses\n"
+           "\n"
+           "usage: rrbtool <command> [flags]\n"
+           "\n"
+           "commands:\n"
+           "  estimate   run the rsk-nop methodology and report ubd\n"
+           "  calibrate  measure delta_nop with the all-nop kernel\n"
+           "  baseline   run the naive rsk-vs-rsk measurement\n"
+           "  sweep      dump the dbus(k) series as CSV\n"
+           "  help       show this text\n"
+           "\n"
+           "platform flags:\n"
+           "  --cores N --lbus L   scaled platform (default: NGMP ref)\n"
+           "  --var                NGMP variant (DL1 latency 4)\n"
+           "\n"
+           "measurement flags:\n"
+           "  --kmax K             nop sweep range (default 70)\n"
+           "  --iterations I       rsk loop iterations (default 40)\n"
+           "  --nop-latency L      slow-nop platforms (default 1)\n"
+           "  --store-span         cross-check with the store-buffer path\n"
+           "  --csv FILE           write the sweep data to FILE\n";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+        out << usage();
+        return args.empty() ? 1 : 0;
+    }
+    const std::string& command = args[0];
+    const ParsedFlags flags = parse_flags(args, 1);
+    if (!flags.error.empty()) {
+        err << "error: " << flags.error << "\n\n" << usage();
+        return 1;
+    }
+
+    try {
+        if (command == "estimate") return cmd_estimate(flags, out);
+        if (command == "calibrate") return cmd_calibrate(flags, out);
+        if (command == "baseline") return cmd_baseline(flags, out);
+        if (command == "sweep") return cmd_sweep(flags, out);
+    } catch (const std::invalid_argument& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+    err << "error: unknown command '" << command << "'\n\n" << usage();
+    return 1;
+}
+
+}  // namespace rrb::cli

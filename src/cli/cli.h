@@ -1,0 +1,33 @@
+// rrbtool: command-line front end to the methodology.
+//
+//   rrbtool estimate  [--cores N] [--lbus L] [--var] [--kmax K]
+//                     [--iterations I] [--store-span] [--csv FILE]
+//   rrbtool calibrate [--cores N] [--lbus L] [--var] [--nop-latency L]
+//   rrbtool baseline  [--cores N] [--lbus L] [--var]
+//   rrbtool sweep     [--cores N] [--lbus L] [--var] [--kmax K]
+//                     [--csv FILE]
+//   rrbtool help
+//
+// The platform flags construct a MachineConfig: the NGMP reference model
+// by default, `--var` for the 4-cycle-DL1 variant, or `--cores/--lbus`
+// for a scaled platform. The tool is a thin shell over the library; the
+// command implementations live here so they are unit-testable without
+// spawning processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrb::cli {
+
+/// Runs the tool. `args` excludes the program name (like argv+1).
+/// Output goes to `out` (reports) and `err` (usage errors).
+/// Returns a process exit code.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// Renders the usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace rrb::cli

@@ -1,0 +1,45 @@
+#include "core/analytic.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+Cycle ubd_eq1(CoreId num_cores, Cycle lbus) {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+    RRB_REQUIRE(lbus >= 1, "bus occupancy must be >= 1");
+    return (num_cores - 1) * lbus;
+}
+
+Cycle gamma_eq2(Cycle delta, Cycle ubd) {
+    RRB_REQUIRE(ubd >= 1, "ubd must be >= 1");
+    if (delta == 0) return ubd;
+    return (ubd - (delta % ubd)) % ubd;
+}
+
+std::vector<double> sawtooth_model(Cycle ubd, Cycle delta0, Cycle delta_nop,
+                                   std::uint32_t k_max) {
+    RRB_REQUIRE(delta_nop >= 1, "delta_nop must be >= 1");
+    std::vector<double> out;
+    out.reserve(k_max + 1);
+    for (std::uint32_t k = 0; k <= k_max; ++k) {
+        out.push_back(static_cast<double>(
+            gamma_eq2(delta0 + static_cast<Cycle>(k) * delta_nop, ubd)));
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> sawtooth_peaks(Cycle ubd, Cycle delta0,
+                                          Cycle delta_nop,
+                                          std::uint32_t k_max) {
+    const std::vector<double> model =
+        sawtooth_model(ubd, delta0, delta_nop, k_max);
+    std::vector<std::uint32_t> peaks;
+    double best = 0.0;
+    for (const double g : model) best = std::max(best, g);
+    for (std::uint32_t k = 0; k <= k_max; ++k) {
+        if (model[k] == best) peaks.push_back(k);
+    }
+    return peaks;
+}
+
+}  // namespace rrb

@@ -1,0 +1,40 @@
+// The paper's closed-form contention model for saturated round-robin buses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rrb {
+
+/// Equation 1: the upper-bound delay of one bus request — the requester
+/// has the lowest round-robin priority and every other requester has a
+/// pending request that occupies the bus for lbus cycles.
+///   ubd = (Nc - 1) * lbus
+[[nodiscard]] Cycle ubd_eq1(CoreId num_cores, Cycle lbus);
+
+/// Equation 2: under the synchrony effect (all contenders saturating), the
+/// contention delay of a request whose injection time since the previous
+/// request's completion is `delta`:
+///   gamma(0)     = ubd
+///   gamma(delta) = (ubd - (delta mod ubd)) mod ubd   for delta > 0
+[[nodiscard]] Cycle gamma_eq2(Cycle delta, Cycle ubd);
+
+/// Predicted per-request contention for the rsk-nop sweep (Figure 4):
+/// entry k is gamma(delta0 + k * delta_nop) for k in [0, k_max].
+/// delta0 is the architecture's intrinsic injection time (delta_rsk) and
+/// delta_nop the latency added per nop.
+[[nodiscard]] std::vector<double> sawtooth_model(Cycle ubd, Cycle delta0,
+                                                 Cycle delta_nop,
+                                                 std::uint32_t k_max);
+
+/// The saw-tooth's peak positions in k (Section 4.1): gamma is maximal
+/// (ubd - 1 when delta0 > 0) exactly when delta0 + k*delta_nop == 1
+/// (mod ubd). Returns all peak k in [0, k_max].
+[[nodiscard]] std::vector<std::uint32_t> sawtooth_peaks(Cycle ubd,
+                                                        Cycle delta0,
+                                                        Cycle delta_nop,
+                                                        std::uint32_t k_max);
+
+}  // namespace rrb

@@ -1,0 +1,41 @@
+// The state-of-practice baselines the paper argues against (Section 1):
+// deriving ubdm by running a scua (or an rsk) against rsk contenders and
+// reading either the mean per-request slowdown det/nr or the largest
+// observed per-request delay. Both systematically under-estimate ubd
+// because of the synchrony effect — reproduced in Figure 6(b) where they
+// yield 26 (`ref`) / 23 (`var`) against a true ubd of 27.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.h"
+#include "isa/program.h"
+#include "machine/config.h"
+
+namespace rrb {
+
+struct NaiveUbdm {
+    /// ubdm = det / nr: slowdown divided by the scua's bus requests — the
+    /// measurement recipe of [15, 11, 5] described in Section 1.
+    double ubdm_mean = 0.0;
+    /// max per-request contention delay actually observed (white-box; what
+    /// Figure 6(b) plots).
+    std::uint64_t ubdm_max_gamma = 0;
+    Cycle det = 0;                ///< execution-time increase
+    std::uint64_t nr = 0;         ///< scua bus requests
+    SlowdownResult runs;
+};
+
+/// Baseline 1: an arbitrary scua against Nc-1 rsk contenders.
+[[nodiscard]] NaiveUbdm naive_ubdm_scua_vs_rsk(const MachineConfig& config,
+                                               const Program& scua,
+                                               OpKind contender_access =
+                                                   OpKind::kLoad);
+
+/// Baseline 2: an rsk as scua against Nc-1 copies of the same rsk
+/// (Section 3.2).
+[[nodiscard]] NaiveUbdm naive_ubdm_rsk_vs_rsk(const MachineConfig& config,
+                                              OpKind access = OpKind::kLoad,
+                                              std::uint64_t iterations = 200);
+
+}  // namespace rrb

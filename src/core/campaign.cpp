@@ -1,0 +1,60 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "core/experiment.h"
+#include "machine/machine.h"
+#include "sim/contract.h"
+#include "sim/rng.h"
+
+namespace rrb {
+
+HwmCampaignResult run_hwm_campaign(const MachineConfig& config,
+                                   const Program& scua,
+                                   const std::vector<Program>& contenders,
+                                   const HwmCampaignOptions& options) {
+    RRB_REQUIRE(options.runs >= 1, "need at least one run");
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+
+    HwmCampaignResult result;
+    {
+        const Measurement isol =
+            run_isolation(config, scua, 0, options.max_cycles_per_run);
+        RRB_ENSURE(!isol.deadline_reached);
+        result.et_isolation = isol.exec_time;
+        result.nr = isol.bus_requests;
+    }
+
+    Pcg32 rng(options.seed);
+    result.exec_times.reserve(options.runs);
+    for (std::size_t run = 0; run < options.runs; ++run) {
+        Machine machine(config);
+        machine.load_program(0, scua);
+        machine.warm_static_footprint(0);
+        std::size_t next = 0;
+        for (CoreId c = 1; c < config.num_cores; ++c) {
+            Program contender = contenders[next % contenders.size()];
+            ++next;
+            contender.iterations = options.max_cycles_per_run;
+            const Cycle delay =
+                options.max_start_delay == 0
+                    ? 0
+                    : rng.next_below(static_cast<std::uint32_t>(
+                          options.max_start_delay + 1));
+            machine.load_program(c, contender, delay);
+            machine.warm_static_footprint(c);
+        }
+        const RunResult r =
+            machine.run_until_core(0, options.max_cycles_per_run);
+        RRB_ENSURE(!r.deadline_reached);
+        result.exec_times.push_back(r.finish_cycle[0]);
+    }
+
+    result.high_water_mark =
+        *std::max_element(result.exec_times.begin(), result.exec_times.end());
+    result.low_water_mark =
+        *std::min_element(result.exec_times.begin(), result.exec_times.end());
+    return result;
+}
+
+}  // namespace rrb

@@ -1,0 +1,55 @@
+// Measurement campaigns: the MBTA observation protocol the ETB is
+// validated against.
+//
+// A single contention run observes one alignment between the scua and its
+// contenders. Industrial measurement-based practice runs *campaigns*:
+// many runs with randomized release offsets, keeping the high-water mark
+// (HWM) of the observed execution times. The composable bound
+// ETB = et_isol + nr * ubdm must dominate the HWM of every campaign —
+// and the gap between HWM and ETB is the (provably safe) pessimism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/config.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+struct HwmCampaignOptions {
+    std::size_t runs = 20;
+    std::uint64_t seed = 1;
+    /// Contender release offsets are drawn uniformly from
+    /// [0, max_start_delay].
+    Cycle max_start_delay = 997;
+    Cycle max_cycles_per_run = 200'000'000;
+};
+
+struct HwmCampaignResult {
+    Cycle et_isolation = 0;
+    Cycle high_water_mark = 0;        ///< max observed contention time
+    Cycle low_water_mark = 0;         ///< min observed contention time
+    std::vector<Cycle> exec_times;    ///< one per run
+    std::uint64_t nr = 0;             ///< scua bus requests (PMC)
+
+    /// Max observed per-request slowdown: (HWM - isol) / nr. Compare with
+    /// ubd: it can approach but never exceed it.
+    [[nodiscard]] double hwm_slowdown_per_request() const noexcept {
+        return nr == 0 ? 0.0
+                       : static_cast<double>(high_water_mark -
+                                             et_isolation) /
+                             static_cast<double>(nr);
+    }
+};
+
+/// Runs the campaign: `runs` contention executions of `scua` on core 0
+/// against the contender programs on the other cores, each run with
+/// fresh, seeded-random release offsets for the contenders.
+[[nodiscard]] HwmCampaignResult run_hwm_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options = {});
+
+}  // namespace rrb

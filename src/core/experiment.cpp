@@ -1,0 +1,81 @@
+#include "core/experiment.h"
+
+#include "machine/machine.h"
+#include "sim/contract.h"
+
+namespace rrb {
+
+namespace {
+
+Measurement snapshot(Machine& machine, CoreId scua_core, Cycle exec_time,
+                     bool deadline_reached) {
+    Measurement m;
+    m.exec_time = exec_time;
+    m.deadline_reached = deadline_reached;
+
+    const BusCoreCounters& counters = machine.bus().counters(scua_core);
+    m.bus_requests = counters.requests;
+    const Cycle elapsed = machine.now() == 0 ? 1 : machine.now();
+    m.bus_utilization = machine.bus().utilization(elapsed);
+    m.scua_bus_share = static_cast<double>(counters.busy_cycles) /
+                       static_cast<double>(elapsed);
+    m.gamma = counters.gamma;
+    m.max_gamma = counters.max_wait;
+    m.ready_contenders = counters.ready_contenders;
+    m.injection_delta = machine.core(scua_core).stats().load_injection_delta;
+    return m;
+}
+
+}  // namespace
+
+Measurement run_isolation(const MachineConfig& config, const Program& scua,
+                          CoreId scua_core, Cycle max_cycles) {
+    RRB_REQUIRE(scua_core < config.num_cores, "scua core out of range");
+    Machine machine(config);
+    machine.load_program(scua_core, scua);
+    machine.warm_static_footprint(scua_core);
+    const RunResult r = machine.run_until_core(scua_core, max_cycles);
+    const Cycle et = r.deadline_reached ? r.cycles
+                                        : r.finish_cycle[scua_core];
+    return snapshot(machine, scua_core, et, r.deadline_reached);
+}
+
+Measurement run_contention(const MachineConfig& config, const Program& scua,
+                           const std::vector<Program>& contenders,
+                           CoreId scua_core, Cycle max_cycles) {
+    RRB_REQUIRE(scua_core < config.num_cores, "scua core out of range");
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+
+    Machine machine(config);
+    machine.load_program(scua_core, scua);
+    std::size_t next = 0;
+    for (CoreId c = 0; c < config.num_cores; ++c) {
+        if (c == scua_core) continue;
+        Program contender = contenders[next % contenders.size()];
+        ++next;
+        // The contender must outlive the scua: give it an effectively
+        // unbounded iteration count (bounded only by max_cycles).
+        contender.iterations = max_cycles;  // >= 1 cycle per iteration
+        machine.load_program(c, contender);
+        machine.warm_static_footprint(c);
+    }
+    machine.warm_static_footprint(scua_core);
+
+    const RunResult r = machine.run_until_core(scua_core, max_cycles);
+    const Cycle et = r.deadline_reached ? r.cycles
+                                        : r.finish_cycle[scua_core];
+    return snapshot(machine, scua_core, et, r.deadline_reached);
+}
+
+SlowdownResult run_slowdown(const MachineConfig& config, const Program& scua,
+                            const std::vector<Program>& contenders,
+                            CoreId scua_core, Cycle max_cycles) {
+    SlowdownResult result;
+    result.isolation = run_isolation(config, scua, scua_core, max_cycles);
+    result.contention =
+        run_contention(config, scua, contenders, scua_core, max_cycles);
+    RRB_ENSURE(result.contention.exec_time >= result.isolation.exec_time);
+    return result;
+}
+
+}  // namespace rrb

@@ -1,0 +1,67 @@
+// Experiment harness: the measurement discipline of Sections 2-4.
+//
+// One experiment = a software component under analysis (scua) on one core,
+// contender programs on the remaining cores, run until the scua finishes
+// ("rsk must not complete execution before the scua" — contender programs
+// are re-scoped to effectively infinite iterations). Results expose both
+// the black-box quantities a COTS user can read (execution time, request
+// counts, bus-utilization PMCs — NGMP counters 0x17/0x18) and white-box
+// introspection (per-request contention delays) used only to *validate*
+// the methodology, never inside it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/config.h"
+#include "stats/histogram.h"
+
+namespace rrb {
+
+struct Measurement {
+    // --- black-box: observable on real COTS hardware ---
+    Cycle exec_time = 0;            ///< scua cycles from reset to finish
+    std::uint64_t bus_requests = 0; ///< scua's nr (PMC)
+    double bus_utilization = 0.0;   ///< whole-bus occupancy (PMC 0x18-like)
+    double scua_bus_share = 0.0;    ///< scua's own occupancy (PMC 0x17-like)
+
+    // --- white-box: simulator introspection for validation figures ---
+    Histogram gamma;                ///< per-request contention delay (scua)
+    std::uint64_t max_gamma = 0;
+    Histogram ready_contenders;     ///< Figure 6(a) metric (scua)
+    Histogram injection_delta;      ///< delta between scua load requests
+    bool deadline_reached = false;  ///< run hit the cycle cap (invalid)
+};
+
+/// Runs `scua` alone on core `scua_core` of a machine built from `config`.
+[[nodiscard]] Measurement run_isolation(const MachineConfig& config,
+                                        const Program& scua,
+                                        CoreId scua_core = 0,
+                                        Cycle max_cycles = 1'000'000'000);
+
+/// Runs `scua` against contenders (cycled over the remaining cores if
+/// fewer than Nc-1 are given). Contender iteration counts are raised so
+/// they cannot finish before the scua.
+[[nodiscard]] Measurement run_contention(const MachineConfig& config,
+                                         const Program& scua,
+                                         const std::vector<Program>& contenders,
+                                         CoreId scua_core = 0,
+                                         Cycle max_cycles = 1'000'000'000);
+
+/// det(t, k) of Section 1: execution-time increase versus isolation.
+struct SlowdownResult {
+    Measurement isolation;
+    Measurement contention;
+    [[nodiscard]] Cycle slowdown() const noexcept {
+        return contention.exec_time - isolation.exec_time;
+    }
+};
+
+[[nodiscard]] SlowdownResult run_slowdown(const MachineConfig& config,
+                                          const Program& scua,
+                                          const std::vector<Program>& contenders,
+                                          CoreId scua_core = 0,
+                                          Cycle max_cycles = 1'000'000'000);
+
+}  // namespace rrb

@@ -1,0 +1,29 @@
+#include "core/padding.h"
+
+#include "core/estimator.h"
+#include "sim/contract.h"
+
+namespace rrb {
+
+EtbResult compute_and_validate_etb(const MachineConfig& config,
+                                   const Program& scua, Cycle ubdm) {
+    RRB_REQUIRE(ubdm >= 1, "ubdm must be positive");
+
+    const SlowdownResult runs = run_slowdown(
+        config, scua, make_rsk_contenders(config, OpKind::kLoad));
+    RRB_ENSURE(!runs.isolation.deadline_reached &&
+               !runs.contention.deadline_reached);
+
+    EtbResult out;
+    out.et_isolation = runs.isolation.exec_time;
+    // nr from the isolation run is the request count the pad multiplies;
+    // contention cannot add requests (same program, same caches).
+    out.nr = runs.isolation.bus_requests;
+    out.ubdm = ubdm;
+    out.pad = out.nr * ubdm;
+    out.etb = out.et_isolation + out.pad;
+    out.observed_worst = runs.contention.exec_time;
+    return out;
+}
+
+}  // namespace rrb

@@ -1,0 +1,42 @@
+// Using ubdm (Section 4.3): composing an execution time bound (ETB) for
+// measurement-based timing analysis by padding the isolated execution time
+// with nr * ubdm — one worst-case contention delay per bus request.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.h"
+#include "isa/program.h"
+#include "machine/config.h"
+
+namespace rrb {
+
+struct EtbResult {
+    Cycle et_isolation = 0;   ///< measured in isolation
+    std::uint64_t nr = 0;     ///< measured bus requests (PMC upper bound)
+    Cycle ubdm = 0;           ///< the contention bound used
+    Cycle pad = 0;            ///< nr * ubdm
+    Cycle etb = 0;            ///< et_isolation + pad
+
+    /// The observed worst execution time under the validation contention
+    /// scenario, and whether the ETB actually bounded it.
+    Cycle observed_worst = 0;
+    [[nodiscard]] bool bounded() const noexcept {
+        return observed_worst <= etb;
+    }
+    /// Pessimism: etb / observed_worst (>= 1 when bounded).
+    [[nodiscard]] double pessimism() const noexcept {
+        return observed_worst == 0 ? 0.0
+                                   : static_cast<double>(etb) /
+                                         static_cast<double>(observed_worst);
+    }
+};
+
+/// Derives the ETB for `scua` using `ubdm`, then validates it against the
+/// scua's execution time when run against Nc-1 load-rsk contenders (the
+/// harshest contention the platform offers).
+[[nodiscard]] EtbResult compute_and_validate_etb(const MachineConfig& config,
+                                                 const Program& scua,
+                                                 Cycle ubdm);
+
+}  // namespace rrb

@@ -1,0 +1,40 @@
+// Umbrella header: the public API of the library.
+//
+//   #include "core/rrb.h"
+//
+//   rrb::MachineConfig cfg = rrb::MachineConfig::ngmp_ref();
+//   rrb::UbdEstimate e = rrb::estimate_ubd(cfg);
+//   // e.ubd == cfg.ubd_analytic() — derived with no bus timing knowledge.
+#pragma once
+
+#include "bus/arbiter.h"
+#include "bus/bus.h"
+#include "cache/cache.h"
+#include "cache/partitioned_cache.h"
+#include "core/analytic.h"
+#include "core/baseline.h"
+#include "core/calibrate.h"
+#include "core/campaign.h"
+#include "core/estimator.h"
+#include "core/experiment.h"
+#include "core/padding.h"
+#include "core/store_span.h"
+#include "cpu/core.h"
+#include "dram/dram.h"
+#include "isa/program.h"
+#include "kernels/autobench.h"
+#include "kernels/rsk.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+#include "machine/pmc.h"
+#include "rta/response_time.h"
+#include "rta/task.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+#include "stats/ascii_chart.h"
+#include "stats/csv.h"
+#include "stats/evt.h"
+#include "stats/histogram.h"
+#include "stats/periodicity.h"
+#include "stats/series.h"

@@ -1,0 +1,194 @@
+#include "cpu/core.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+void CoreConfig::validate() const {
+    il1_geometry.validate();
+    dl1_geometry.validate();
+    RRB_REQUIRE(dl1_latency >= 1, "DL1 latency must be >= 1");
+    RRB_REQUIRE(il1_latency >= 1, "IL1 latency must be >= 1");
+    RRB_REQUIRE(store_buffer_entries >= 1, "store buffer needs an entry");
+}
+
+InOrderCore::InOrderCore(CoreId id, const CoreConfig& config,
+                         CoreBusPort& port)
+    : id_(id),
+      config_(config),
+      port_(port),
+      il1_(config.il1_geometry, config.l1_replacement,
+           WritePolicy::kWriteThrough, AllocPolicy::kWriteAllocate,
+           /*rng_seed=*/id * 2 + 1),
+      dl1_(config.dl1_geometry, config.l1_replacement,
+           WritePolicy::kWriteThrough, AllocPolicy::kNoWriteAllocate,
+           /*rng_seed=*/id * 2 + 2) {
+    config_.validate();
+}
+
+void InOrderCore::set_program(Program program, Cycle start_delay) {
+    RRB_REQUIRE(!program.body.empty(), "program body must not be empty");
+    program_ = std::move(program);
+    iteration_ = 0;
+    pc_ = 0;
+    next_free_ = start_delay;
+    fetched_ = false;
+    waiting_ifetch_ = false;
+    waiting_load_ = false;
+    retired_all_ = false;
+    done_ = false;
+    finish_cycle_ = kNoCycle;
+    store_buffer_.clear();
+    drain_in_flight_ = false;
+    prev_load_completion_ = kNoCycle;
+    stats_ = {};
+}
+
+Cycle InOrderCore::finish_cycle() const {
+    RRB_REQUIRE(done_, "core has not finished");
+    return finish_cycle_;
+}
+
+Addr InOrderCore::fetch_addr() const noexcept {
+    return program_.code_base + pc_ * Program::kInstrBytes;
+}
+
+void InOrderCore::advance_pc() {
+    fetched_ = false;
+    ++stats_.instructions;
+    ++pc_;
+    if (pc_ == program_.body.size()) {
+        pc_ = 0;
+        ++iteration_;
+        // Loop decrement + branch overhead at every body boundary. The
+        // paper unrolls rsk bodies precisely to keep this below 2%.
+        next_free_ += program_.loop_control_cycles;
+        if (iteration_ == program_.iterations) retired_all_ = true;
+    }
+}
+
+void InOrderCore::start_drain_if_needed(Cycle now) {
+    if (drain_in_flight_ || store_buffer_.empty()) return;
+    drain_in_flight_ = true;
+    const Addr addr = store_buffer_.front();
+    // ready = now: the head entry is eligible the same cycle the previous
+    // drain completed — injection time 0, the delta = 0 case of Eq. 2.
+    port_.request(BusOp::kDataStore, addr, now, [this](Cycle completion) {
+        RRB_ENSURE(drain_in_flight_ && !store_buffer_.empty());
+        store_buffer_.pop_front();
+        drain_in_flight_ = false;
+        ++stats_.store_drains;
+        (void)completion;
+    });
+}
+
+void InOrderCore::execute_instruction(Cycle now) {
+    const Instruction& instr = program_.body[pc_];
+
+    // Instruction fetch through IL1 (free when it hits; stalls on miss).
+    if (!fetched_) {
+        const CacheAccess access = il1_.read(fetch_addr());
+        if (!access.hit) {
+            ++stats_.ifetch_requests;
+            waiting_ifetch_ = true;
+            const Addr line =
+                fetch_addr() / il1_.geometry().line_bytes *
+                il1_.geometry().line_bytes;
+            port_.request(BusOp::kInstrFetch, line, now,
+                          [this](Cycle completion) {
+                              waiting_ifetch_ = false;
+                              fetched_ = true;
+                              next_free_ = completion;
+                          });
+            return;
+        }
+        fetched_ = true;
+    }
+
+    switch (instr.kind) {
+        case OpKind::kNop:
+        case OpKind::kAlu: {
+            if (instr.kind == OpKind::kNop) ++stats_.nops;
+            next_free_ = now + instr.latency;
+            advance_pc();
+            return;
+        }
+        case OpKind::kLoad: {
+            // Single AHB master port: a load miss may not overtake queued
+            // stores.
+            if (config_.loads_wait_store_buffer &&
+                (drain_in_flight_ || !store_buffer_.empty())) {
+                ++stats_.load_gate_stall_cycles;
+                return;  // retry next cycle
+            }
+            ++stats_.loads;
+            const Addr addr = instr.addr.address(iteration_);
+            const CacheAccess access = dl1_.read(addr);
+            if (access.hit) {
+                next_free_ = now + config_.dl1_latency;
+                advance_pc();
+                return;
+            }
+            ++stats_.load_miss_requests;
+            const Cycle ready = now + config_.dl1_latency;
+            if (prev_load_completion_ != kNoCycle) {
+                stats_.load_injection_delta.add(ready -
+                                                prev_load_completion_);
+            }
+            waiting_load_ = true;
+            const Addr line = addr / dl1_.geometry().line_bytes *
+                              dl1_.geometry().line_bytes;
+            // pc advances in the callback so loop-control overhead at a
+            // body boundary is charged after the data returns.
+            port_.request(BusOp::kDataLoad, line, ready,
+                          [this](Cycle completion) {
+                              waiting_load_ = false;
+                              next_free_ = completion;
+                              prev_load_completion_ = completion;
+                              advance_pc();
+                          });
+            return;
+        }
+        case OpKind::kStore: {
+            // The head entry stays in the buffer while its drain is in
+            // flight, so the deque size alone is the occupancy.
+            if (store_buffer_.size() >= config_.store_buffer_entries) {
+                ++stats_.store_full_stall_cycles;
+                return;  // retry next cycle
+            }
+            ++stats_.stores;
+            const Addr addr = instr.addr.address(iteration_);
+            dl1_.write(addr);  // write-through, no-allocate
+            const Addr line = addr / dl1_.geometry().line_bytes *
+                              dl1_.geometry().line_bytes;
+            store_buffer_.push_back(line);
+            next_free_ = now + 1;  // retires as soon as buffered
+            advance_pc();
+            return;
+        }
+    }
+    RRB_ENSURE(false);
+}
+
+void InOrderCore::tick(Cycle now) {
+    if (done_) return;
+
+    start_drain_if_needed(now);
+
+    if (retired_all_) {
+        // The program ends when the trailing loop-control cycles have
+        // elapsed and every buffered store has been performed.
+        if (store_buffer_.empty() && !drain_in_flight_ &&
+            now >= next_free_) {
+            done_ = true;
+            finish_cycle_ = now;
+        }
+        return;
+    }
+
+    if (waiting_ifetch_ || waiting_load_) return;
+    if (now < next_free_) return;
+    execute_instruction(now);
+}
+
+}  // namespace rrb

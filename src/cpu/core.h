@@ -1,0 +1,149 @@
+// In-order core model (LEON4-like for the purposes of the paper).
+//
+// Timing rules — these are the rules that make the injection time delta
+// of Section 3 come out exactly as the paper describes:
+//   * an instruction occupying n cycles that starts at cycle s finishes at
+//     s+n-1; the next instruction starts at s+n;
+//   * a load performs its DL1 lookup for dl1_latency cycles; on a miss the
+//     bus request becomes ready at (start + dl1_latency). When the bus/L2
+//     deliver the data at cycle C, the next instruction starts at C.
+//     Hence two back-to-back loads have injection time delta = dl1_latency
+//     (1 in the `ref` architecture, 4 in `var`), and k interposed nops give
+//     delta = k * nop_latency + dl1_latency;
+//   * a store retires into the store buffer in 1 cycle unless the buffer
+//     is full (write-through, no-allocate). The buffer drains in FIFO
+//     order; the next drain is posted the same cycle the previous one
+//     completes, i.e. drains have injection time delta = 0 — the one case
+//     where a request can suffer the full ubd (Section 5.3);
+//   * instruction fetch is pipelined and free on IL1 hits; an IL1 miss
+//     stalls the core until the line returns over the bus.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "bus/bus.h"
+#include "cache/cache.h"
+#include "isa/program.h"
+#include "sim/types.h"
+#include "stats/histogram.h"
+
+namespace rrb {
+
+/// Interface the machine gives each core for memory traffic that leaves
+/// the L1s. The implementation decides L2 hit/miss, bus occupancy and
+/// split transactions; `on_complete` fires with the cycle at which the
+/// data is available (loads / fetches) or the write has been performed
+/// (stores).
+class CoreBusPort {
+public:
+    virtual ~CoreBusPort() = default;
+    virtual void request(BusOp op, Addr addr, Cycle ready,
+                         std::function<void(Cycle completion)> on_complete) = 0;
+};
+
+struct CoreConfig {
+    CacheGeometry il1_geometry{16 * 1024, 4, 32};
+    CacheGeometry dl1_geometry{16 * 1024, 4, 32};
+    ReplacementPolicy l1_replacement = ReplacementPolicy::kLru;
+
+    /// DL1 lookup latency: 1 in the paper's `ref` NGMP model, 4 in `var`.
+    std::uint32_t dl1_latency = 1;
+    /// IL1 hit cost is hidden by pipelining; kept for completeness.
+    std::uint32_t il1_latency = 1;
+
+    std::uint32_t store_buffer_entries = 8;
+
+    /// When true (default, single AHB master port semantics) a load miss
+    /// waits until the store buffer has fully drained before issuing.
+    bool loads_wait_store_buffer = true;
+
+    void validate() const;
+};
+
+struct CoreStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t nops = 0;
+    std::uint64_t load_miss_requests = 0;  ///< DL1 misses sent to the bus
+    std::uint64_t ifetch_requests = 0;     ///< IL1 misses sent to the bus
+    std::uint64_t store_drains = 0;
+    std::uint64_t store_full_stall_cycles = 0;
+    std::uint64_t load_gate_stall_cycles = 0;  ///< waiting for SB drain
+    /// Injection time between consecutive data-load bus requests:
+    /// ready(r_i) - completion(r_{i-1}). This is the delta of Section 3.
+    Histogram load_injection_delta;
+};
+
+class InOrderCore {
+public:
+    InOrderCore(CoreId id, const CoreConfig& config, CoreBusPort& port);
+
+    /// Installs the program and resets execution state (not cache
+    /// contents; use warm_static_footprint()/flush as needed).
+    /// `start_delay` holds the core idle until that cycle — used by the
+    /// measurement campaigns to randomize the alignment between the scua
+    /// and its contenders.
+    void set_program(Program program, Cycle start_delay = 0);
+
+    /// Advances one cycle. Call exactly once per cycle, after bus
+    /// completions have been delivered for this cycle.
+    void tick(Cycle now);
+
+    [[nodiscard]] bool done() const noexcept { return done_; }
+    /// Cycle at which the program retired and the store buffer drained.
+    /// Precondition: done().
+    [[nodiscard]] Cycle finish_cycle() const;
+
+    [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] Cache& il1() noexcept { return il1_; }
+    [[nodiscard]] Cache& dl1() noexcept { return dl1_; }
+    [[nodiscard]] const Cache& il1() const noexcept { return il1_; }
+    [[nodiscard]] const Cache& dl1() const noexcept { return dl1_; }
+    [[nodiscard]] CoreId id() const noexcept { return id_; }
+    [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+    /// Store buffer occupancy (tests / introspection). The entry being
+    /// drained remains in the buffer until its transaction completes.
+    [[nodiscard]] std::size_t store_buffer_depth() const noexcept {
+        return store_buffer_.size();
+    }
+
+private:
+    void start_drain_if_needed(Cycle now);
+    void execute_instruction(Cycle now);
+    [[nodiscard]] Addr fetch_addr() const noexcept;
+    void advance_pc();
+
+    CoreId id_;
+    CoreConfig config_;
+    CoreBusPort& port_;
+    Cache il1_;
+    Cache dl1_;
+    Program program_;
+
+    // Execution state.
+    std::uint64_t iteration_ = 0;
+    std::size_t pc_ = 0;
+    Cycle next_free_ = 0;       ///< core can start an instruction here
+    bool fetched_ = false;      ///< current instruction passed ifetch
+    bool waiting_ifetch_ = false;
+    bool waiting_load_ = false;
+    bool retired_all_ = false;
+    bool done_ = false;
+    Cycle finish_cycle_ = kNoCycle;
+
+    // Store buffer: queued line addresses not yet drained.
+    std::deque<Addr> store_buffer_;
+    bool drain_in_flight_ = false;
+
+    // Injection-time bookkeeping.
+    Cycle prev_load_completion_ = kNoCycle;
+
+    CoreStats stats_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,169 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+void DramConfig::validate() const {
+    RRB_REQUIRE(num_banks >= 1 && is_pow2(num_banks),
+                "banks must be a power of two");
+    RRB_REQUIRE(is_pow2(row_bytes) && row_bytes >= access_bytes,
+                "row must be a power of two covering one access");
+    RRB_REQUIRE(is_pow2(access_bytes) && access_bytes >= 4,
+                "access granule must be a power of two >= 4");
+    RRB_REQUIRE(capacity_bytes >= row_bytes * num_banks,
+                "capacity must cover one row per bank");
+    RRB_REQUIRE(timing.t_burst >= 1, "burst must take at least one cycle");
+    if (refresh_interval > 0) {
+        RRB_REQUIRE(refresh_duration >= 1,
+                    "refresh must block for at least one cycle");
+        RRB_REQUIRE(refresh_interval > refresh_duration,
+                    "refresh interval must exceed its duration");
+    }
+}
+
+std::uint32_t DramConfig::bank_of(Addr addr) const noexcept {
+    // Line-interleaved: consecutive cache lines hit consecutive banks.
+    return static_cast<std::uint32_t>((addr / access_bytes) % num_banks);
+}
+
+std::uint64_t DramConfig::row_of(Addr addr) const noexcept {
+    // Global line index -> per-bank line index -> row within the bank.
+    const std::uint64_t line_in_bank = (addr / access_bytes) / num_banks;
+    return line_in_bank / (row_bytes / access_bytes);
+}
+
+MemoryController::MemoryController(DramConfig config)
+    : config_(config), banks_(config.num_banks) {
+    config_.validate();
+}
+
+void MemoryController::enqueue(const DramRequest& request,
+                               DramCompletionFn on_complete) {
+    RRB_REQUIRE(request.addr < config_.capacity_bytes,
+                "address beyond DRAM capacity");
+    queue_.push_back({request, std::move(on_complete)});
+}
+
+std::optional<std::size_t> MemoryController::pick(Cycle now) const {
+    if (queue_.empty()) return std::nullopt;
+
+    auto issuable = [&](const Queued& q) {
+        const std::uint32_t bank = config_.bank_of(q.request.addr);
+        return banks_[bank].ready_at <= now && data_bus_free_at_ <= now &&
+               q.request.arrival <= now;
+    };
+
+    if (config_.scheduling == DramScheduling::kFrFcfs) {
+        // First: oldest row hit.
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const Queued& q = queue_[i];
+            if (!issuable(q)) continue;
+            const Bank& bank = banks_[config_.bank_of(q.request.addr)];
+            if (bank.open_row && *bank.open_row ==
+                                     config_.row_of(q.request.addr)) {
+                return i;
+            }
+        }
+    }
+    // Then: oldest issuable request (this is plain FCFS too).
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (issuable(queue_[i])) return i;
+    }
+    return std::nullopt;
+}
+
+void MemoryController::tick(Cycle now) {
+    // Refresh: at every tREFI boundary all banks go busy for tRFC.
+    if (config_.refresh_interval > 0 && now > 0 &&
+        now % config_.refresh_interval == 0) {
+        ++stats_.refreshes;
+        for (Bank& bank : banks_) {
+            bank.ready_at = std::max(bank.ready_at,
+                                     now + config_.refresh_duration);
+            bank.open_row.reset();  // refresh closes the rows
+        }
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->record(now, TraceKind::kDramPrecharge, 0, ~0ULL);
+        }
+    }
+
+    // Completions first so a dependent requester sees data this cycle.
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+        if (it->completion == now) {
+            InFlight done = std::move(*it);
+            it = in_flight_.erase(it);
+            stats_.total_latency += done.completion - done.request.arrival;
+            stats_.latency.add(done.completion - done.request.arrival);
+            if (done.on_complete) done.on_complete(done.request, now);
+        } else {
+            ++it;
+        }
+    }
+
+    const std::optional<std::size_t> index = pick(now);
+    if (!index) return;
+
+    Queued chosen = std::move(queue_[*index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::deque<Queued>::difference_type>(*index));
+
+    const std::uint32_t bank_id = config_.bank_of(chosen.request.addr);
+    const std::uint64_t row = config_.row_of(chosen.request.addr);
+    Bank& bank = banks_[bank_id];
+    const DramTiming& t = config_.timing;
+
+    Cycle latency = t.t_overhead;
+    if (bank.open_row && *bank.open_row == row) {
+        ++stats_.row_hits;
+    } else if (!bank.open_row) {
+        ++stats_.row_misses;
+        latency += t.t_rcd;  // ACT then column command
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->record(now, TraceKind::kDramActivate, chosen.request.core,
+                            row);
+        }
+    } else {
+        ++stats_.row_conflicts;
+        latency += t.t_rp + t.t_rcd;  // PRE, ACT, column command
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->record(now, TraceKind::kDramPrecharge,
+                            chosen.request.core, *bank.open_row);
+        }
+    }
+    latency += t.t_cl + t.t_burst;
+
+    if (config_.page_policy == PagePolicy::kClosedPage) {
+        // Auto-precharge: the row never stays open; the bank additionally
+        // pays tRP before it can accept the next ACT.
+        bank.open_row.reset();
+        bank.ready_at = now + latency + t.t_rp;
+    } else {
+        bank.open_row = row;
+        bank.ready_at = now + latency;
+    }
+    data_bus_free_at_ = now + latency;  // burst tail occupies the data bus
+
+    if (chosen.request.is_write) {
+        ++stats_.writes;
+    } else {
+        ++stats_.reads;
+    }
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->record(now, TraceKind::kDramAccess, chosen.request.core,
+                        chosen.request.addr);
+    }
+
+    in_flight_.push_back(
+        {chosen.request, std::move(chosen.on_complete), now + latency});
+}
+
+}  // namespace rrb

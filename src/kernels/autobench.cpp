@@ -1,0 +1,225 @@
+#include "kernels/autobench.h"
+
+#include <array>
+
+#include "sim/contract.h"
+#include "sim/rng.h"
+
+namespace rrb {
+
+namespace {
+
+constexpr std::array<Autobench, 16> kAll = {
+    Autobench::kA2time, Autobench::kAifftr, Autobench::kAifirf,
+    Autobench::kAiifft, Autobench::kBasefp, Autobench::kBitmnp,
+    Autobench::kCacheb, Autobench::kCanrdr, Autobench::kIdctrn,
+    Autobench::kIirflt, Autobench::kMatrix, Autobench::kPntrch,
+    Autobench::kPuwmod, Autobench::kRspeed, Autobench::kTblook,
+    Autobench::kTtsprk};
+
+constexpr std::uint64_t kKiB = 1024;
+
+}  // namespace
+
+std::span<const Autobench> all_autobench() { return kAll; }
+
+const char* to_string(Autobench kernel) noexcept {
+    switch (kernel) {
+        case Autobench::kA2time: return "a2time";
+        case Autobench::kAifftr: return "aifftr";
+        case Autobench::kAifirf: return "aifirf";
+        case Autobench::kAiifft: return "aiifft";
+        case Autobench::kBasefp: return "basefp";
+        case Autobench::kBitmnp: return "bitmnp";
+        case Autobench::kCacheb: return "cacheb";
+        case Autobench::kCanrdr: return "canrdr";
+        case Autobench::kIdctrn: return "idctrn";
+        case Autobench::kIirflt: return "iirflt";
+        case Autobench::kMatrix: return "matrix";
+        case Autobench::kPntrch: return "pntrch";
+        case Autobench::kPuwmod: return "puwmod";
+        case Autobench::kRspeed: return "rspeed";
+        case Autobench::kTblook: return "tblook";
+        case Autobench::kTtsprk: return "ttsprk";
+    }
+    return "?";
+}
+
+Program make_autobench(Autobench kernel, Addr base, std::uint64_t iterations,
+                       std::uint64_t seed) {
+    RRB_REQUIRE(iterations >= 1, "at least one iteration");
+    ProgramBuilder b(to_string(kernel));
+    b.iterations(iterations).code_base(base + 0x40'0000).loop_control(2);
+
+    switch (kernel) {
+        case Autobench::kA2time:
+            // Angle-to-time: trig approximations dominate; a 2KB lookup
+            // table stays DL1-resident after warm-up.
+            for (std::uint64_t i = 0; i < 6; ++i) {
+                b.alu(8, 1);
+                b.load(AddrPattern::random(base, 2 * kKiB, 4, seed + i));
+                b.alu(6, 2);
+            }
+            break;
+        case Autobench::kAifftr:
+        case Autobench::kAiifft: {
+            // FFT butterfly pass: power-of-two strides over a 16KB buffer;
+            // occasional DL1 misses when the stride spans sets.
+            const std::uint64_t phase =
+                kernel == Autobench::kAifftr ? 0 : 3;
+            for (std::uint64_t s = 0; s < 4; ++s) {
+                const std::uint64_t stride = 64ULL << ((s + phase) % 5);
+                b.load(AddrPattern::stride(base, stride, 16 * kKiB));
+                b.load(AddrPattern::stride(base + 8 * kKiB, stride,
+                                           16 * kKiB));
+                b.alu(10, 2);  // complex multiply-accumulate
+                b.store(AddrPattern::stride(base, stride, 16 * kKiB));
+            }
+            break;
+        }
+        case Autobench::kAifirf:
+            // FIR filter: sequential taps, coefficient+sample arrays of
+            // 8KB combined — DL1-resident steady state.
+            for (int t = 0; t < 8; ++t) {
+                b.load(AddrPattern::stride(base, 4, 4 * kKiB));
+                b.load(AddrPattern::stride(base + 4 * kKiB, 4, 4 * kKiB));
+                b.alu(3, 1);  // MAC
+            }
+            b.store(AddrPattern::stride(base + 8 * kKiB, 4, 2 * kKiB));
+            break;
+        case Autobench::kBasefp:
+            // Floating-point exercises: long-latency ALU, almost no data.
+            b.alu(24, 3);
+            b.load(AddrPattern::fixed(base));
+            b.alu(24, 3);
+            b.store(AddrPattern::fixed(base + 64));
+            break;
+        case Autobench::kBitmnp:
+            // Bit manipulation: short dependent ALU chains, tiny table.
+            for (std::uint64_t i = 0; i < 5; ++i) {
+                b.alu(12, 1);
+                b.load(AddrPattern::random(base, kKiB, 4, seed + i));
+            }
+            break;
+        case Autobench::kCacheb:
+            // Cache buster: line-strided walk over 64KB = 4x DL1, so every
+            // load misses in DL1 and hits the core's 64KB L2 partition —
+            // the closest Autobench program to an rsk.
+            for (int i = 0; i < 16; ++i) {
+                b.load(AddrPattern::stride(base, 32, 64 * kKiB));
+                b.alu(1, 1);
+            }
+            break;
+        case Autobench::kCanrdr:
+            // CAN message processing: ring buffers, field extraction,
+            // status stores.
+            for (std::uint64_t m = 0; m < 4; ++m) {
+                b.load(AddrPattern::stride(base, 16, 4 * kKiB));
+                b.alu(6, 1);
+                b.load(AddrPattern::random(base + 4 * kKiB, 2 * kKiB, 4,
+                                           seed + m));
+                b.alu(4, 1);
+                b.store(AddrPattern::stride(base + 6 * kKiB, 16, 2 * kKiB));
+            }
+            break;
+        case Autobench::kIdctrn:
+            // 8x8 inverse DCT: block loads, heavy arithmetic, block store.
+            for (int r = 0; r < 8; ++r) {
+                b.load(AddrPattern::stride(base, 32, 16 * kKiB));
+                b.alu(14, 2);
+            }
+            b.store(AddrPattern::stride(base + 16 * kKiB, 32, 8 * kKiB));
+            break;
+        case Autobench::kIirflt:
+            // IIR filter: a handful of state words, compute-bound.
+            for (std::uint32_t s = 0; s < 4; ++s) {
+                b.load(AddrPattern::fixed(base + s * 32u));
+                b.alu(8, 2);
+                b.store(AddrPattern::fixed(base + s * 32u));
+                b.alu(4, 1);
+            }
+            break;
+        case Autobench::kMatrix:
+            // Matrix arithmetic: two streaming input matrices (32KB total)
+            // and a result stream; DL1 misses on every new line.
+            for (int i = 0; i < 8; ++i) {
+                b.load(AddrPattern::stride(base, 8, 16 * kKiB));
+                b.load(AddrPattern::stride(base + 16 * kKiB, 8, 16 * kKiB));
+                b.alu(4, 1);
+            }
+            b.store(AddrPattern::stride(base + 32 * kKiB, 8, 16 * kKiB));
+            break;
+        case Autobench::kPntrch:
+            // Pointer chase: dependent random loads over 32KB — roughly
+            // half the footprint misses the 16KB DL1.
+            for (std::uint64_t h = 0; h < 6; ++h) {
+                b.load(AddrPattern::random(base, 32 * kKiB, 32, seed + h));
+                b.alu(2, 1);
+            }
+            break;
+        case Autobench::kPuwmod:
+            // PWM: duty-cycle computation, stores to fixed device
+            // registers.
+            b.alu(16, 1);
+            b.store(AddrPattern::fixed(base));
+            b.alu(10, 1);
+            b.store(AddrPattern::fixed(base + 32));
+            b.load(AddrPattern::fixed(base + 64));
+            b.alu(8, 1);
+            break;
+        case Autobench::kRspeed:
+            // Road speed: timer deltas, small filtering.
+            b.load(AddrPattern::fixed(base));
+            b.alu(12, 1);
+            b.load(AddrPattern::stride(base + 64, 4, 512));
+            b.alu(10, 1);
+            b.store(AddrPattern::fixed(base + 1024));
+            break;
+        case Autobench::kTblook:
+            // Table lookup with interpolation over a 24KB table: random
+            // reads, moderate DL1 miss rate.
+            for (std::uint64_t l = 0; l < 6; ++l) {
+                b.load(AddrPattern::random(base, 24 * kKiB, 4, seed + l));
+                b.alu(5, 1);
+            }
+            break;
+        case Autobench::kTtsprk:
+            // Tooth-to-spark: sensor reads, map lookups, actuator stores.
+            for (std::uint64_t s = 0; s < 3; ++s) {
+                b.load(AddrPattern::stride(base, 8, 2 * kKiB));
+                b.load(AddrPattern::random(base + 2 * kKiB, 6 * kKiB, 4,
+                                           seed + s));
+                b.alu(9, 1);
+                b.store(AddrPattern::stride(base + 8 * kKiB, 8, kKiB));
+            }
+            break;
+    }
+    return b.build();
+}
+
+std::vector<Program> random_autobench_workload(CoreId tasks,
+                                               std::uint64_t seed,
+                                               std::uint64_t iterations) {
+    RRB_REQUIRE(tasks >= 1, "need at least one task");
+    RRB_REQUIRE(tasks <= kAll.size(), "not enough distinct kernels");
+    Pcg32 rng(seed);
+
+    // Draw without replacement.
+    std::array<Autobench, kAll.size()> pool = kAll;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const auto j =
+            i + rng.next_below(static_cast<std::uint32_t>(pool.size() - i));
+        std::swap(pool[i], pool[j]);
+    }
+
+    std::vector<Program> out;
+    out.reserve(tasks);
+    for (CoreId t = 0; t < tasks; ++t) {
+        // 1MB-aligned disjoint data regions per task.
+        const Addr base = 0x0100'0000 + static_cast<Addr>(t) * 0x0010'0000;
+        out.push_back(make_autobench(pool[t], base, iterations, seed + t));
+    }
+    return out;
+}
+
+}  // namespace rrb

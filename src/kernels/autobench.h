@@ -1,0 +1,61 @@
+// Synthetic stand-ins for the EEMBC Autobench 1.1 suite.
+//
+// The paper evaluates Figure 6(a) on "randomly generated 4-task workloads
+// with EEMBC benchmarks", which "model some real-world automotive critical
+// functionalities". EEMBC is licensed and cannot be redistributed, so this
+// module provides one synthetic kernel per Autobench program with the
+// characteristics documented in the suite's characterization literature
+// (Poovey, 2007): op mix (compute vs loads vs stores), working-set size
+// relative to the 16KB DL1, and access regularity (streaming, strided,
+// random table lookup, pointer-chasing). What Figure 6(a) actually needs
+// from these programs is only their *bus demand profile* — bursty and far
+// below saturation — which these kernels reproduce.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+enum class Autobench : std::uint8_t {
+    kA2time,   ///< angle-to-time: compute-bound, tiny table
+    kAifftr,   ///< FFT: strided butterflies over a 16KB buffer
+    kAifirf,   ///< FIR filter: sequential MACs, DL1-resident
+    kAiifft,   ///< inverse FFT: as kAifftr with a different schedule
+    kBasefp,   ///< floating-point basics: long-latency ALU, tiny memory
+    kBitmnp,   ///< bit manipulation: short ALU, tiny table
+    kCacheb,   ///< cache buster: strided walk over 4x the DL1
+    kCanrdr,   ///< CAN remote request: ring-buffer loads/stores
+    kIdctrn,   ///< inverse DCT: 8x8 block loads, compute-heavy
+    kIirflt,   ///< IIR filter: small state, compute-bound
+    kMatrix,   ///< matrix arithmetic: streaming reads, result stores
+    kPntrch,   ///< pointer chase: dependent random loads over 32KB
+    kPuwmod,   ///< pulse-width modulation: register stores + compute
+    kRspeed,   ///< road-speed calculation: small and compute-bound
+    kTblook,   ///< table lookup: random reads over a 24KB table
+    kTtsprk,   ///< tooth-to-spark: mixed loads/stores over 8KB
+};
+
+/// All kernels, in enum order.
+[[nodiscard]] std::span<const Autobench> all_autobench();
+
+[[nodiscard]] const char* to_string(Autobench kernel) noexcept;
+
+/// Builds the synthetic kernel. `seed` perturbs random access patterns
+/// (different "input data"); `iterations` scales run length.
+[[nodiscard]] Program make_autobench(Autobench kernel, Addr data_base,
+                                     std::uint64_t iterations,
+                                     std::uint64_t seed = 1);
+
+/// A randomly composed multi-task workload: `tasks` distinct kernels drawn
+/// without replacement (seeded, reproducible), one per core, with disjoint
+/// data regions. Used for the 8 random workloads of Figure 6(a).
+[[nodiscard]] std::vector<Program> random_autobench_workload(
+    CoreId tasks, std::uint64_t seed, std::uint64_t iterations);
+
+}  // namespace rrb

@@ -1,0 +1,79 @@
+// Resource stressing kernels (rsk) and the paper's rsk-nop variant.
+//
+// The load rsk (Figure 1(a)) is a loop of W+1 load instructions, where W is
+// the number of DL1 ways, with a stride that maps every load to the same
+// DL1 set. With LRU (or FIFO) replacement the W+1 lines cannot coexist in
+// the W-way set, so *every* load misses in DL1; the addresses are chosen
+// to fit in the core's L2 partition, so every miss hits in L2 — the access
+// type that keeps the bus busiest.
+//
+// rsk-nop (Figure 1(b)) inserts k nop instructions between consecutive
+// bus-accessing instructions, stretching the injection time from
+// delta_rsk to delta_rsk + k * delta_nop. Sweeping k is the measurement
+// instrument of the whole methodology.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.h"
+#include "isa/program.h"
+
+namespace rrb {
+
+struct RskParams {
+    /// Geometry of the DL1 the kernel must defeat (W+1 loads, same set).
+    CacheGeometry dl1_geometry{16 * 1024, 4, 32};
+    /// Geometry of the IL1 the kernel must fit in: the unroll factor is
+    /// capped so the loop body never exceeds the instruction cache
+    /// ("we unroll the loop body as much as possible not to cause
+    /// instruction cache misses").
+    CacheGeometry il1_geometry{16 * 1024, 4, 32};
+    /// Base of the kernel's data; consecutive accesses are one DL1
+    /// set-stride apart.
+    Addr data_base = 0x0010'0000;
+    /// Base of the kernel's code (distinct per core only for clarity; L1s
+    /// are private).
+    Addr code_base = 0x0000'0000;
+    /// Copies of the W+1 access group per loop body. The paper unrolls
+    /// "as much as possible without causing instruction cache misses" to
+    /// dilute the loop-control overhead below 2%.
+    std::uint32_t unroll = 32;
+    /// Loop-body repetitions (sets the measurement length).
+    std::uint64_t iterations = 2000;
+    /// Instruction type used to access the bus: kLoad or kStore
+    /// (the rsk-nop(t, k) parameter t of Section 4.2).
+    OpKind access = OpKind::kLoad;
+    /// nops inserted between consecutive bus accesses (the parameter k).
+    std::uint32_t nops_between = 0;
+    /// Latency of one nop; 1 on virtually all targets (Section 4.2).
+    std::uint32_t nop_latency = 1;
+
+    void validate() const;
+};
+
+/// Builds rsk(t) — `nops_between` is forced to 0.
+[[nodiscard]] Program make_rsk(RskParams params);
+
+/// Builds rsk-nop(t, k).
+[[nodiscard]] Program make_rsk_nop(RskParams params, std::uint32_t k);
+
+/// A DRAM-path stressing kernel: a line-strided walk whose footprint
+/// exceeds the core's L2 partition, so every load misses DL1 *and* L2 and
+/// travels the split-transaction path to the memory controller. Used by
+/// the extension experiments that probe contention beyond the bus — the
+/// second contention point the paper names ("contention only happens on
+/// the bus and the memory controller"). `footprint_bytes` should be at
+/// least twice the per-core L2 partition.
+[[nodiscard]] Program make_rsk_l2miss(RskParams params,
+                                      std::uint64_t footprint_bytes,
+                                      std::uint32_t k = 0);
+
+/// The delta_nop calibration kernel of Section 4.2: a loop body of
+/// `body_nops` nop instructions (sized to stay within the IL1), whose
+/// isolated execution time divided by the nop count yields delta_nop.
+[[nodiscard]] Program make_nop_kernel(std::size_t body_nops,
+                                      std::uint64_t iterations,
+                                      std::uint32_t nop_latency = 1,
+                                      Addr code_base = 0);
+
+}  // namespace rrb

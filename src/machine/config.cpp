@@ -1,0 +1,89 @@
+#include "machine/config.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+void MachineConfig::validate() const {
+    RRB_REQUIRE(num_cores >= 1, "need at least one core");
+    core.validate();
+    l2_geometry.validate();
+    RRB_REQUIRE(l2_geometry.ways % num_cores == 0,
+                "L2 ways must divide across cores for way partitioning");
+    RRB_REQUIRE(bus_transfer_cycles >= 1, "transfer takes >= 1 cycle");
+    RRB_REQUIRE(l2_hit_cycles >= 1, "L2 hit takes >= 1 cycle");
+    RRB_REQUIRE(store_service_cycles >= 1, "store occupies >= 1 cycle");
+    RRB_REQUIRE(miss_request_cycles >= 1, "miss request occupies >= 1 cycle");
+    RRB_REQUIRE(fill_response_cycles >= 1, "fill occupies >= 1 cycle");
+    if (arbiter == ArbiterKind::kWeightedRoundRobin) {
+        RRB_REQUIRE(wrr_weights.empty() || wrr_weights.size() == num_cores,
+                    "one weight per core (or empty for all ones)");
+    }
+    if (arbiter == ArbiterKind::kTdma) {
+        const Cycle longest =
+            std::max({load_hit_service(), store_service_cycles,
+                      miss_request_cycles, fill_response_cycles});
+        RRB_REQUIRE(tdma_slot_cycles >= longest,
+                    "TDMA slot must fit the longest transaction");
+    }
+    dram.validate();
+}
+
+MachineConfig MachineConfig::ngmp_ref() {
+    MachineConfig cfg;  // defaults are the NGMP reference numbers
+    cfg.core.dl1_latency = 1;
+    cfg.core.il1_latency = 1;
+    return cfg;
+}
+
+MachineConfig MachineConfig::ngmp_var() {
+    MachineConfig cfg = ngmp_ref();
+    cfg.core.dl1_latency = 4;
+    cfg.core.il1_latency = 4;
+    return cfg;
+}
+
+MachineConfig MachineConfig::scaled(CoreId cores, Cycle lbus) {
+    RRB_REQUIRE(cores >= 1, "need at least one core");
+    RRB_REQUIRE(lbus >= 2, "lbus must cover transfer + L2 hit");
+    MachineConfig cfg = ngmp_ref();
+    cfg.num_cores = cores;
+    cfg.l2_geometry.ways = cores;
+    cfg.l2_geometry.size_bytes = 64ULL * 1024 * cores;
+    cfg.bus_transfer_cycles = 1;
+    cfg.l2_hit_cycles = lbus - 1;
+    cfg.store_service_cycles = lbus;
+    cfg.miss_request_cycles = 1;
+    cfg.fill_response_cycles = 1;
+    return cfg;
+}
+
+MachineConfig MachineConfig::p4080_like() {
+    MachineConfig cfg = ngmp_ref();
+    cfg.num_cores = 8;
+    cfg.core.il1_geometry = {32 * 1024, 8, 64};
+    cfg.core.dl1_geometry = {32 * 1024, 8, 64};
+    cfg.core.dl1_latency = 2;
+    cfg.core.store_buffer_entries = 16;
+    cfg.l2_geometry = {2 * 1024 * 1024, 8, 64};  // one 256KB way per core
+    cfg.bus_transfer_cycles = 4;
+    cfg.l2_hit_cycles = 8;  // lbus = 12, ubd = 7 * 12 = 84
+    cfg.store_service_cycles = 12;
+    cfg.miss_request_cycles = 4;
+    cfg.fill_response_cycles = 4;
+    cfg.dram.access_bytes = 64;
+    cfg.dram.num_banks = 8;
+    return cfg;
+}
+
+MachineConfig MachineConfig::textbook() {
+    MachineConfig cfg = ngmp_ref();
+    cfg.bus_transfer_cycles = 1;
+    cfg.l2_hit_cycles = 1;  // lbus = 2, ubd = 6 as in Figures 2/3/5
+    cfg.store_service_cycles = 2;
+    cfg.miss_request_cycles = 1;
+    cfg.fill_response_cycles = 1;
+    return cfg;
+}
+
+}  // namespace rrb

@@ -1,0 +1,206 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      l2_(config.l2_geometry, config.num_cores, config.l2_replacement,
+          config.l2_write_policy, config.l2_alloc_policy),
+      dram_(config.dram) {
+    config_.validate();
+    bus_ = std::make_unique<Bus>(
+        config_.num_cores,
+        make_arbiter(config_.arbiter, config_.num_cores,
+                     config_.tdma_slot_cycles, config_.wrr_weights));
+    bus_->attach_tracer(&tracer_);
+    dram_.attach_tracer(&tracer_);
+
+    ports_.reserve(config_.num_cores);
+    cores_.reserve(config_.num_cores);
+    for (CoreId c = 0; c < config_.num_cores; ++c) {
+        ports_.push_back(std::make_unique<Port>(*this, c));
+        cores_.push_back(
+            std::make_unique<InOrderCore>(c, config_.core, *ports_[c]));
+    }
+    has_program_.assign(config_.num_cores, false);
+}
+
+InOrderCore& Machine::core(CoreId id) {
+    RRB_REQUIRE(id < cores_.size(), "core id out of range");
+    return *cores_[id];
+}
+
+const InOrderCore& Machine::core(CoreId id) const {
+    RRB_REQUIRE(id < cores_.size(), "core id out of range");
+    return *cores_[id];
+}
+
+void Machine::load_program(CoreId core, Program program,
+                           Cycle start_delay) {
+    RRB_REQUIRE(core < cores_.size(), "core id out of range");
+    cores_[core]->set_program(std::move(program), start_delay);
+    has_program_[core] = true;
+}
+
+void Machine::warm_static_footprint(CoreId core_id) {
+    RRB_REQUIRE(core_id < cores_.size(), "core id out of range");
+    RRB_REQUIRE(has_program_[core_id], "core has no program");
+    InOrderCore& core = *cores_[core_id];
+    const Program& program = core.program();
+    const std::uint32_t il1_line = core.il1().geometry().line_bytes;
+    const std::uint32_t l2_line = config_.l2_geometry.line_bytes;
+
+    for (std::size_t i = 0; i < program.body.size(); ++i) {
+        const Addr pc = program.code_base + i * Program::kInstrBytes;
+        core.il1().warm(pc / il1_line * il1_line);
+        const Instruction& instr = program.body[i];
+        if ((instr.kind == OpKind::kLoad || instr.kind == OpKind::kStore) &&
+            instr.addr.kind == AddrPattern::Kind::kFixed) {
+            l2_.warm(core_id, instr.addr.base / l2_line * l2_line);
+        }
+    }
+}
+
+void Machine::Port::request(BusOp op, Addr addr, Cycle ready,
+                            std::function<void(Cycle)> on_complete) {
+    queue_.push_back({op, addr, ready, std::move(on_complete)});
+    try_issue(machine_.now_);
+}
+
+void Machine::Port::try_issue(Cycle now) {
+    if (busy_ || queue_.empty()) return;
+    Queued next = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    // Waiting behind our own earlier transaction is core-local, not bus
+    // contention: re-base the ready cycle to when the port became free.
+    const Cycle ready = std::max(next.ready, now);
+    machine_.issue(core_, next.op, next.addr, ready,
+                   std::move(next.on_complete));
+}
+
+void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
+                    std::function<void(Cycle)> on_complete) {
+    Port& port = *ports_[core];
+
+    switch (op) {
+        case BusOp::kDataStore: {
+            BusRequest req{core, op, addr, ready, config_.store_service_cycles,
+                           0};
+            bus_->post(req, [this, &port, cb = std::move(on_complete)](
+                                const BusRequest& r, Cycle completion) {
+                l2_.write(r.core, r.addr);  // write-through into the L2
+                port.busy_ = false;
+                if (cb) cb(completion);
+                port.try_issue(completion);
+            });
+            return;
+        }
+        case BusOp::kDataLoad:
+        case BusOp::kInstrFetch: {
+            // The L2 outcome is deterministic; decide it now to size the
+            // transaction (hit: bus held until the L2 answers; miss: split).
+            const CacheAccess l2_access = l2_.read(core, addr);
+            if (l2_access.hit) {
+                BusRequest req{core, op, addr, ready,
+                               config_.load_hit_service(), 0};
+                bus_->post(req, [this, &port, cb = std::move(on_complete)](
+                                    const BusRequest& r, Cycle completion) {
+                    (void)r;
+                    port.busy_ = false;
+                    if (cb) cb(completion);
+                    port.try_issue(completion);
+                });
+                return;
+            }
+            // Split transaction: address phase, DRAM access, fill response.
+            if (l2_access.dirty_eviction && l2_access.victim_line) {
+                const Addr victim_addr =
+                    *l2_access.victim_line * config_.l2_geometry.line_bytes;
+                dram_.enqueue({core, victim_addr % config_.dram.capacity_bytes,
+                               /*is_write=*/true, now_, 0},
+                              nullptr);
+            }
+            BusRequest miss_req{core, BusOp::kMissRequest, addr, ready,
+                                config_.miss_request_cycles, 0};
+            bus_->post(miss_req, [this, &port, cb = std::move(on_complete)](
+                                     const BusRequest& r, Cycle completion) {
+                dram_.enqueue(
+                    {r.core, r.addr % config_.dram.capacity_bytes,
+                     /*is_write=*/false, completion, 0},
+                    [this, &port, cb](const DramRequest& d, Cycle dram_done) {
+                        BusRequest fill{d.core, BusOp::kFillResponse, d.addr,
+                                        dram_done,
+                                        config_.fill_response_cycles, 0};
+                        bus_->post(fill, [&port, cb](const BusRequest&,
+                                                     Cycle fill_done) {
+                            port.busy_ = false;
+                            if (cb) cb(fill_done);
+                            port.try_issue(fill_done);
+                        });
+                    });
+            });
+            return;
+        }
+        case BusOp::kMissRequest:
+        case BusOp::kFillResponse:
+            break;  // internal ops are never issued through ports
+    }
+    RRB_ENSURE(false);
+}
+
+void Machine::step() {
+    bus_->complete_phase(now_);
+    dram_.tick(now_);
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (has_program_[c]) cores_[c]->tick(now_);
+    }
+    bus_->arbitrate_phase(now_);
+    ++now_;
+}
+
+RunResult Machine::run(Cycle max_cycles) {
+    const Cycle start = now_;
+    auto all_done = [&] {
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (has_program_[c] && !cores_[c]->done()) return false;
+        }
+        return true;
+    };
+    while (!all_done() && now_ - start < max_cycles) step();
+
+    RunResult result;
+    result.cycles = now_ - start;
+    result.deadline_reached = !all_done();
+    result.finish_cycle.resize(cores_.size(), kNoCycle);
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (has_program_[c] && cores_[c]->done()) {
+            result.finish_cycle[c] = cores_[c]->finish_cycle();
+        }
+    }
+    return result;
+}
+
+RunResult Machine::run_until_core(CoreId core_id, Cycle max_cycles) {
+    RRB_REQUIRE(core_id < cores_.size(), "core id out of range");
+    RRB_REQUIRE(has_program_[core_id], "core has no program");
+    const Cycle start = now_;
+    while (!cores_[core_id]->done() && now_ - start < max_cycles) step();
+
+    RunResult result;
+    result.cycles = now_ - start;
+    result.deadline_reached = !cores_[core_id]->done();
+    result.finish_cycle.resize(cores_.size(), kNoCycle);
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (has_program_[c] && cores_[c]->done()) {
+            result.finish_cycle[c] = cores_[c]->finish_cycle();
+        }
+    }
+    return result;
+}
+
+}  // namespace rrb

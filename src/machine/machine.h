@@ -1,0 +1,116 @@
+// The multicore system: Nc in-order cores with private L1s, a shared
+// arbitrated bus, a way-partitioned L2 and a DDR2 memory controller —
+// the NGMP-like platform of the paper's evaluation (Section 5.1).
+//
+// Per-cycle phase order (this ordering is what makes injection time 0
+// achievable, e.g. for store-buffer drains):
+//   1. bus completions for this cycle fire (data delivered to cores);
+//   2. the memory controller advances (may ready fill responses);
+//   3. every core executes its cycle (may post requests ready this cycle);
+//   4. bus arbitration grants among requests with ready <= now.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.h"
+#include "cache/partitioned_cache.h"
+#include "cpu/core.h"
+#include "dram/dram.h"
+#include "isa/program.h"
+#include "machine/config.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+struct RunResult {
+    Cycle cycles = 0;              ///< cycles simulated in this run call
+    bool deadline_reached = false; ///< stopped at max_cycles
+    std::vector<Cycle> finish_cycle;  ///< per core; kNoCycle if unfinished
+};
+
+class Machine {
+public:
+    explicit Machine(MachineConfig config);
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    /// Installs a program on a core. Must be called before run().
+    /// `start_delay` keeps the core idle until that cycle (alignment
+    /// randomization for measurement campaigns).
+    void load_program(CoreId core, Program program, Cycle start_delay = 0);
+
+    /// Pre-warms the core's caches with the program's *static* footprint:
+    /// every code line into the IL1 and every fixed-address data line into
+    /// the core's L2 partition. Models the standard measurement practice
+    /// of discarding a warm-up run, so that cold misses — whose count
+    /// grows with the rsk-nop body size — do not pollute the k sweep's
+    /// periodicity. Data/strided/random footprints are left cold.
+    void warm_static_footprint(CoreId core);
+
+    /// Runs until every core with a program finishes, or max_cycles.
+    RunResult run(Cycle max_cycles = 1'000'000'000);
+
+    /// Runs until `core` finishes (contenders keep running meanwhile —
+    /// the paper's measurement discipline: "rsk must not complete
+    /// execution before the scua"), or max_cycles.
+    RunResult run_until_core(CoreId core, Cycle max_cycles = 1'000'000'000);
+
+    [[nodiscard]] const MachineConfig& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] Cycle now() const noexcept { return now_; }
+    [[nodiscard]] Bus& bus() noexcept { return *bus_; }
+    [[nodiscard]] const Bus& bus() const noexcept { return *bus_; }
+    [[nodiscard]] InOrderCore& core(CoreId id);
+    [[nodiscard]] const InOrderCore& core(CoreId id) const;
+    [[nodiscard]] WayPartitionedCache& l2() noexcept { return l2_; }
+    [[nodiscard]] MemoryController& dram() noexcept { return dram_; }
+    [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
+
+private:
+    /// Per-core serializing port: one bus transaction in flight per core;
+    /// excess requests queue locally (queue wait is not bus contention, so
+    /// a queued request's ready cycle is re-based when it is issued).
+    class Port final : public CoreBusPort {
+    public:
+        Port(Machine& machine, CoreId core) : machine_(machine), core_(core) {}
+        void request(BusOp op, Addr addr, Cycle ready,
+                     std::function<void(Cycle)> on_complete) override;
+        void try_issue(Cycle now);
+
+    private:
+        struct Queued {
+            BusOp op;
+            Addr addr;
+            Cycle ready;
+            std::function<void(Cycle)> on_complete;
+        };
+        friend class Machine;
+        Machine& machine_;
+        CoreId core_;
+        bool busy_ = false;
+        std::deque<Queued> queue_;
+    };
+
+    void issue(CoreId core, BusOp op, Addr addr, Cycle ready,
+               std::function<void(Cycle)> on_complete);
+    void step();  ///< simulate cycle now_, then ++now_
+
+    MachineConfig config_;
+    std::unique_ptr<Bus> bus_;
+    WayPartitionedCache l2_;
+    MemoryController dram_;
+    Tracer tracer_;
+    // Ports must not relocate: cores hold references.
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<std::unique_ptr<InOrderCore>> cores_;
+    std::vector<bool> has_program_;
+    Cycle now_ = 0;
+};
+
+}  // namespace rrb

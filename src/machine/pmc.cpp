@@ -1,0 +1,72 @@
+#include "machine/pmc.h"
+
+#include <cstdio>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+const char* to_string(PmcId id) noexcept {
+    switch (id) {
+        case PmcId::kCycles: return "cycles";
+        case PmcId::kInstructions: return "instructions";
+        case PmcId::kDcacheMisses: return "dcache-misses";
+        case PmcId::kIcacheMisses: return "icache-misses";
+        case PmcId::kBusRequests: return "bus-requests";
+        case PmcId::kBusWaitCycles: return "bus-wait-cycles";
+        case PmcId::kCoreBusUtilization: return "core-bus-busy";
+        case PmcId::kTotalBusUtilization: return "total-bus-busy";
+    }
+    return "?";
+}
+
+std::vector<PmcSample> PmcSnapshot::raw() const {
+    return {
+        {PmcId::kCycles, cycles},
+        {PmcId::kInstructions, instructions},
+        {PmcId::kDcacheMisses, dcache_misses},
+        {PmcId::kIcacheMisses, icache_misses},
+        {PmcId::kBusRequests, bus_requests},
+        {PmcId::kBusWaitCycles, bus_wait_cycles},
+        {PmcId::kCoreBusUtilization, core_bus_busy_cycles},
+        {PmcId::kTotalBusUtilization, total_bus_busy_cycles},
+    };
+}
+
+std::string PmcSnapshot::format() const {
+    std::string out;
+    char line[96];
+    for (const PmcSample& sample : raw()) {
+        std::snprintf(line, sizeof line, "  0x%02x %-16s %12llu\n",
+                      static_cast<unsigned>(sample.id), to_string(sample.id),
+                      static_cast<unsigned long long>(sample.value));
+        out += line;
+    }
+    std::snprintf(line, sizeof line, "       %-16s %11.1f%%\n",
+                  "core-utilization", 100.0 * core_bus_utilization());
+    out += line;
+    std::snprintf(line, sizeof line, "       %-16s %11.1f%%\n",
+                  "total-utilization", 100.0 * total_bus_utilization());
+    out += line;
+    return out;
+}
+
+PmcSnapshot read_pmcs(const Machine& machine, CoreId core) {
+    RRB_REQUIRE(core < machine.config().num_cores, "core id out of range");
+    PmcSnapshot snap;
+    snap.cycles = machine.now();
+
+    const InOrderCore& cpu = machine.core(core);
+    snap.instructions = cpu.stats().instructions;
+    snap.dcache_misses = cpu.dl1().stats().misses();
+    snap.icache_misses = cpu.il1().stats().misses();
+
+    const BusCoreCounters& bus = machine.bus().counters(core);
+    snap.bus_requests = bus.requests;
+    snap.bus_wait_cycles = bus.wait_cycles;
+    snap.core_bus_busy_cycles = bus.busy_cycles;
+    snap.total_bus_busy_cycles = machine.bus().total_busy_cycles();
+    return snap;
+}
+
+}  // namespace rrb

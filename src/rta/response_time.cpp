@@ -1,0 +1,81 @@
+#include "rta/response_time.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+Cycle response_time(const TaskSet& set, std::size_t index) {
+    RRB_REQUIRE(index < set.size(), "task index out of range");
+    const Task& task = set[index];
+
+    Cycle r = task.wcet;
+    for (int iterations = 0; iterations < 10'000; ++iterations) {
+        Cycle interference = 0;
+        for (std::size_t j = 0; j < index; ++j) {
+            const Task& hp = set[j];
+            // ceil(r / T_j) * C_j
+            const Cycle releases = (r + hp.period - 1) / hp.period;
+            interference += releases * hp.wcet;
+        }
+        const Cycle next = task.wcet + interference;
+        if (next == r) return r;          // fixed point
+        if (next > task.deadline) return kNoCycle;  // diverged
+        r = next;
+    }
+    return kNoCycle;  // no convergence within the iteration budget
+}
+
+ResponseTimeResult response_time_analysis(const TaskSet& set) {
+    ResponseTimeResult result;
+    result.schedulable = true;
+    result.response_times.reserve(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        const Cycle r = response_time(set, i);
+        result.response_times.push_back(r);
+        if (r == kNoCycle || r > set[i].deadline) {
+            result.schedulable = false;
+            if (!result.first_failure) result.first_failure = i;
+        }
+    }
+    return result;
+}
+
+TaskSet pad_task_set(const std::vector<Task>& skeleton,
+                     const std::vector<Cycle>& isolated,
+                     const std::vector<std::uint64_t>& requests, Cycle ubd) {
+    RRB_REQUIRE(skeleton.size() == isolated.size() &&
+                    skeleton.size() == requests.size(),
+                "one isolation time and request count per task");
+    TaskSet padded;
+    for (std::size_t i = 0; i < skeleton.size(); ++i) {
+        Task t = skeleton[i];
+        t.wcet = isolated[i] + requests[i] * ubd;
+        padded.add(std::move(t));
+    }
+    return padded;
+}
+
+std::optional<Cycle> max_schedulable_ubd(
+    const std::vector<Task>& skeleton, const std::vector<Cycle>& isolated,
+    const std::vector<std::uint64_t>& requests, Cycle ubd_upper_bound) {
+    auto schedulable_with = [&](Cycle ubd) {
+        return response_time_analysis(
+                   pad_task_set(skeleton, isolated, requests, ubd))
+            .schedulable;
+    };
+    if (!schedulable_with(0)) return std::nullopt;
+
+    Cycle lo = 0;                   // schedulable
+    Cycle hi = ubd_upper_bound + 1; // first candidate beyond the range
+    while (lo + 1 < hi) {
+        const Cycle mid = lo + (hi - lo) / 2;
+        if (schedulable_with(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+}  // namespace rrb

@@ -1,0 +1,55 @@
+// Fixed-priority response-time analysis (Joseph & Pandya / Audsley) over
+// ETB-padded WCETs.
+//
+// With time-composable per-request bounds, the cross-core interference is
+// folded into each task's WCET (ETB = et_isol + nr * ubd) and the
+// per-core analysis is the classic recurrence
+//
+//     R_i^(n+1) = C_i + sum_{j < i} ceil(R_i^(n) / T_j) * C_j
+//
+// iterated to a fixed point; the set is schedulable when R_i <= D_i for
+// every task. The bench layer uses this to show the system-level effect
+// of getting ubd right: an optimistic ubdm admits task sets that a
+// correct bound rejects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rta/task.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+struct ResponseTimeResult {
+    bool schedulable = false;
+    /// Per-task worst-case response times (kNoCycle where the recurrence
+    /// diverged past the deadline).
+    std::vector<Cycle> response_times;
+    /// Index of the first unschedulable task, if any.
+    std::optional<std::size_t> first_failure;
+};
+
+/// Runs the RTA on a priority-ordered task set (index 0 = highest).
+[[nodiscard]] ResponseTimeResult response_time_analysis(const TaskSet& set);
+
+/// Worst-case response time of task `index` alone (tasks above it
+/// interfere). Returns kNoCycle when it exceeds the deadline.
+[[nodiscard]] Cycle response_time(const TaskSet& set, std::size_t index);
+
+/// Utility for the benches: re-derives a task set whose WCETs are padded
+/// with a given ubd. `isolated[i]` and `requests[i]` are the measured
+/// et_isol and nr of task i.
+[[nodiscard]] TaskSet pad_task_set(const std::vector<Task>& skeleton,
+                                   const std::vector<Cycle>& isolated,
+                                   const std::vector<std::uint64_t>& requests,
+                                   Cycle ubd);
+
+/// The critical ubd: the largest integer ubd for which the padded set is
+/// still schedulable (binary search); nullopt when even ubd = 0 fails.
+[[nodiscard]] std::optional<Cycle> max_schedulable_ubd(
+    const std::vector<Task>& skeleton, const std::vector<Cycle>& isolated,
+    const std::vector<std::uint64_t>& requests, Cycle ubd_upper_bound);
+
+}  // namespace rrb

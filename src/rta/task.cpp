@@ -1,0 +1,46 @@
+#include "rta/task.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+void Task::validate() const {
+    // Well-formedness only: a WCET beyond the deadline is a legal input
+    // (the analysis reports it unschedulable) — padding with a large ubd
+    // routinely produces such tasks.
+    RRB_REQUIRE(wcet >= 1, "task needs a positive WCET");
+    RRB_REQUIRE(period >= 1, "period must be positive");
+    RRB_REQUIRE(deadline >= 1 && deadline <= period,
+                "constrained deadline required: 1 <= D <= T");
+}
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+    for (const Task& t : tasks_) t.validate();
+}
+
+void TaskSet::add(Task task) {
+    task.validate();
+    tasks_.push_back(std::move(task));
+}
+
+void TaskSet::sort_deadline_monotonic() {
+    std::stable_sort(tasks_.begin(), tasks_.end(),
+                     [](const Task& a, const Task& b) {
+                         return a.deadline < b.deadline;
+                     });
+}
+
+const Task& TaskSet::operator[](std::size_t i) const {
+    RRB_REQUIRE(i < tasks_.size(), "task index out of range");
+    return tasks_[i];
+}
+
+double TaskSet::utilization() const noexcept {
+    double u = 0.0;
+    for (const Task& t : tasks_) u += t.utilization();
+    return u;
+}
+
+}  // namespace rrb

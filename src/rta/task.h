@@ -1,0 +1,62 @@
+// Real-time task model for the schedulability layer.
+//
+// This is the downstream consumer of the whole methodology: the
+// execution time bound of a task on a core of the shared-bus multicore is
+// its isolated WCET padded with nr * ubd (Section 4.3), and those ETBs
+// feed a classic fixed-priority response-time analysis per core (tasks
+// on other cores are already accounted for by the pad — that is what
+// time-composability buys).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rrb {
+
+struct Task {
+    std::string name;
+    Cycle wcet = 0;      ///< execution time bound (ETB), in cycles
+    Cycle period = 0;    ///< minimum inter-arrival time
+    Cycle deadline = 0;  ///< relative deadline (<= period)
+
+    /// Utilization of this task.
+    [[nodiscard]] double utilization() const noexcept {
+        return period == 0 ? 0.0
+                           : static_cast<double>(wcet) /
+                                 static_cast<double>(period);
+    }
+    void validate() const;
+};
+
+/// A set of tasks bound to one core, in decreasing priority order
+/// (index 0 = highest priority — deadline-monotonic if built through
+/// sort_deadline_monotonic()).
+class TaskSet {
+public:
+    TaskSet() = default;
+    explicit TaskSet(std::vector<Task> tasks);
+
+    void add(Task task);
+    /// Sorts tasks by relative deadline (deadline-monotonic priority
+    /// assignment — optimal among fixed-priority policies for
+    /// constrained deadlines).
+    void sort_deadline_monotonic();
+
+    [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+    [[nodiscard]] const Task& operator[](std::size_t i) const;
+    [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+        return tasks_;
+    }
+
+    /// Total utilization.
+    [[nodiscard]] double utilization() const noexcept;
+
+private:
+    std::vector<Task> tasks_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,40 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5 "state preconditions", I.7 "state postconditions", E.12).
+//
+// RRB_REQUIRE  -- precondition on public API input; throws std::invalid_argument.
+// RRB_ENSURE   -- internal invariant / postcondition; aborts in all builds,
+//                 because a broken simulator invariant means every number we
+//                 report afterwards would be wrong.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rrb::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+    std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace rrb::detail
+
+#define RRB_REQUIRE(cond, msg)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            throw std::invalid_argument(std::string("precondition " #cond \
+                                                    " failed: ") +   \
+                                        (msg));                       \
+        }                                                             \
+    } while (0)
+
+#define RRB_ENSURE(cond)                                                     \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::rrb::detail::contract_violation("invariant", #cond, __FILE__,  \
+                                              __LINE__);                     \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,51 @@
+#include "sim/rng.h"
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+    RRB_REQUIRE(bound > 0, "bound must be positive");
+    // Rejection sampling: discard the non-multiple-of-bound tail.
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+        const std::uint32_t r = next_u32();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::uint32_t Pcg32::next_in(std::uint32_t lo, std::uint32_t hi) {
+    RRB_REQUIRE(lo <= hi, "range must be non-empty");
+    const std::uint32_t span = hi - lo;
+    if (span == 0xffffffffu) return next_u32();
+    return lo + next_below(span + 1u);
+}
+
+double Pcg32::next_double() {
+    // 32 uniform bits scaled into [0,1).
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+bool Pcg32::next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+}  // namespace rrb

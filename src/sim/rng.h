@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// PCG32 (O'Neill, 2014): small state, excellent statistical quality, and --
+// unlike std::mt19937 -- a sequence that is identical across standard-library
+// implementations, which keeps every experiment in this repository
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace rrb {
+
+class Pcg32 {
+public:
+    /// Seeds the generator. Two generators with equal (seed, stream) produce
+    /// identical sequences; distinct streams are statistically independent.
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /// Uniform 32-bit value.
+    std::uint32_t next_u32();
+
+    /// Uniform value in [0, bound). Precondition: bound > 0. Uses rejection
+    /// sampling, so the distribution is exactly uniform.
+    std::uint32_t next_below(std::uint32_t bound);
+
+    /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+    std::uint32_t next_in(std::uint32_t lo, std::uint32_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Bernoulli trial with probability p (clamped to [0,1]).
+    bool next_bool(double p);
+
+private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,90 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+const char* to_string(TraceKind kind) noexcept {
+    switch (kind) {
+        case TraceKind::kRequestReady: return "ready";
+        case TraceKind::kBusGrant: return "grant";
+        case TraceKind::kBusRelease: return "release";
+        case TraceKind::kLoadComplete: return "load-complete";
+        case TraceKind::kStoreRetired: return "store-retired";
+        case TraceKind::kStoreDrained: return "store-drained";
+        case TraceKind::kCoreStall: return "stall";
+        case TraceKind::kDramActivate: return "dram-act";
+        case TraceKind::kDramAccess: return "dram-access";
+        case TraceKind::kDramPrecharge: return "dram-pre";
+    }
+    return "?";
+}
+
+std::vector<TraceEvent> Tracer::filtered(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+    std::vector<TraceEvent> out;
+    std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+                 pred);
+    return out;
+}
+
+std::string Tracer::render_bus_timeline(Cycle first, Cycle last,
+                                        CoreId num_cores) const {
+    RRB_REQUIRE(last >= first, "empty window");
+    RRB_REQUIRE(num_cores > 0, "need at least one core");
+    const auto width = static_cast<std::size_t>(last - first + 1);
+
+    // One row per core, prefixed later with a label.
+    std::vector<std::string> rows(num_cores, std::string(width, ' '));
+
+    auto clamp_col = [&](Cycle c) -> std::size_t {
+        return static_cast<std::size_t>(c - first);
+    };
+
+    // Pass 1: '.' from request-ready to grant (waiting).
+    std::vector<Cycle> waiting_since(num_cores, kNoCycle);
+    // Pass 2: '#' from grant to release (holding the bus).
+    std::vector<Cycle> holding_since(num_cores, kNoCycle);
+
+    for (const TraceEvent& e : events_) {
+        if (e.core >= num_cores) continue;
+        switch (e.kind) {
+            case TraceKind::kRequestReady:
+                waiting_since[e.core] = e.cycle;
+                break;
+            case TraceKind::kBusGrant: {
+                if (waiting_since[e.core] != kNoCycle) {
+                    const Cycle from = std::max(first, waiting_since[e.core]);
+                    for (Cycle c = from; c < e.cycle && c <= last; ++c) {
+                        rows[e.core][clamp_col(c)] = '.';
+                    }
+                    waiting_since[e.core] = kNoCycle;
+                }
+                holding_since[e.core] = e.cycle;
+                break;
+            }
+            case TraceKind::kBusRelease: {
+                if (holding_since[e.core] != kNoCycle) {
+                    const Cycle from = std::max(first, holding_since[e.core]);
+                    for (Cycle c = from; c <= e.cycle && c <= last; ++c) {
+                        if (c >= first) rows[e.core][clamp_col(c)] = '#';
+                    }
+                    holding_since[e.core] = kNoCycle;
+                }
+                break;
+            }
+            default:
+                break;
+        }
+    }
+
+    std::string out;
+    for (CoreId c = 0; c < num_cores; ++c) {
+        out += "c" + std::to_string(c) + " |" + rows[c] + "|\n";
+    }
+    return out;
+}
+
+}  // namespace rrb

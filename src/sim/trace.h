@@ -1,0 +1,74 @@
+// Cycle-stamped event tracing.
+//
+// The simulator components emit TraceEvents through an optional Tracer.
+// Tracing is used by the timeline benches (Figures 2 and 5 of the paper)
+// and by tests that assert on exact arbitration sequences; normal
+// experiment runs leave the tracer disabled so it costs one branch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace rrb {
+
+enum class TraceKind : std::uint8_t {
+    kRequestReady,    ///< a bus request became eligible for arbitration
+    kBusGrant,        ///< arbiter granted the bus to a core
+    kBusRelease,      ///< a bus transaction finished
+    kLoadComplete,    ///< load data returned to the core
+    kStoreRetired,    ///< store entered the store buffer
+    kStoreDrained,    ///< store buffer entry finished its bus transaction
+    kCoreStall,       ///< core stalled (full store buffer / pending miss)
+    kDramActivate,    ///< DRAM row activation
+    kDramAccess,      ///< DRAM column read/write burst
+    kDramPrecharge,   ///< DRAM row precharge
+};
+
+/// Human-readable name of a trace kind (stable, used in golden tests).
+const char* to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+    Cycle cycle = 0;
+    TraceKind kind = TraceKind::kRequestReady;
+    CoreId core = 0;     ///< originating requester
+    std::uint64_t arg = 0;  ///< kind-specific payload (address, delay, ...)
+};
+
+/// Buffering tracer. Disabled by default; enabling keeps every event in
+/// memory for later inspection or rendering.
+class Tracer {
+public:
+    void enable() noexcept { enabled_ = true; }
+    void disable() noexcept { enabled_ = false; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    void record(Cycle cycle, TraceKind kind, CoreId core,
+                std::uint64_t arg = 0) {
+        if (enabled_) events_.push_back({cycle, kind, core, arg});
+    }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+        return events_;
+    }
+    void clear() noexcept { events_.clear(); }
+
+    /// Events matching a predicate, in emission order.
+    [[nodiscard]] std::vector<TraceEvent> filtered(
+        const std::function<bool(const TraceEvent&)>& pred) const;
+
+    /// Renders an ASCII per-core timeline of bus occupancy between
+    /// [first, last] cycles: one row per core, '#' while the core holds the
+    /// bus, '.' while it has a request waiting, ' ' otherwise.
+    [[nodiscard]] std::string render_bus_timeline(Cycle first, Cycle last,
+                                                  CoreId num_cores) const;
+
+private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,119 @@
+#include "stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/contract.h"
+#include "stats/series.h"
+
+namespace rrb {
+
+namespace {
+
+std::string format_double(double v) {
+    char buf[32];
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.3f", v);
+    }
+    return buf;
+}
+
+}  // namespace
+
+std::string render_series(std::span<const double> ys,
+                          const ChartOptions& opts) {
+    RRB_REQUIRE(opts.height >= 2, "chart height must be >= 2");
+    if (ys.empty()) return "(empty series)\n";
+
+    // Decimate if wider than the budget (keep every stride-th sample).
+    std::vector<double> data;
+    const std::size_t stride =
+        ys.size() <= opts.max_width ? 1 : (ys.size() + opts.max_width - 1) /
+                                              opts.max_width;
+    for (std::size_t i = 0; i < ys.size(); i += stride) data.push_back(ys[i]);
+
+    const SeriesSummary s = summarize(data);
+    const double span = s.max - s.min;
+
+    std::string out;
+    if (!opts.title.empty()) out += opts.title + "\n";
+    out += "  max=" + format_double(s.max) + "  min=" + format_double(s.min) +
+           (stride > 1 ? "  (every " + std::to_string(stride) + "th sample)"
+                       : "") +
+           "\n";
+
+    const std::size_t h = opts.height;
+    for (std::size_t row = 0; row < h; ++row) {
+        // row 0 = top of chart.
+        const double threshold =
+            span == 0.0
+                ? s.min
+                : s.min + span * static_cast<double>(h - row) /
+                              static_cast<double>(h);
+        std::string line = "  |";
+        for (const double y : data) {
+            const bool filled =
+                span == 0.0 ? row == h - 1 : y >= threshold - span * 1e-12;
+            line += filled ? '#' : ' ';
+        }
+        out += line + "\n";
+    }
+    out += "  +" + std::string(data.size(), '-') + "\n";
+    if (!opts.x_label.empty()) out += "   " + opts.x_label + "\n";
+    return out;
+}
+
+std::string render_histogram(const Histogram& h, const ChartOptions& opts) {
+    if (h.empty()) return "(empty histogram)\n";
+    std::string out;
+    if (!opts.title.empty()) out += opts.title + "\n";
+
+    std::uint64_t max_count = 0;
+    for (const auto& [value, count] : h.buckets()) {
+        max_count = std::max(max_count, count);
+    }
+    const std::size_t bar_budget = std::max<std::size_t>(opts.max_width, 8);
+
+    for (const auto& [value, count] : h.buckets()) {
+        const auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(count) /
+                         static_cast<double>(max_count) *
+                         static_cast<double>(bar_budget)));
+        char head[64];
+        std::snprintf(head, sizeof head, "  %6llu |",
+                      static_cast<unsigned long long>(value));
+        char tail[96];
+        std::snprintf(tail, sizeof tail, " %llu (%.2f%%)",
+                      static_cast<unsigned long long>(count),
+                      100.0 * h.fraction(value));
+        out += head + std::string(bar_len, '#') + tail + "\n";
+    }
+    return out;
+}
+
+std::string render_table(std::span<const std::string> column_names,
+                         std::span<const std::vector<double>> columns,
+                         std::string_view index_name) {
+    RRB_REQUIRE(column_names.size() == columns.size(),
+                "one name per column required");
+    std::size_t rows = 0;
+    for (const auto& col : columns) rows = std::max(rows, col.size());
+
+    std::string out(index_name);
+    for (const auto& name : column_names) out += "\t" + name;
+    out += "\n";
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += std::to_string(r);
+        for (const auto& col : columns) {
+            out += "\t";
+            out += r < col.size() ? format_double(col[r]) : "-";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace rrb

@@ -1,0 +1,40 @@
+// Plain-text chart rendering for the benchmark harnesses: the paper's
+// figures are reproduced as ASCII so the benches are self-contained and
+// their output can be diffed in CI.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace rrb {
+
+struct ChartOptions {
+    std::size_t height = 12;     ///< rows of the plot area
+    std::size_t max_width = 96;  ///< samples beyond this are decimated
+    std::string title;
+    std::string x_label;
+    std::string y_label;
+};
+
+/// Renders a column chart of the series (one column per sample), scaled so
+/// min..max spans the height. Suitable for the Figure 7 saw-tooth plots.
+[[nodiscard]] std::string render_series(std::span<const double> ys,
+                                        const ChartOptions& opts = {});
+
+/// Renders a horizontal bar chart of a histogram, one row per bucket:
+/// `value | ######## count (percent)`.
+[[nodiscard]] std::string render_histogram(const Histogram& h,
+                                           const ChartOptions& opts = {});
+
+/// Renders several named series as aligned numeric columns (a paper-style
+/// table): header row then one row per index.
+[[nodiscard]] std::string render_table(
+    std::span<const std::string> column_names,
+    std::span<const std::vector<double>> columns,
+    std::string_view index_name = "k");
+
+}  // namespace rrb

@@ -1,0 +1,44 @@
+#include "stats/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+std::string to_csv(std::span<const std::string> column_names,
+                   std::span<const std::vector<double>> columns) {
+    RRB_REQUIRE(column_names.size() == columns.size(),
+                "one name per column required");
+    std::string out = "index";
+    for (const auto& name : column_names) out += "," + name;
+    out += "\n";
+
+    std::size_t rows = 0;
+    for (const auto& col : columns) rows = std::max(rows, col.size());
+
+    char buf[40];
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += std::to_string(r);
+        for (const auto& col : columns) {
+            out += ",";
+            if (r < col.size()) {
+                std::snprintf(buf, sizeof buf, "%.6g", col[r]);
+                out += buf;
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << text;
+    return static_cast<bool>(f);
+}
+
+}  // namespace rrb

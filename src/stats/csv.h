@@ -1,0 +1,20 @@
+// Minimal CSV writer so every bench can dump its figure data for external
+// plotting alongside the ASCII rendering.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rrb {
+
+/// Builds CSV text: header from `column_names`, then one row per index with
+/// the per-column values ("" for missing trailing values).
+[[nodiscard]] std::string to_csv(std::span<const std::string> column_names,
+                                 std::span<const std::vector<double>> columns);
+
+/// Writes text to a file, creating parent directories is NOT attempted;
+/// returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace rrb

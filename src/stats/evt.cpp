@@ -1,0 +1,60 @@
+#include "stats/evt.h"
+
+#include <cmath>
+
+#include "sim/contract.h"
+#include "stats/series.h"
+
+namespace rrb {
+
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015328606;
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+double GumbelFit::quantile(double p) const {
+    RRB_REQUIRE(p > 0.0 && p < 1.0, "quantile probability in (0,1)");
+    // x = mu - beta * ln(-ln(p))
+    return mu - beta * std::log(-std::log(p));
+}
+
+double GumbelFit::pwcet(double exceedance_probability) const {
+    RRB_REQUIRE(exceedance_probability > 0.0 && exceedance_probability < 1.0,
+                "exceedance probability in (0,1)");
+    return quantile(1.0 - exceedance_probability);
+}
+
+double GumbelFit::cdf(double x) const {
+    if (beta <= 0.0) return x >= mu ? 1.0 : 0.0;
+    return std::exp(-std::exp(-(x - mu) / beta));
+}
+
+GumbelFit fit_gumbel(std::span<const double> sample) {
+    GumbelFit fit;
+    fit.sample_size = sample.size();
+    if (sample.size() < 2) return fit;
+    const SeriesSummary s = summarize(sample);
+    // Method of moments with the sample (population) std deviation.
+    fit.beta = s.stddev * std::sqrt(6.0) / kPi;
+    fit.mu = s.mean - kEulerMascheroni * fit.beta;
+    return fit;
+}
+
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block_size) {
+    RRB_REQUIRE(block_size >= 1, "block size must be positive");
+    std::vector<double> maxima;
+    for (std::size_t start = 0; start + block_size <= xs.size();
+         start += block_size) {
+        double best = xs[start];
+        for (std::size_t i = start + 1; i < start + block_size; ++i) {
+            best = std::max(best, xs[i]);
+        }
+        maxima.push_back(best);
+    }
+    return maxima;
+}
+
+}  // namespace rrb

@@ -1,0 +1,52 @@
+// Extreme-value statistics for measurement-based probabilistic timing
+// analysis (MBPTA) — the research context of the paper (Section 1
+// motivates ubdm as an input that "ultimately increases confidence on
+// MBTA", and the group's MBPTA line fits extreme-value distributions to
+// execution-time maxima).
+//
+// This module fits a Gumbel (EV type I) distribution to block maxima of
+// campaign execution times via the method of moments:
+//     beta = s * sqrt(6) / pi,   mu = mean - gamma_e * beta
+// and exposes pWCET quantiles. It intentionally stays simple (no MLE, no
+// GPD): the benches use it to show that an EVT projection from
+// randomized campaigns still undershoots the composable ETB — sampling
+// cannot replace the analytic pad.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrb {
+
+struct GumbelFit {
+    double mu = 0.0;    ///< location
+    double beta = 0.0;  ///< scale (> 0 unless the sample is degenerate)
+    std::size_t sample_size = 0;
+
+    [[nodiscard]] bool valid() const noexcept {
+        return sample_size >= 2 && beta > 0.0;
+    }
+
+    /// Quantile x with P(X <= x) = p (inverse CDF).
+    /// Precondition: 0 < p < 1.
+    [[nodiscard]] double quantile(double p) const;
+
+    /// pWCET at an exceedance probability per run, e.g. 1e-9:
+    /// quantile(1 - exceedance).
+    [[nodiscard]] double pwcet(double exceedance_probability) const;
+
+    /// CDF at x.
+    [[nodiscard]] double cdf(double x) const;
+};
+
+/// Fits a Gumbel distribution to the sample by the method of moments.
+[[nodiscard]] GumbelFit fit_gumbel(std::span<const double> sample);
+
+/// Splits the sample into consecutive blocks of `block_size` and returns
+/// the per-block maxima (the classical block-maxima reduction; trailing
+/// partial blocks are dropped).
+[[nodiscard]] std::vector<double> block_maxima(std::span<const double> xs,
+                                               std::size_t block_size);
+
+}  // namespace rrb

@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+    if (count == 0) return;
+    counts_[value] += count;
+    total_ += count;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const {
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::uint64_t value) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::min() const {
+    RRB_REQUIRE(!empty(), "histogram is empty");
+    return counts_.begin()->first;
+}
+
+std::uint64_t Histogram::max() const {
+    RRB_REQUIRE(!empty(), "histogram is empty");
+    return counts_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+    if (total_ == 0) return 0.0;
+    double acc = 0.0;
+    for (const auto& [value, count] : counts_) {
+        acc += static_cast<double>(value) * static_cast<double>(count);
+    }
+    return acc / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::mode() const {
+    RRB_REQUIRE(!empty(), "histogram is empty");
+    std::uint64_t best_value = 0;
+    std::uint64_t best_count = 0;
+    for (const auto& [value, count] : counts_) {
+        if (count > best_count) {
+            best_count = count;
+            best_value = value;
+        }
+    }
+    return best_value;
+}
+
+double Histogram::mode_fraction() const {
+    if (total_ == 0) return 0.0;
+    return fraction(mode());
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+    RRB_REQUIRE(!empty(), "histogram is empty");
+    RRB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    // Nearest-rank definition: smallest value whose cumulative count reaches
+    // ceil(q * total).
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    const std::uint64_t target = rank == 0 ? 1 : rank;
+    std::uint64_t cumulative = 0;
+    for (const auto& [value, count] : counts_) {
+        cumulative += count;
+        if (cumulative >= target) return value;
+    }
+    return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::buckets()
+    const {
+    return {counts_.begin(), counts_.end()};
+}
+
+void Histogram::merge(const Histogram& other) {
+    for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
+}  // namespace rrb

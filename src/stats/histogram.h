@@ -1,0 +1,60 @@
+// Integer-valued histogram with exact counts.
+//
+// Used throughout the evaluation: Figure 6(a) (number of ready contenders
+// per request) and Figure 6(b) (per-request contention delay) are both
+// histograms over small non-negative integers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rrb {
+
+class Histogram {
+public:
+    /// Adds one observation of `value`.
+    void add(std::uint64_t value, std::uint64_t count = 1);
+
+    /// Total number of observations.
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// Count for an exact value (0 when never observed).
+    [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
+
+    /// Fraction of observations equal to `value`; 0 when empty.
+    [[nodiscard]] double fraction(std::uint64_t value) const;
+
+    /// Smallest / largest observed value. Precondition: !empty().
+    [[nodiscard]] std::uint64_t min() const;
+    [[nodiscard]] std::uint64_t max() const;
+
+    /// Mean of the observations; 0 when empty.
+    [[nodiscard]] double mean() const;
+
+    /// The most frequent value (smallest such value on ties).
+    /// Precondition: !empty().
+    [[nodiscard]] std::uint64_t mode() const;
+
+    /// Fraction of observations that equal the mode; 0 when empty.
+    [[nodiscard]] double mode_fraction() const;
+
+    /// Exact p-quantile (nearest-rank). Precondition: !empty(), 0<=q<=1.
+    [[nodiscard]] std::uint64_t quantile(double q) const;
+
+    [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+    /// (value, count) pairs in increasing value order.
+    [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    buckets() const;
+
+    /// Merges another histogram into this one.
+    void merge(const Histogram& other);
+
+private:
+    std::map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace rrb

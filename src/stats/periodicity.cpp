@@ -1,0 +1,163 @@
+#include "stats/periodicity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/contract.h"
+#include "stats/series.h"
+
+namespace rrb {
+
+namespace {
+
+bool close(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
+
+}  // namespace
+
+PeriodEstimate exact_period(std::span<const double> xs, double tolerance) {
+    RRB_REQUIRE(tolerance >= 0.0, "tolerance must be non-negative");
+    const std::size_t n = xs.size();
+    if (n < 4) return {};
+    for (std::size_t p = 1; p <= n / 2; ++p) {
+        bool ok = true;
+        for (std::size_t i = 0; i + p < n; ++i) {
+            if (!close(xs[i], xs[i + p], tolerance)) {
+                ok = false;
+                break;
+            }
+        }
+        // Reject the degenerate "constant series" match: a period-1 match
+        // means there is no structure to measure.
+        if (ok && p == 1) return {};
+        if (ok) return {p, 1.0};
+    }
+    return {};
+}
+
+PeriodEstimate peak_spacing_period(std::span<const double> xs) {
+    const std::vector<std::size_t> peaks = local_maxima(xs);
+    if (peaks.size() < 2) return {};
+    std::vector<std::size_t> spacings;
+    spacings.reserve(peaks.size() - 1);
+    for (std::size_t i = 0; i + 1 < peaks.size(); ++i) {
+        spacings.push_back(peaks[i + 1] - peaks[i]);
+    }
+    std::vector<std::size_t> sorted = spacings;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t median = sorted[sorted.size() / 2];
+    if (median == 0) return {};
+    const auto agreeing = static_cast<double>(
+        std::count(spacings.begin(), spacings.end(), median));
+    return {median, agreeing / static_cast<double>(spacings.size())};
+}
+
+PeriodEstimate autocorrelation_period(std::span<const double> xs,
+                                      std::size_t min_lag,
+                                      double min_correlation) {
+    RRB_REQUIRE(min_lag >= 1, "min_lag must be >= 1");
+    const std::size_t n = xs.size();
+    if (n < 2 * min_lag + 2) return {};
+    const std::vector<double> ac = autocorrelation(xs, n / 2);
+    if (ac.size() < min_lag) return {};
+
+    // Find the first local maximum of the autocorrelation at lag >= min_lag
+    // that clears the threshold; this picks the fundamental period rather
+    // than one of its multiples (which correlate equally well).
+    std::size_t best_lag = 0;
+    double best_r = min_correlation;
+    for (std::size_t lag = min_lag; lag <= ac.size(); ++lag) {
+        const double r = ac[lag - 1];
+        const double prev = lag >= 2 ? ac[lag - 2] : -1.0;
+        const double next = lag < ac.size() ? ac[lag] : -1.0;
+        const bool is_local_max = r >= prev && r >= next;
+        if (is_local_max && r > best_r) {
+            best_lag = lag;
+            best_r = r;
+            break;  // first qualifying local max = fundamental
+        }
+    }
+    if (best_lag == 0) return {};
+    return {best_lag, std::clamp(best_r, 0.0, 1.0)};
+}
+
+PeriodEstimate equal_value_period(std::span<const double> xs,
+                                  double tolerance) {
+    RRB_REQUIRE(tolerance >= 0.0, "tolerance must be non-negative");
+    const std::size_t n = xs.size();
+    if (n < 3) return {};
+
+    std::size_t min_dist = 0;
+    std::size_t pairs_total = 0;
+    std::vector<std::size_t> distances;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (!close(xs[i], xs[j], tolerance)) continue;
+            const std::size_t d = j - i;
+            ++pairs_total;
+            distances.push_back(d);
+            if (min_dist == 0 || d < min_dist) min_dist = d;
+        }
+    }
+    if (min_dist == 0) return {};
+    // A flat series matches everything at distance 1; that is noise, not a
+    // saw-tooth.
+    if (min_dist == 1) return {};
+
+    std::size_t consistent = 0;
+    for (const std::size_t d : distances) {
+        if (d % min_dist == 0) ++consistent;
+    }
+    return {min_dist,
+            static_cast<double>(consistent) / static_cast<double>(pairs_total)};
+}
+
+PeriodConsensus consensus_period(std::span<const double> xs,
+                                 double tolerance) {
+    PeriodConsensus c;
+    c.exact = exact_period(xs, tolerance);
+    c.equal_value = equal_value_period(xs, tolerance);
+    c.peaks = peak_spacing_period(xs);
+    c.autocorr = autocorrelation_period(xs);
+
+    std::map<std::size_t, int> votes;
+    for (const PeriodEstimate* e :
+         {&c.exact, &c.equal_value, &c.peaks, &c.autocorr}) {
+        if (e->found()) ++votes[e->period];
+    }
+    if (votes.empty()) return c;
+
+    int best_votes = 0;
+    for (const auto& [period, v] : votes) best_votes = std::max(best_votes, v);
+
+    const PeriodEstimate* priority[] = {&c.exact, &c.equal_value, &c.peaks,
+                                        &c.autocorr};
+    if (best_votes >= 2) {
+        // Majority vote; tie-break by detector priority (exact first).
+        for (const PeriodEstimate* e : priority) {
+            if (e->found() && votes[e->period] == best_votes) {
+                c.period = e->period;
+                c.votes = best_votes;
+                break;
+            }
+        }
+    } else {
+        // No agreement: fall back to the single most confident detector.
+        // Under measurement noise the value-based detectors fail first
+        // while autocorrelation (score = correlation) stays reliable; a
+        // fixed priority order would pick a noise-corrupted value match.
+        const PeriodEstimate* best = nullptr;
+        for (const PeriodEstimate* e : priority) {
+            if (e->found() && (best == nullptr || e->score > best->score)) {
+                best = e;
+            }
+        }
+        if (best != nullptr) {
+            c.period = best->period;
+            c.votes = 1;
+        }
+    }
+    return c;
+}
+
+}  // namespace rrb

@@ -1,0 +1,68 @@
+// Period detection over sampled series.
+//
+// The methodology of the paper boils down to: the slowdown dbus(t, k) of
+// rsk-nop as a function of the nop count k is a saw-tooth whose period (in
+// injection-time cycles) equals the bus upper-bound delay ubd (Section 4,
+// Equation 3). These detectors recover that period from the measured
+// series. Several independent detectors are provided so the estimator can
+// cross-check them (Ablation B) — confidence is the whole point of the
+// paper, so a single fragile detector would be self-defeating.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rrb {
+
+/// Result of one detector run.
+struct PeriodEstimate {
+    std::size_t period = 0;   ///< 0 means "no period found"
+    double score = 0.0;       ///< detector-specific quality in [0,1]
+    [[nodiscard]] bool found() const noexcept { return period != 0; }
+};
+
+/// Smallest p in [1, n/2] such that xs[i] == xs[i+p] within `tolerance`
+/// for every comparable i. Exact and strict; returns not-found on noisy
+/// data. score = 1 when found.
+[[nodiscard]] PeriodEstimate exact_period(std::span<const double> xs,
+                                          double tolerance = 0.0);
+
+/// Median spacing between successive local maxima of the series.
+/// Robust to value noise but needs >= 2 peaks. score = fraction of
+/// spacings equal to the median spacing.
+[[nodiscard]] PeriodEstimate peak_spacing_period(std::span<const double> xs);
+
+/// Lag (>= min_lag) with the highest autocorrelation, provided that best
+/// correlation is at least `min_correlation`. score = that correlation
+/// clamped to [0,1]. Robust to moderate noise.
+[[nodiscard]] PeriodEstimate autocorrelation_period(
+    std::span<const double> xs, std::size_t min_lag = 2,
+    double min_correlation = 0.5);
+
+/// The paper's Equation 3 read literally: the smallest |ki - kj| over pairs
+/// ki != kj with dbus(ki) == dbus(kj) (within tolerance). Within one
+/// saw-tooth ramp the values are strictly monotone, so the smallest
+/// equal-value distance is one full period. score = fraction of all
+/// equal-value pairs whose distance is a multiple of the reported period.
+[[nodiscard]] PeriodEstimate equal_value_period(std::span<const double> xs,
+                                                double tolerance = 0.0);
+
+/// Combines the detectors above by majority vote; ties are broken in favor
+/// of exact_period, then equal_value, then peak spacing, then
+/// autocorrelation. Returns nullopt when no detector finds a period.
+struct PeriodConsensus {
+    std::size_t period = 0;
+    PeriodEstimate exact;
+    PeriodEstimate equal_value;
+    PeriodEstimate peaks;
+    PeriodEstimate autocorr;
+    int votes = 0;            ///< detectors agreeing with `period`
+    [[nodiscard]] bool found() const noexcept { return period != 0; }
+};
+
+[[nodiscard]] PeriodConsensus consensus_period(std::span<const double> xs,
+                                               double tolerance = 0.0);
+
+}  // namespace rrb

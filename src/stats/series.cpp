@@ -1,0 +1,77 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contract.h"
+
+namespace rrb {
+
+SeriesSummary summarize(std::span<const double> xs) {
+    SeriesSummary s;
+    if (xs.empty()) return s;
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    s.mean = acc / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+}
+
+std::vector<std::size_t> local_maxima(std::span<const double> xs) {
+    std::vector<std::size_t> out;
+    const std::size_t n = xs.size();
+    if (n == 0) return out;
+    if (n == 1) return {0};
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool left_ok = (i == 0) || xs[i] > xs[i - 1];
+        if (!left_ok) continue;
+        // Walk over a potential plateau.
+        std::size_t j = i;
+        while (j + 1 < n && xs[j + 1] == xs[i]) ++j;
+        const bool right_ok = (j == n - 1) || xs[i] > xs[j + 1];
+        if (right_ok) out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<double> diff(std::span<const double> xs) {
+    std::vector<double> out;
+    if (xs.size() < 2) return out;
+    out.reserve(xs.size() - 1);
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+        out.push_back(xs[i + 1] - xs[i]);
+    }
+    return out;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+    RRB_REQUIRE(max_lag >= 1, "need at least one lag");
+    const std::size_t n = xs.size();
+    std::vector<double> out;
+    if (n < 2) return out;
+
+    const SeriesSummary s = summarize(xs);
+    double denom = 0.0;
+    for (double x : xs) denom += (x - s.mean) * (x - s.mean);
+
+    const std::size_t lags = std::min(max_lag, n - 1);
+    out.reserve(lags);
+    for (std::size_t lag = 1; lag <= lags; ++lag) {
+        double num = 0.0;
+        for (std::size_t i = 0; i + lag < n; ++i) {
+            num += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+        }
+        out.push_back(denom == 0.0 ? 0.0 : num / denom);
+    }
+    return out;
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace rrb

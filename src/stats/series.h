@@ -1,0 +1,39 @@
+// Small numeric-series helpers shared by the saw-tooth analysis and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrb {
+
+/// Summary statistics of a series.
+struct SeriesSummary {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< population standard deviation
+};
+
+[[nodiscard]] SeriesSummary summarize(std::span<const double> xs);
+
+/// Indices of strict local maxima: xs[i-1] < xs[i] >= xs[i+1] with plateau
+/// handling (the first index of a plateau that is higher than both sides).
+/// Endpoints are considered maxima when they dominate their single
+/// neighbour — the saw-tooth of Figure 7(a) peaks at the first swept k.
+[[nodiscard]] std::vector<std::size_t> local_maxima(
+    std::span<const double> xs);
+
+/// First differences: out[i] = xs[i+1] - xs[i].
+[[nodiscard]] std::vector<double> diff(std::span<const double> xs);
+
+/// Normalized autocorrelation r(lag) over lags [1, max_lag].
+/// r(0) would be 1 by construction and is not included.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t max_lag);
+
+/// Linear interpolation utility used for chart scaling.
+[[nodiscard]] double lerp(double a, double b, double t);
+
+}  // namespace rrb

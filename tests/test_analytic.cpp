@@ -1,0 +1,108 @@
+#include "core/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+TEST(Equation1, PaperValues) {
+    EXPECT_EQ(ubd_eq1(4, 9), 27u);  // NGMP setup (Section 5.2)
+    EXPECT_EQ(ubd_eq1(4, 2), 6u);   // Figure 3 setup
+    EXPECT_EQ(ubd_eq1(2, 9), 9u);
+    EXPECT_EQ(ubd_eq1(1, 9), 0u);   // no contenders, no contention
+}
+
+TEST(Equation1, Validation) {
+    EXPECT_THROW((void)ubd_eq1(0, 9), std::invalid_argument);
+    EXPECT_THROW((void)ubd_eq1(4, 0), std::invalid_argument);
+}
+
+TEST(Equation2, ZeroDeltaGivesFullUbd) {
+    EXPECT_EQ(gamma_eq2(0, 27), 27u);
+    EXPECT_EQ(gamma_eq2(0, 6), 6u);
+}
+
+TEST(Equation2, Figure3Matrix) {
+    // The delta/gamma table at the bottom of Figure 3 (ubd = 6):
+    // delta: 0  1  2  3  4  5  6  7  8 ...
+    // gamma: 6  5  4  3  2  1  0  5  4 ...
+    const Cycle ubd = 6;
+    const Cycle expected[] = {6, 5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0, 5};
+    for (Cycle delta = 0; delta < 14; ++delta) {
+        EXPECT_EQ(gamma_eq2(delta, ubd), expected[delta]) << "delta " << delta;
+    }
+}
+
+TEST(Equation2, PeriodicInDelta) {
+    const Cycle ubd = 27;
+    for (Cycle delta = 1; delta < 100; ++delta) {
+        EXPECT_EQ(gamma_eq2(delta, ubd), gamma_eq2(delta + ubd, ubd));
+    }
+}
+
+TEST(Equation2, MultiplesOfUbdGiveZero) {
+    for (const Cycle ubd : {6u, 27u, 14u}) {
+        for (Cycle m = 1; m <= 4; ++m) {
+            EXPECT_EQ(gamma_eq2(m * ubd, ubd), 0u) << ubd << " " << m;
+        }
+    }
+}
+
+TEST(Equation2, DeltaOnePastMultipleGivesUbdMinus1) {
+    // "When delta = ubd + 1 ... gamma = ubd - 1."
+    for (const Cycle ubd : {6u, 27u}) {
+        EXPECT_EQ(gamma_eq2(1, ubd), ubd - 1);
+        EXPECT_EQ(gamma_eq2(ubd + 1, ubd), ubd - 1);
+        EXPECT_EQ(gamma_eq2(2 * ubd + 1, ubd), ubd - 1);
+    }
+}
+
+TEST(Equation2, NeverExceedsUbd) {
+    const Cycle ubd = 27;
+    for (Cycle delta = 0; delta < 200; ++delta) {
+        EXPECT_LE(gamma_eq2(delta, ubd), ubd);
+        if (delta > 0) {
+            EXPECT_LE(gamma_eq2(delta, ubd), ubd - 1);
+        }
+    }
+}
+
+TEST(SawtoothModel, RefArchitecturePeaks) {
+    // ref: delta0 = 1, delta_nop = 1 -> peaks (gamma = 26) at k = 0, 27,
+    // 54 — matching Figure 7(a)'s "27 = 54 - 27".
+    const auto peaks = sawtooth_peaks(27, 1, 1, 60);
+    EXPECT_EQ(peaks, (std::vector<std::uint32_t>{0, 27, 54}));
+}
+
+TEST(SawtoothModel, VarArchitecturePeaks) {
+    // var: delta0 = 4 -> peaks at k = 24, 51 — "27 = 51 - 24".
+    const auto peaks = sawtooth_peaks(27, 4, 1, 60);
+    EXPECT_EQ(peaks, (std::vector<std::uint32_t>{24, 51}));
+}
+
+TEST(SawtoothModel, PeriodIndependentOfDelta0) {
+    // "The period of the saw-tooth is exactly ubd regardless of
+    // delta_rsk."
+    for (const Cycle delta0 : {1u, 2u, 4u, 7u}) {
+        const auto model = sawtooth_model(27, delta0, 1, 80);
+        for (std::size_t k = 0; k + 27 < model.size(); ++k) {
+            EXPECT_DOUBLE_EQ(model[k], model[k + 27]) << "delta0 " << delta0;
+        }
+    }
+}
+
+TEST(SawtoothModel, SlowNopSamplesSparsely) {
+    // delta_nop = 3 samples every third point of the delta axis; the
+    // period in k becomes ubd / gcd(ubd, 3) = 9 for ubd = 27.
+    const auto model = sawtooth_model(27, 1, 3, 30);
+    for (std::size_t k = 0; k + 9 < model.size(); ++k) {
+        EXPECT_DOUBLE_EQ(model[k], model[k + 9]);
+    }
+}
+
+TEST(SawtoothModel, RejectsZeroDeltaNop) {
+    EXPECT_THROW(sawtooth_model(27, 1, 0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,131 @@
+#include "bus/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrb {
+namespace {
+
+std::vector<ArbCandidate> ready_set(CoreId n, std::initializer_list<CoreId> ready,
+                                    Cycle duration = 2) {
+    std::vector<ArbCandidate> cs(n);
+    for (const CoreId c : ready) cs[c] = {true, duration};
+    return cs;
+}
+
+TEST(RoundRobin, InitialPriorityIsCoreZero) {
+    RoundRobinArbiter rr(4);
+    const auto cs = ready_set(4, {0, 1, 2, 3});
+    EXPECT_EQ(rr.pick(cs, 0), CoreId{0});
+}
+
+TEST(RoundRobin, RotationAfterGrant) {
+    // Section 2: "If requester ci is granted access in a given round, the
+    // priority ordering for the next round is ci+1, ci+2, ..., ci."
+    RoundRobinArbiter rr(4);
+    rr.granted(1, 0);
+    EXPECT_EQ(rr.highest_priority(), 2u);
+    const auto cs = ready_set(4, {0, 1, 2, 3});
+    EXPECT_EQ(rr.pick(cs, 1), CoreId{2});
+}
+
+TEST(RoundRobin, GrantedCoreBecomesLowestPriority) {
+    RoundRobinArbiter rr(4);
+    rr.granted(2, 0);
+    // 2 should only win if nobody else is ready.
+    EXPECT_EQ(rr.pick(ready_set(4, {2, 0}), 1), CoreId{0});
+    EXPECT_EQ(rr.pick(ready_set(4, {2}), 1), CoreId{2});
+}
+
+TEST(RoundRobin, WorkConservingSkipsIdleCores) {
+    RoundRobinArbiter rr(4);
+    rr.granted(0, 0);  // priority head = 1
+    EXPECT_EQ(rr.pick(ready_set(4, {3}), 1), CoreId{3});
+}
+
+TEST(RoundRobin, NoReadyNoGrant) {
+    RoundRobinArbiter rr(4);
+    EXPECT_FALSE(rr.pick(ready_set(4, {}), 0).has_value());
+}
+
+TEST(RoundRobin, FullRotationSequence) {
+    // All saturated: grants must rotate 0,1,2,3,0,1,...
+    RoundRobinArbiter rr(4);
+    const auto cs = ready_set(4, {0, 1, 2, 3});
+    for (int round = 0; round < 3; ++round) {
+        for (CoreId expected = 0; expected < 4; ++expected) {
+            const auto winner = rr.pick(cs, 0);
+            ASSERT_TRUE(winner.has_value());
+            EXPECT_EQ(*winner, expected);
+            rr.granted(*winner, 0);
+        }
+    }
+}
+
+TEST(RoundRobin, ResetRestoresHead) {
+    RoundRobinArbiter rr(4);
+    rr.granted(2, 0);
+    rr.reset();
+    EXPECT_EQ(rr.highest_priority(), 0u);
+}
+
+TEST(RoundRobin, SingleCoreAlwaysWins) {
+    RoundRobinArbiter rr(1);
+    EXPECT_EQ(rr.pick(ready_set(1, {0}), 0), CoreId{0});
+    rr.granted(0, 0);
+    EXPECT_EQ(rr.pick(ready_set(1, {0}), 1), CoreId{0});
+}
+
+TEST(FixedPriority, LowestIdWins) {
+    FixedPriorityArbiter fp(4);
+    EXPECT_EQ(fp.pick(ready_set(4, {3, 1, 2}), 0), CoreId{1});
+    fp.granted(1, 0);
+    EXPECT_EQ(fp.pick(ready_set(4, {3, 1, 2}), 1), CoreId{1});  // no rotation
+}
+
+TEST(FixedPriority, StarvationPossible) {
+    FixedPriorityArbiter fp(2);
+    for (Cycle i = 0; i < 10; ++i) {
+        EXPECT_EQ(fp.pick(ready_set(2, {0, 1}), i), CoreId{0});
+        fp.granted(0, i);
+    }
+}
+
+TEST(Tdma, OnlySlotOwnerWins) {
+    TdmaArbiter tdma(4, 10);
+    const auto cs = ready_set(4, {0, 1, 2, 3}, 2);
+    EXPECT_EQ(tdma.pick(cs, 0), CoreId{0});    // slot [0,10) -> core 0
+    EXPECT_EQ(tdma.pick(cs, 10), CoreId{1});   // slot [10,20) -> core 1
+    EXPECT_EQ(tdma.pick(cs, 35), CoreId{3});
+    EXPECT_EQ(tdma.pick(cs, 40), CoreId{0});   // wraps
+}
+
+TEST(Tdma, NotWorkConserving) {
+    TdmaArbiter tdma(4, 10);
+    // Slot owner 0 idle, others ready: bus stays idle.
+    EXPECT_FALSE(tdma.pick(ready_set(4, {1, 2, 3}), 5).has_value());
+}
+
+TEST(Tdma, TransactionMustFitSlot) {
+    TdmaArbiter tdma(2, 10);
+    const auto cs = ready_set(2, {0}, 4);
+    EXPECT_TRUE(tdma.pick(cs, 0).has_value());
+    EXPECT_TRUE(tdma.pick(cs, 6).has_value());   // ends exactly at 10
+    EXPECT_FALSE(tdma.pick(cs, 7).has_value());  // would overrun
+}
+
+TEST(Tdma, RejectsZeroSlot) {
+    EXPECT_THROW(TdmaArbiter(4, 0), std::invalid_argument);
+}
+
+TEST(Factory, MakesRequestedKind) {
+    EXPECT_EQ(make_arbiter(ArbiterKind::kRoundRobin, 4)->name(),
+              "round-robin");
+    EXPECT_EQ(make_arbiter(ArbiterKind::kFixedPriority, 4)->name(),
+              "fixed-priority");
+    EXPECT_EQ(make_arbiter(ArbiterKind::kTdma, 4, 12)->name(), "tdma");
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,68 @@
+// The paper's negative results (Sections 1 and 3): the state-of-practice
+// measurement recipes under-estimate ubd.
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/autobench.h"
+
+namespace rrb {
+namespace {
+
+TEST(Baseline, RskVsRskUnderestimatesOnRef) {
+    // Figure 6(b), ref bars: the largest observed per-request delay is 26,
+    // one cycle short of the true ubd = 27.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const NaiveUbdm n = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 80);
+    EXPECT_EQ(n.ubdm_max_gamma, 26u);
+    EXPECT_LT(n.ubdm_max_gamma, cfg.ubd_analytic());
+}
+
+TEST(Baseline, RskVsRskUnderestimatesMoreOnVar) {
+    // Figure 6(b), var bars: ubdm = 23 — "the accuracy of ubdm varies
+    // with the injection time of the underlying architecture".
+    const MachineConfig cfg = MachineConfig::ngmp_var();
+    const NaiveUbdm n = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 80);
+    EXPECT_EQ(n.ubdm_max_gamma, 23u);
+}
+
+TEST(Baseline, MeanUbdmAlsoUnderestimates) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const NaiveUbdm n = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 80);
+    EXPECT_GT(n.ubdm_mean, 0.0);
+    EXPECT_LT(n.ubdm_mean, static_cast<double>(cfg.ubd_analytic()));
+}
+
+TEST(Baseline, ScuaVsRskNeverReachesUbdPerRequest) {
+    // Contribution 1: running an arbitrary scua against bus-stressing rsk
+    // does not make every scua request suffer ubd.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, 800, 3);
+    const NaiveUbdm n = naive_ubdm_scua_vs_rsk(cfg, scua);
+    EXPECT_GT(n.nr, 0u);
+    EXPECT_LT(n.ubdm_max_gamma, cfg.ubd_analytic());
+    EXPECT_LT(n.ubdm_mean, static_cast<double>(cfg.ubd_analytic()));
+}
+
+TEST(Baseline, DetAndNrAreConsistent) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const NaiveUbdm n = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 40);
+    EXPECT_EQ(n.det,
+              n.runs.contention.exec_time - n.runs.isolation.exec_time);
+    EXPECT_EQ(n.nr, n.runs.contention.bus_requests);
+    EXPECT_NEAR(n.ubdm_mean,
+                static_cast<double>(n.det) / static_cast<double>(n.nr),
+                1e-12);
+}
+
+TEST(Baseline, StoreRskDrainsCanReachUbd) {
+    // Store-buffer drains inject with delta = 0, the one case where
+    // requests suffer the full ubd (Section 5.3).
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const NaiveUbdm n = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kStore, 40);
+    EXPECT_EQ(n.ubdm_max_gamma, cfg.ubd_analytic());
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,187 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+CacheGeometry small_geo() { return {1024, 2, 32}; }  // 16 sets, 2 ways
+
+Cache make_lru(WritePolicy wp = WritePolicy::kWriteBack,
+               AllocPolicy ap = AllocPolicy::kWriteAllocate) {
+    return Cache(small_geo(), ReplacementPolicy::kLru, wp, ap);
+}
+
+TEST(CacheGeometry, DerivedQuantities) {
+    const CacheGeometry g{16 * 1024, 4, 32};
+    EXPECT_EQ(g.num_sets(), 128u);
+    EXPECT_EQ(g.set_stride(), 4096u);
+    EXPECT_EQ(g.set_of(0), g.set_of(4096));
+    EXPECT_NE(g.tag_of(0), g.tag_of(4096));
+    EXPECT_EQ(g.set_of(32), 1u);
+}
+
+TEST(CacheGeometry, ValidationRejectsBadShapes) {
+    EXPECT_THROW((CacheGeometry{100, 4, 32}.validate()),
+                 std::invalid_argument);
+    EXPECT_THROW((CacheGeometry{1024, 0, 32}.validate()),
+                 std::invalid_argument);
+    EXPECT_THROW((CacheGeometry{1024, 2, 24}.validate()),
+                 std::invalid_argument);
+    EXPECT_NO_THROW((CacheGeometry{1024, 2, 32}.validate()));
+}
+
+TEST(Cache, ColdMissThenHit) {
+    Cache c = make_lru();
+    EXPECT_FALSE(c.read(0x100).hit);
+    EXPECT_TRUE(c.read(0x100).hit);
+    EXPECT_TRUE(c.read(0x110).hit);  // same line
+    EXPECT_EQ(c.stats().read_misses, 1u);
+    EXPECT_EQ(c.stats().read_hits, 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+    Cache c = make_lru();
+    const Addr a = 0x0;
+    const Addr b = a + small_geo().set_stride();
+    const Addr d = a + 2 * small_geo().set_stride();  // same set, 3rd line
+    c.read(a);
+    c.read(b);
+    c.read(a);   // a is now MRU
+    c.read(d);   // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, FifoEvictsFirstInserted) {
+    Cache c(small_geo(), ReplacementPolicy::kFifo, WritePolicy::kWriteBack,
+            AllocPolicy::kWriteAllocate);
+    const Addr a = 0x0;
+    const Addr b = a + small_geo().set_stride();
+    const Addr d = a + 2 * small_geo().set_stride();
+    c.read(a);
+    c.read(b);
+    c.read(a);   // touching a does NOT refresh FIFO order
+    c.read(d);   // evicts a (first inserted)
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, WPlusOneSameSetAlwaysMissesUnderLru) {
+    // The rsk construction (Figure 1): W+1 lines in one W-way set with LRU
+    // miss on every access once warm.
+    const CacheGeometry g{16 * 1024, 4, 32};
+    Cache c(g, ReplacementPolicy::kLru, WritePolicy::kWriteThrough,
+            AllocPolicy::kNoWriteAllocate);
+    const std::uint32_t w = g.ways;
+    for (int round = 0; round < 10; ++round) {
+        for (std::uint32_t i = 0; i <= w; ++i) {
+            c.read(i * g.set_stride());
+        }
+    }
+    EXPECT_EQ(c.stats().read_hits, 0u);
+    EXPECT_EQ(c.stats().read_misses, 10u * (w + 1));
+}
+
+TEST(Cache, WSameSetLinesAllHitAfterWarmup) {
+    const CacheGeometry g{16 * 1024, 4, 32};
+    Cache c(g, ReplacementPolicy::kLru, WritePolicy::kWriteThrough,
+            AllocPolicy::kNoWriteAllocate);
+    const std::uint32_t w = g.ways;
+    for (std::uint32_t i = 0; i < w; ++i) c.read(i * g.set_stride());
+    c.reset_stats();
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint32_t i = 0; i < w; ++i) c.read(i * g.set_stride());
+    }
+    EXPECT_EQ(c.stats().read_misses, 0u);
+}
+
+TEST(Cache, WriteThroughNoAllocateMissDoesNotFill) {
+    Cache c = make_lru(WritePolicy::kWriteThrough,
+                       AllocPolicy::kNoWriteAllocate);
+    EXPECT_FALSE(c.write(0x200).hit);
+    EXPECT_FALSE(c.probe(0x200));
+    EXPECT_EQ(c.stats().write_misses, 1u);
+}
+
+TEST(Cache, WriteThroughHitUpdatesWithoutDirty) {
+    Cache c = make_lru(WritePolicy::kWriteThrough,
+                       AllocPolicy::kNoWriteAllocate);
+    c.read(0x200);
+    EXPECT_TRUE(c.write(0x200).hit);
+    // Evicting the line must not produce a writeback under write-through.
+    const Addr b = 0x200 + small_geo().set_stride();
+    const Addr d = 0x200 + 2 * small_geo().set_stride();
+    c.read(b);
+    c.read(d);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteBackAllocatesAndWritesBackDirty) {
+    Cache c = make_lru(WritePolicy::kWriteBack, AllocPolicy::kWriteAllocate);
+    c.write(0x0);  // miss, allocate dirty
+    EXPECT_TRUE(c.probe(0x0));
+    const Addr b = small_geo().set_stride();
+    const Addr d = 2 * small_geo().set_stride();
+    c.read(b);
+    const CacheAccess third = c.read(d);  // evicts dirty 0x0
+    EXPECT_TRUE(third.dirty_eviction);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    ASSERT_TRUE(third.victim_line.has_value());
+    EXPECT_EQ(*third.victim_line * small_geo().line_bytes, 0x0u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLruState) {
+    Cache c = make_lru();
+    const Addr a = 0x0;
+    const Addr b = small_geo().set_stride();
+    const Addr d = 2 * small_geo().set_stride();
+    c.read(a);
+    c.read(b);
+    (void)c.probe(a);  // must NOT make a MRU
+    c.read(d);   // evicts a (still LRU)
+    EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, FlushEmptiesEverything) {
+    Cache c = make_lru();
+    c.read(0x0);
+    c.read(0x40);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, WarmInstallsWithoutStats) {
+    Cache c = make_lru();
+    c.warm(0x80);
+    EXPECT_TRUE(c.probe(0x80));
+    EXPECT_EQ(c.stats().accesses(), 0u);
+    EXPECT_TRUE(c.read(0x80).hit);
+}
+
+TEST(Cache, RandomReplacementStaysWithinSet) {
+    const CacheGeometry g{1024, 2, 32};
+    Cache c(g, ReplacementPolicy::kRandom, WritePolicy::kWriteBack,
+            AllocPolicy::kWriteAllocate, 42);
+    // Fill one set beyond capacity repeatedly; all other sets untouched.
+    for (int i = 0; i < 100; ++i) {
+        c.read((static_cast<Addr>(i) % 5) * g.set_stride());
+    }
+    // Lines in other sets must be absent.
+    EXPECT_FALSE(c.probe(32));
+}
+
+TEST(Cache, MissRatio) {
+    Cache c = make_lru();
+    c.read(0x0);
+    c.read(0x0);
+    c.read(0x0);
+    c.read(0x0);
+    EXPECT_DOUBLE_EQ(c.stats().miss_ratio(), 0.25);
+}
+
+}  // namespace
+}  // namespace rrb

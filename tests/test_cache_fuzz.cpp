@@ -1,0 +1,137 @@
+// Differential fuzzing: the set-associative Cache against a naive but
+// obviously-correct reference model (per-set list kept in recency order),
+// across random address streams and several geometries.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "sim/rng.h"
+
+namespace rrb {
+namespace {
+
+/// Reference LRU cache: per-set std::list, front = MRU.
+class ReferenceLru {
+public:
+    explicit ReferenceLru(CacheGeometry geometry) : geometry_(geometry) {}
+
+    bool read(Addr addr) {
+        auto& set = sets_[geometry_.set_of(addr)];
+        const std::uint64_t tag = geometry_.tag_of(addr);
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == tag) {
+                set.erase(it);
+                set.push_front(tag);
+                return true;  // hit
+            }
+        }
+        set.push_front(tag);
+        if (set.size() > geometry_.ways) set.pop_back();
+        return false;  // miss
+    }
+
+    [[nodiscard]] bool probe(Addr addr) const {
+        const auto it = sets_.find(geometry_.set_of(addr));
+        if (it == sets_.end()) return false;
+        const std::uint64_t tag = geometry_.tag_of(addr);
+        for (const std::uint64_t t : it->second) {
+            if (t == tag) return true;
+        }
+        return false;
+    }
+
+private:
+    CacheGeometry geometry_;
+    std::map<std::uint64_t, std::list<std::uint64_t>> sets_;
+};
+
+struct FuzzShape {
+    CacheGeometry geometry;
+    std::uint64_t seed;
+    std::uint64_t footprint;
+};
+
+class CacheDifferential : public ::testing::TestWithParam<FuzzShape> {};
+
+TEST_P(CacheDifferential, LruMatchesReferenceOnRandomStream) {
+    const FuzzShape shape = GetParam();
+    Cache cache(shape.geometry, ReplacementPolicy::kLru,
+                WritePolicy::kWriteBack, AllocPolicy::kWriteAllocate);
+    ReferenceLru reference(shape.geometry);
+    Pcg32 rng(shape.seed);
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr =
+            (rng.next_u32() % shape.footprint) & ~Addr{3};
+        const bool ref_hit = reference.read(addr);
+        const bool dut_hit = cache.read(addr).hit;
+        ASSERT_EQ(dut_hit, ref_hit) << "access " << i << " addr " << addr;
+    }
+
+    // Final-state agreement on a sample of addresses.
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = (rng.next_u32() % shape.footprint) & ~Addr{3};
+        ASSERT_EQ(cache.probe(addr), reference.probe(addr))
+            << "probe " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheDifferential,
+    ::testing::Values(FuzzShape{{1024, 2, 32}, 1, 8 * 1024},
+                      FuzzShape{{1024, 4, 32}, 2, 8 * 1024},
+                      FuzzShape{{16 * 1024, 4, 32}, 3, 64 * 1024},
+                      FuzzShape{{4096, 8, 64}, 4, 32 * 1024},
+                      FuzzShape{{512, 1, 32}, 5, 4 * 1024},
+                      FuzzShape{{2048, 4, 16}, 6, 16 * 1024}));
+
+TEST(CacheProperty, WorkingSetWithinWaysNeverMissesAfterWarmup) {
+    // For every geometry: touching at most W distinct same-set lines
+    // repeatedly never misses after the first pass (LRU and PLRU).
+    for (const ReplacementPolicy policy :
+         {ReplacementPolicy::kLru, ReplacementPolicy::kPlru}) {
+        const CacheGeometry g{4096, 4, 32};
+        Cache c(g, policy, WritePolicy::kWriteBack,
+                AllocPolicy::kWriteAllocate);
+        Pcg32 rng(77);
+        // Warm W lines of one set.
+        std::vector<Addr> lines;
+        for (std::uint32_t i = 0; i < g.ways; ++i) {
+            lines.push_back(0x40 + i * g.set_stride());
+            c.read(lines.back());
+        }
+        c.reset_stats();
+        for (int i = 0; i < 5000; ++i) {
+            c.read(lines[rng.next_below(
+                static_cast<std::uint32_t>(lines.size()))]);
+        }
+        EXPECT_EQ(c.stats().read_misses, 0u)
+            << "policy " << static_cast<int>(policy);
+    }
+}
+
+TEST(CacheProperty, StatsBalance) {
+    // hits + misses == accesses, and evictions <= misses (write-allocate).
+    const CacheGeometry g{1024, 2, 32};
+    Cache c(g, ReplacementPolicy::kLru, WritePolicy::kWriteBack,
+            AllocPolicy::kWriteAllocate);
+    Pcg32 rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr addr = rng.next_u32() % 8192;
+        if (rng.next_bool(0.3)) {
+            c.write(addr);
+        } else {
+            c.read(addr);
+        }
+    }
+    const CacheStats& s = c.stats();
+    EXPECT_EQ(s.hits() + s.misses(), s.accesses());
+    EXPECT_LE(s.evictions, s.misses());
+    EXPECT_LE(s.writebacks, s.evictions);
+}
+
+}  // namespace
+}  // namespace rrb

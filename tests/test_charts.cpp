@@ -1,0 +1,125 @@
+#include "stats/ascii_chart.h"
+#include "stats/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rrb {
+namespace {
+
+TEST(RenderSeries, EmptySeries) {
+    EXPECT_EQ(render_series({}), "(empty series)\n");
+}
+
+TEST(RenderSeries, PeaksTallerThanTroughs) {
+    const std::vector<double> ys = {1, 5, 1, 5, 1};
+    ChartOptions opts;
+    opts.height = 4;
+    const std::string chart = render_series(ys, opts);
+    // Top row has exactly the two peak columns filled.
+    const auto first_line = chart.substr(chart.find('|') + 1, 5);
+    EXPECT_EQ(first_line, " # # ");
+}
+
+TEST(RenderSeries, ConstantSeriesBottomRow) {
+    const std::vector<double> ys(5, 3.0);
+    const std::string chart = render_series(ys);
+    EXPECT_NE(chart.find("#####"), std::string::npos);
+}
+
+TEST(RenderSeries, DecimatesWideSeries) {
+    std::vector<double> ys(1000, 1.0);
+    ChartOptions opts;
+    opts.max_width = 50;
+    const std::string chart = render_series(ys, opts);
+    EXPECT_NE(chart.find("every 20th sample"), std::string::npos);
+}
+
+TEST(RenderSeries, TitleAndLabels) {
+    ChartOptions opts;
+    opts.title = "My Title";
+    opts.x_label = "k";
+    const std::string chart = render_series(std::vector<double>{1, 2}, opts);
+    EXPECT_EQ(chart.find("My Title"), 0u);
+    EXPECT_NE(chart.find("k\n"), std::string::npos);
+}
+
+TEST(RenderSeries, HeightValidation) {
+    ChartOptions opts;
+    opts.height = 1;
+    EXPECT_THROW(render_series(std::vector<double>{1.0}, opts),
+                 std::invalid_argument);
+}
+
+TEST(RenderHistogram, EmptyHistogram) {
+    EXPECT_EQ(render_histogram(Histogram{}), "(empty histogram)\n");
+}
+
+TEST(RenderHistogram, RowsSortedWithPercentages) {
+    Histogram h;
+    h.add(26, 98);
+    h.add(24, 2);
+    const std::string chart = render_histogram(h);
+    const auto pos24 = chart.find("24 |");
+    const auto pos26 = chart.find("26 |");
+    ASSERT_NE(pos24, std::string::npos);
+    ASSERT_NE(pos26, std::string::npos);
+    EXPECT_LT(pos24, pos26);
+    EXPECT_NE(chart.find("(98.00%)"), std::string::npos);
+}
+
+TEST(RenderTable, AlignsColumns) {
+    const std::vector<std::string> names = {"a", "b"};
+    const std::vector<std::vector<double>> cols = {{1.0, 2.0}, {3.5}};
+    const std::string table = render_table(names, cols, "k");
+    EXPECT_EQ(table.find("k\ta\tb"), 0u);
+    EXPECT_NE(table.find("0\t1\t3.500"), std::string::npos);
+    EXPECT_NE(table.find("1\t2\t-"), std::string::npos);
+}
+
+TEST(RenderTable, ValidatesShape) {
+    const std::vector<std::string> names = {"a"};
+    const std::vector<std::vector<double>> cols = {{1.0}, {2.0}};
+    EXPECT_THROW(render_table(names, cols), std::invalid_argument);
+}
+
+TEST(Csv, HeaderAndRows) {
+    const std::vector<std::string> names = {"x", "y"};
+    const std::vector<std::vector<double>> cols = {{1.0, 2.0}, {0.5, 0.25}};
+    const std::string csv = to_csv(names, cols);
+    EXPECT_EQ(csv.find("index,x,y\n"), 0u);
+    EXPECT_NE(csv.find("0,1,0.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("1,2,0.25\n"), std::string::npos);
+}
+
+TEST(Csv, MissingTrailingValuesEmpty) {
+    const std::vector<std::string> names = {"x", "y"};
+    const std::vector<std::vector<double>> cols = {{1.0, 2.0}, {9.0}};
+    const std::string csv = to_csv(names, cols);
+    EXPECT_NE(csv.find("1,2,\n"), std::string::npos);
+}
+
+TEST(Csv, ShapeValidation) {
+    const std::vector<std::string> names = {"x"};
+    const std::vector<std::vector<double>> cols = {{1.0}, {2.0}};
+    EXPECT_THROW(to_csv(names, cols), std::invalid_argument);
+}
+
+TEST(Csv, WriteTextFileRoundTrip) {
+    const std::string path = "/tmp/rrb_csv_test.csv";
+    ASSERT_TRUE(write_text_file(path, "index,x\n0,1\n"));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "index,x");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteTextFileFailsOnBadPath) {
+    EXPECT_FALSE(write_text_file("/nonexistent-dir/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,129 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rrb::cli {
+namespace {
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult invoke(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+    const CliResult r = invoke({});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("usage: rrbtool"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+    const CliResult r = invoke({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("estimate"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+    const CliResult r = invoke({"frobnicate"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+    const CliResult r = invoke({"estimate", "--bogus"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, FlagValueValidation) {
+    EXPECT_EQ(invoke({"estimate", "--cores"}).code, 1);
+    EXPECT_EQ(invoke({"estimate", "--cores", "abc"}).code, 1);
+    EXPECT_EQ(invoke({"estimate", "--csv"}).code, 1);
+}
+
+TEST(Cli, CalibrateReportsDeltaNop) {
+    const CliResult r = invoke({"calibrate"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("delta_nop = 1.0"), std::string::npos);
+}
+
+TEST(Cli, CalibrateSlowNop) {
+    const CliResult r = invoke({"calibrate", "--nop-latency", "3"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("delta_nop = 3.0"), std::string::npos);
+}
+
+TEST(Cli, EstimateOnSmallPlatform) {
+    // A small platform keeps the test fast: ubd = (2-1)*... use 4x5=15.
+    const CliResult r = invoke({"estimate", "--cores", "4", "--lbus", "5",
+                                "--kmax", "40", "--iterations", "20"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("ubd = 15 cycles"), std::string::npos);
+}
+
+TEST(Cli, EstimateTooShortSweepExitsTwo) {
+    const CliResult r = invoke({"estimate", "--kmax", "8",
+                                "--iterations", "10"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.out.find("no saw-tooth period"), std::string::npos);
+}
+
+TEST(Cli, BaselineReportsUnderestimate) {
+    const CliResult r = invoke({"baseline", "--iterations", "40"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("ubdm(max observed delay) = 26"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("true ubd = 27"), std::string::npos);
+}
+
+TEST(Cli, BaselineVarArchitecture) {
+    const CliResult r = invoke({"baseline", "--var", "--iterations", "40"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("ubdm(max observed delay) = 23"),
+              std::string::npos);
+}
+
+TEST(Cli, SweepEmitsCsv) {
+    const CliResult r = invoke({"sweep", "--cores", "4", "--lbus", "2",
+                                "--kmax", "14", "--iterations", "15"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.out.rfind("index,dbus\n", 0), 0u);
+    // 15 data rows (k = 0..14).
+    EXPECT_NE(r.out.find("\n14,"), std::string::npos);
+}
+
+TEST(Cli, SweepToFile) {
+    const std::string path = "/tmp/rrbtool_sweep_test.csv";
+    const CliResult r = invoke({"sweep", "--cores", "4", "--lbus", "2",
+                                "--kmax", "14", "--iterations", "15",
+                                "--csv", path});
+    EXPECT_EQ(r.code, 0);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "index,dbus");
+    std::remove(path.c_str());
+}
+
+TEST(Cli, EstimateWithStoreSpanCrossCheck) {
+    const CliResult r = invoke({"estimate", "--cores", "4", "--lbus", "5",
+                                "--kmax", "40", "--iterations", "15",
+                                "--store-span"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("AGREE"), std::string::npos);
+    EXPECT_NE(r.out.find("ubd = 15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrb::cli

@@ -1,0 +1,128 @@
+// Tests for the DRAM extensions: refresh and the closed-page policy.
+#include "dram/dram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrb {
+namespace {
+
+DramConfig base_config() {
+    DramConfig cfg;
+    cfg.capacity_bytes = 1 << 20;
+    return cfg;
+}
+
+TEST(DramRefresh, ValidationRules) {
+    DramConfig cfg = base_config();
+    cfg.refresh_interval = 100;
+    cfg.refresh_duration = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.refresh_duration = 100;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.refresh_duration = 26;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(DramRefresh, BlocksBanksDuringRefresh) {
+    DramConfig cfg = base_config();
+    cfg.refresh_interval = 100;
+    cfg.refresh_duration = 30;
+    MemoryController mc(cfg);
+
+    std::vector<Cycle> completions;
+    // Request arriving exactly at the refresh boundary waits out tRFC.
+    mc.enqueue({0, 0x0, false, 100, 0},
+               [&](const DramRequest&, Cycle done) {
+                   completions.push_back(done);
+               });
+    for (Cycle now = 0; now <= 200; ++now) mc.tick(now);
+
+    ASSERT_EQ(completions.size(), 1u);
+    const DramTiming t;
+    // Issue at 130 (refresh end), row closed by refresh -> ACT path.
+    EXPECT_EQ(completions[0],
+              130 + t.t_overhead + t.t_rcd + t.t_cl + t.t_burst);
+    EXPECT_EQ(mc.stats().refreshes, 2u);  // at 100 and 200
+}
+
+TEST(DramRefresh, ClosesOpenRows) {
+    DramConfig cfg = base_config();
+    cfg.refresh_interval = 1000;
+    cfg.refresh_duration = 26;
+    MemoryController mc(cfg);
+    int row_hits_after = -1;
+
+    mc.enqueue({0, 0x0, false, 0, 0}, nullptr);  // opens row 0
+    for (Cycle now = 0; now <= 999; ++now) mc.tick(now);
+    // Same row again, but after the refresh at 1000 it must be a miss.
+    mc.enqueue({0, 0x0, false, 1001, 0}, nullptr);
+    for (Cycle now = 1000; now <= 1100; ++now) mc.tick(now);
+    row_hits_after = static_cast<int>(mc.stats().row_hits);
+    EXPECT_EQ(row_hits_after, 0);
+    EXPECT_EQ(mc.stats().row_misses, 2u);
+}
+
+TEST(DramClosedPage, EveryAccessPaysActivation) {
+    DramConfig cfg = base_config();
+    cfg.page_policy = PagePolicy::kClosedPage;
+    MemoryController mc(cfg);
+    std::vector<Cycle> completions;
+    auto cb = [&](const DramRequest&, Cycle done) {
+        completions.push_back(done);
+    };
+    mc.enqueue({0, 0x0, false, 0, 0}, cb);
+    for (Cycle now = 0; now <= 40; ++now) mc.tick(now);
+    mc.enqueue({0, 0x0 + 32 * 4, false, 41, 0}, cb);  // same row!
+    for (Cycle now = 41; now <= 90; ++now) mc.tick(now);
+
+    ASSERT_EQ(completions.size(), 2u);
+    const DramTiming t;
+    const Cycle flat = t.t_overhead + t.t_rcd + t.t_cl + t.t_burst;
+    EXPECT_EQ(completions[0], flat);
+    EXPECT_EQ(completions[1], 41 + flat);  // no row-hit discount
+    EXPECT_EQ(mc.stats().row_hits, 0u);
+    EXPECT_EQ(mc.stats().row_misses, 2u);
+}
+
+TEST(DramClosedPage, BankBusyIncludesPrecharge) {
+    DramConfig cfg = base_config();
+    cfg.page_policy = PagePolicy::kClosedPage;
+    MemoryController mc(cfg);
+    std::vector<Cycle> completions;
+    auto cb = [&](const DramRequest&, Cycle done) {
+        completions.push_back(done);
+    };
+    // Two back-to-back accesses to the SAME bank: the second waits the
+    // auto-precharge tRP on top of the first access.
+    mc.enqueue({0, 0x0, false, 0, 0}, cb);
+    mc.enqueue({0, 0x0 + 32 * 4, false, 0, 0}, cb);
+    for (Cycle now = 0; now <= 80; ++now) mc.tick(now);
+
+    ASSERT_EQ(completions.size(), 2u);
+    const DramTiming t;
+    const Cycle flat = t.t_overhead + t.t_rcd + t.t_cl + t.t_burst;
+    EXPECT_EQ(completions[0], flat);
+    EXPECT_EQ(completions[1], flat + t.t_rp + flat);
+}
+
+TEST(DramClosedPage, NoRefreshInteractionCrash) {
+    DramConfig cfg = base_config();
+    cfg.page_policy = PagePolicy::kClosedPage;
+    cfg.refresh_interval = 50;
+    cfg.refresh_duration = 10;
+    MemoryController mc(cfg);
+    int done = 0;
+    for (int i = 0; i < 10; ++i) {
+        mc.enqueue({0, static_cast<Addr>(i) * 32, false,
+                    static_cast<Cycle>(i) * 7, 0},
+                   [&](const DramRequest&, Cycle) { ++done; });
+    }
+    for (Cycle now = 0; now <= 2000; ++now) mc.tick(now);
+    EXPECT_EQ(done, 10);
+    EXPECT_GT(mc.stats().refreshes, 10u);
+}
+
+}  // namespace
+}  // namespace rrb

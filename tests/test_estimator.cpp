@@ -1,0 +1,169 @@
+// End-to-end tests of the paper's methodology: ubd recovered from pure
+// execution-time measurements, with no bus-latency knowledge.
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/calibrate.h"
+#include "core/experiment.h"
+#include "kernels/rsk.h"
+
+namespace rrb {
+namespace {
+
+UbdEstimatorOptions fast_options(std::uint32_t k_max) {
+    UbdEstimatorOptions opt;
+    opt.k_max = k_max;
+    opt.unroll = 8;
+    opt.rsk_iterations = 30;
+    return opt;
+}
+
+TEST(Calibration, DeltaNopIsOneCycleOnNgmp) {
+    const NopCalibration cal =
+        calibrate_delta_nop(MachineConfig::ngmp_ref());
+    EXPECT_EQ(cal.rounded(), 1u);
+    EXPECT_LT(cal.residual(), 0.02);
+    EXPECT_GT(cal.nops_executed, 10000u);
+}
+
+TEST(Calibration, SlowNopPipeMeasured) {
+    // If nops took 2 cycles the calibration must say so (Section 4.2's
+    // "unlikely case delta_nop > 1").
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const std::size_t body = 1024;
+    const Program kernel = make_nop_kernel(body, 32, /*nop_latency=*/2);
+    const Measurement m = run_isolation(cfg, kernel);
+    const double per_nop = static_cast<double>(m.exec_time) /
+                           static_cast<double>(body * 32);
+    EXPECT_NEAR(per_nop, 2.0, 0.1);
+}
+
+TEST(Estimator, RecoversUbdOnTextbookSetup) {
+    // lbus = 2, ubd = 6 (Figure 3's platform).
+    const UbdEstimate e =
+        estimate_ubd(MachineConfig::textbook(), fast_options(16));
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 6u);
+    EXPECT_EQ(e.period_k, 6u);
+}
+
+TEST(Estimator, RecoversUbd27OnNgmpRef) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const UbdEstimate e = estimate_ubd(cfg, fast_options(60));
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, cfg.ubd_analytic());  // 27
+    EXPECT_TRUE(e.confidence.saturated);
+    EXPECT_GE(e.confidence.detector_votes, 2);
+}
+
+TEST(Estimator, RecoversUbd27OnNgmpVar) {
+    // Robustness (Section 5.3): the var architecture shifts the sweep's
+    // phase (peaks at 24/51 instead of 0/27/54) but not its period.
+    const MachineConfig cfg = MachineConfig::ngmp_var();
+    const UbdEstimate e = estimate_ubd(cfg, fast_options(60));
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 27u);
+}
+
+TEST(Estimator, SweepTooShortReportsNotFound) {
+    // k_max = 10 < one period (27): the estimator must say so rather than
+    // fabricate a bound.
+    const UbdEstimate e =
+        estimate_ubd(MachineConfig::ngmp_ref(), fast_options(10));
+    EXPECT_FALSE(e.found);
+    EXPECT_FALSE(e.confidence.warnings.empty());
+}
+
+TEST(Estimator, DbusSeriesIsPeriodicWithUbd) {
+    const UbdEstimate e =
+        estimate_ubd(MachineConfig::textbook(), fast_options(18));
+    ASSERT_TRUE(e.found);
+    ASSERT_EQ(e.dbus.size(), 19u);
+    for (std::size_t k = 0; k + 6 < e.dbus.size(); ++k) {
+        EXPECT_NEAR(e.dbus[k], e.dbus[k + 6], e.dbus[k] * 0.02 + 1.0)
+            << "k " << k;
+    }
+}
+
+TEST(Estimator, IsolationTimeGrowsWithK) {
+    // More nops = longer isolated execution; sanity of the sweep data.
+    const UbdEstimate e =
+        estimate_ubd(MachineConfig::textbook(), fast_options(12));
+    ASSERT_GE(e.et_isolation.size(), 12u);
+    EXPECT_LT(e.et_isolation.front(), e.et_isolation.back());
+}
+
+TEST(Estimator, OptionValidation) {
+    EXPECT_THROW(estimate_ubd(MachineConfig::textbook(), [] {
+                     UbdEstimatorOptions o;
+                     o.k_max = 2;
+                     return o;
+                 }()),
+                 std::invalid_argument);
+}
+
+class SlowNopSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlowNopSweep, AliasedSweepStillRecoversUbd) {
+    // Section 4.2's delta_nop > 1 case, including the aliasing trap:
+    // delta_nop = 2 yields period_k = 27 (gcd(27,2) = 1), where the naive
+    // period_k * delta_nop conversion would report 54. The amplitude
+    // disambiguation must recover 27 for every nop latency.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    UbdEstimatorOptions opt = fast_options(70);
+    opt.rsk_iterations = 20;
+    opt.nop_latency = GetParam();
+    const UbdEstimate e = estimate_ubd(cfg, opt);
+    ASSERT_TRUE(e.found) << "nop latency " << GetParam();
+    EXPECT_EQ(e.ubd, 27u) << "nop latency " << GetParam();
+    EXPECT_NEAR(e.confidence.nop.delta_nop, GetParam(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(NopLatencies, SlowNopSweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+class EstimatorPlatformSweep
+    : public ::testing::TestWithParam<std::tuple<CoreId, Cycle>> {};
+
+TEST_P(EstimatorPlatformSweep, UbdEqualsEquationOne) {
+    // The headline property: for every platform shape, the measured ubd
+    // equals (Nc - 1) * lbus with zero knowledge of lbus.
+    const auto [num_cores, lbus] = GetParam();
+    const MachineConfig cfg = MachineConfig::scaled(num_cores, lbus);
+
+    const Cycle expected = cfg.ubd_analytic();
+    const auto k_max = static_cast<std::uint32_t>(expected * 5 / 2 + 4);
+    const UbdEstimate e = estimate_ubd(cfg, fast_options(k_max));
+    ASSERT_TRUE(e.found) << "Nc=" << num_cores << " lbus=" << lbus;
+    EXPECT_EQ(e.ubd, expected) << "Nc=" << num_cores << " lbus=" << lbus;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, EstimatorPlatformSweep,
+    ::testing::Values(std::make_tuple(3u, Cycle{9}),
+                      std::make_tuple(4u, Cycle{2}),
+                      std::make_tuple(4u, Cycle{5}),
+                      std::make_tuple(4u, Cycle{13}),
+                      std::make_tuple(8u, Cycle{5})));
+
+TEST(Estimator, TwoCoreLoadContenderIsConservativeAndFlagged) {
+    // With Nc = 2 a single load rsk cannot saturate the bus (its DL1
+    // lookup leaves a 1-cycle hole per rotation). The measured period
+    // becomes lbus + delta_rsk — a conservative over-approximation of
+    // ubd = lbus — and the confidence check must flag the missing
+    // saturation so the user knows the estimate is not tight.
+    for (const Cycle lbus : {Cycle{5}, Cycle{9}}) {
+        const MachineConfig cfg = MachineConfig::scaled(2, lbus);
+        const Cycle exact = cfg.ubd_analytic();
+        const UbdEstimate e = estimate_ubd(cfg, fast_options(30));
+        ASSERT_TRUE(e.found) << "lbus=" << lbus;
+        EXPECT_GE(e.ubd, exact);                  // never optimistic
+        EXPECT_EQ(e.ubd, exact + 1);              // window + delta_rsk
+        EXPECT_FALSE(e.confidence.saturated);     // and the user is told
+        EXPECT_FALSE(e.confidence.warnings.empty());
+    }
+}
+
+}  // namespace
+}  // namespace rrb

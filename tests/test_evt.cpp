@@ -1,0 +1,107 @@
+#include "stats/evt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rrb {
+namespace {
+
+/// Draws a Gumbel(mu, beta) sample via inverse-CDF sampling.
+std::vector<double> gumbel_sample(double mu, double beta, std::size_t n,
+                                  std::uint64_t seed) {
+    Pcg32 rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double u = rng.next_double();
+        if (u <= 0.0) u = 1e-12;
+        xs.push_back(mu - beta * std::log(-std::log(u)));
+    }
+    return xs;
+}
+
+TEST(GumbelFit, RecoversKnownParameters) {
+    const auto xs = gumbel_sample(1000.0, 50.0, 20000, 42);
+    const GumbelFit fit = fit_gumbel(xs);
+    ASSERT_TRUE(fit.valid());
+    EXPECT_NEAR(fit.mu, 1000.0, 5.0);
+    EXPECT_NEAR(fit.beta, 50.0, 3.0);
+}
+
+TEST(GumbelFit, DegenerateSamples) {
+    EXPECT_FALSE(fit_gumbel({}).valid());
+    const std::vector<double> one = {3.0};
+    EXPECT_FALSE(fit_gumbel(one).valid());
+    const std::vector<double> constant(10, 5.0);
+    EXPECT_FALSE(fit_gumbel(constant).valid());  // beta = 0
+}
+
+TEST(GumbelFit, QuantileInvertsCdf) {
+    GumbelFit fit;
+    fit.mu = 100.0;
+    fit.beta = 10.0;
+    fit.sample_size = 100;
+    for (const double p : {0.01, 0.5, 0.9, 0.999}) {
+        EXPECT_NEAR(fit.cdf(fit.quantile(p)), p, 1e-12);
+    }
+}
+
+TEST(GumbelFit, QuantileMonotone) {
+    GumbelFit fit;
+    fit.mu = 0.0;
+    fit.beta = 1.0;
+    fit.sample_size = 10;
+    EXPECT_LT(fit.quantile(0.1), fit.quantile(0.5));
+    EXPECT_LT(fit.quantile(0.5), fit.quantile(0.99));
+}
+
+TEST(GumbelFit, PwcetGrowsAsExceedanceShrinks) {
+    const auto xs = gumbel_sample(1000.0, 50.0, 5000, 7);
+    const GumbelFit fit = fit_gumbel(xs);
+    EXPECT_LT(fit.pwcet(1e-3), fit.pwcet(1e-6));
+    EXPECT_LT(fit.pwcet(1e-6), fit.pwcet(1e-9));
+}
+
+TEST(GumbelFit, PwcetDominatesSampleMax) {
+    // At an exceedance far below 1/n, the pWCET must exceed the largest
+    // observation.
+    const auto xs = gumbel_sample(500.0, 20.0, 1000, 99);
+    const GumbelFit fit = fit_gumbel(xs);
+    double max_seen = xs[0];
+    for (const double x : xs) max_seen = std::max(max_seen, x);
+    EXPECT_GT(fit.pwcet(1e-9), max_seen);
+}
+
+TEST(GumbelFit, ValidatesProbabilityArguments) {
+    GumbelFit fit;
+    fit.mu = 0.0;
+    fit.beta = 1.0;
+    fit.sample_size = 10;
+    EXPECT_THROW((void)fit.quantile(0.0), std::invalid_argument);
+    EXPECT_THROW((void)fit.quantile(1.0), std::invalid_argument);
+    EXPECT_THROW((void)fit.pwcet(0.0), std::invalid_argument);
+}
+
+TEST(BlockMaxima, ReducesBlocks) {
+    const std::vector<double> xs = {1, 5, 2, 7, 3, 4, 9, 0};
+    const auto maxima = block_maxima(xs, 2);
+    EXPECT_EQ(maxima, (std::vector<double>{5, 7, 4, 9}));
+}
+
+TEST(BlockMaxima, DropsPartialTail) {
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const auto maxima = block_maxima(xs, 2);
+    EXPECT_EQ(maxima.size(), 2u);
+}
+
+TEST(BlockMaxima, ValidatesBlockSize) {
+    const std::vector<double> xs = {1.0};
+    EXPECT_THROW(block_maxima(xs, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,138 @@
+// Tests of the measurement harness itself: warm-up discipline,
+// determinism, deadline handling, and PMC plumbing.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/autobench.h"
+#include "kernels/rsk.h"
+#include "machine/machine.h"
+
+namespace rrb {
+namespace {
+
+Program small_rsk(std::uint64_t iterations = 20) {
+    RskParams p;
+    p.unroll = 4;
+    p.iterations = iterations;
+    return make_rsk(p);
+}
+
+TEST(Experiment, IsolationIsDeterministic) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Measurement a = run_isolation(cfg, small_rsk());
+    const Measurement b = run_isolation(cfg, small_rsk());
+    EXPECT_EQ(a.exec_time, b.exec_time);
+    EXPECT_EQ(a.bus_requests, b.bus_requests);
+}
+
+TEST(Experiment, ContentionIsDeterministic) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams cp;
+    cp.data_base = 0x0800'0000;
+    const std::vector<Program> contenders = {make_rsk(cp)};
+    const Measurement a = run_contention(cfg, small_rsk(), contenders);
+    const Measurement b = run_contention(cfg, small_rsk(), contenders);
+    EXPECT_EQ(a.exec_time, b.exec_time);
+    EXPECT_EQ(a.max_gamma, b.max_gamma);
+}
+
+TEST(Experiment, ContentionNeverFasterThanIsolation) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    for (const Autobench kernel :
+         {Autobench::kCacheb, Autobench::kTblook, Autobench::kMatrix}) {
+        const Program scua = make_autobench(kernel, 0x0100'0000, 100, 3);
+        const SlowdownResult r = run_slowdown(
+            cfg, scua, {small_rsk()});
+        EXPECT_GE(r.contention.exec_time, r.isolation.exec_time)
+            << to_string(kernel);
+    }
+}
+
+TEST(Experiment, WarmupRemovesColdIfetchRequests) {
+    // The static-footprint warm-up must eliminate every cold code/data
+    // miss for an rsk (fixed addresses): the request count becomes
+    // exactly loads + boundary effects.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Program rsk = small_rsk(10);
+    const Measurement m = run_isolation(cfg, rsk);
+    const std::uint64_t loads = rsk.body.size() * rsk.iterations;
+    EXPECT_EQ(m.bus_requests, loads);
+}
+
+TEST(Experiment, DeadlineReportedNotFabricated) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Measurement m = run_isolation(cfg, small_rsk(1'000'000), 0, 1000);
+    EXPECT_TRUE(m.deadline_reached);
+    EXPECT_EQ(m.exec_time, 1000u);
+}
+
+TEST(Experiment, ScuaCoreSelectable) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams cp;
+    cp.data_base = 0x0800'0000;
+    const Measurement m =
+        run_contention(cfg, small_rsk(), {make_rsk(cp)}, /*scua_core=*/2);
+    EXPECT_GT(m.bus_requests, 0u);
+    EXPECT_FALSE(m.gamma.empty());
+}
+
+TEST(Experiment, ScuaCoreOutOfRangeRejected) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    EXPECT_THROW(run_isolation(cfg, small_rsk(), 7), std::invalid_argument);
+    EXPECT_THROW(run_contention(cfg, small_rsk(), {small_rsk()}, 9),
+                 std::invalid_argument);
+}
+
+TEST(Experiment, NoContendersRejected) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    EXPECT_THROW(run_contention(cfg, small_rsk(), {}),
+                 std::invalid_argument);
+}
+
+TEST(Experiment, FewerContendersThanCoresAreCycled) {
+    // One contender program, three contender cores: the program must be
+    // replicated across all of them.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams cp;
+    cp.data_base = 0x0800'0000;
+    const Measurement m =
+        run_contention(cfg, small_rsk(50), {make_rsk(cp)});
+    // With all three contender cores running rsk, nearly every scua
+    // request sees 3 ready contenders.
+    EXPECT_GE(m.ready_contenders.fraction(3), 0.9);
+}
+
+TEST(Experiment, UtilizationPmcsConsistent) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams cp;
+    cp.data_base = 0x0800'0000;
+    const Measurement m = run_contention(cfg, small_rsk(80), {make_rsk(cp)});
+    EXPECT_GT(m.bus_utilization, 0.9);
+    EXPECT_GT(m.scua_bus_share, 0.1);
+    EXPECT_LE(m.scua_bus_share, m.bus_utilization);
+}
+
+TEST(Experiment, InjectionDeltaHistogramExposed) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Measurement m = run_isolation(cfg, small_rsk(30));
+    ASSERT_FALSE(m.injection_delta.empty());
+    EXPECT_EQ(m.injection_delta.mode(), cfg.core.dl1_latency);
+}
+
+TEST(Experiment, MachineRunsAreIndependent) {
+    // Two machines built from one config must not share state.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    Machine m1(cfg);
+    Machine m2(cfg);
+    m1.load_program(0, small_rsk(5));
+    m2.load_program(0, small_rsk(5));
+    m1.warm_static_footprint(0);
+    const RunResult r1 = m1.run(1'000'000);
+    const RunResult r2 = m2.run(1'000'000);
+    // m2 was not warmed: cold misses make it slower.
+    EXPECT_LT(r1.finish_cycle[0], r2.finish_cycle[0]);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,159 @@
+// Golden-trace tests: exact arbitration sequences for the paper's
+// didactic scenarios, asserted grant by grant. These pin the simulator's
+// cycle-level behaviour so that any future timing change that would
+// silently shift the figures fails loudly here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/analytic.h"
+#include "kernels/rsk.h"
+#include "machine/machine.h"
+
+namespace rrb {
+namespace {
+
+struct Grant {
+    Cycle cycle;
+    CoreId core;
+};
+
+std::vector<Grant> grant_trace(Machine& machine, Cycle from, Cycle to) {
+    std::vector<Grant> grants;
+    for (const TraceEvent& e : machine.tracer().events()) {
+        if (e.kind != TraceKind::kBusGrant) continue;
+        if (e.cycle < from || e.cycle > to) continue;
+        grants.push_back({e.cycle, e.core});
+    }
+    return grants;
+}
+
+/// Builds the Figure 2/5 machine: scua = rsk-nop(k) on core 3, rsk on
+/// cores 0-2, lbus = 2, all footprints warm.
+std::unique_ptr<Machine> make_textbook_machine(std::uint32_t k) {
+    auto machine_ptr = std::make_unique<Machine>(MachineConfig::textbook());
+    Machine& machine = *machine_ptr;
+    machine.tracer().enable();
+    RskParams scua;
+    scua.iterations = 100;
+    scua.data_base = 0x0070'0000;
+    scua.code_base = 0x0003'0000;
+    machine.load_program(3, make_rsk_nop(scua, k));
+    machine.warm_static_footprint(3);
+    for (CoreId c = 0; c < 3; ++c) {
+        RskParams p;
+        p.iterations = 100000;
+        p.data_base = 0x0010'0000 + c * 0x0010'0000;
+        p.code_base = c * 0x0001'0000;
+        machine.load_program(c, make_rsk(p));
+        machine.warm_static_footprint(c);
+    }
+    return machine_ptr;
+}
+
+TEST(GoldenTrace, SaturatedRotationIsStrictlyPeriodic) {
+    // Four saturated rsk (delta = 1 each): after the transient, grants
+    // occur every lbus cycles in strict core rotation.
+    Machine machine(MachineConfig::textbook());
+    machine.tracer().enable();
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams p;
+        p.iterations = 200;
+        p.data_base = 0x0010'0000 + c * 0x0010'0000;
+        p.code_base = c * 0x0001'0000;
+        machine.load_program(c, make_rsk(p));
+        machine.warm_static_footprint(c);
+    }
+    machine.run_until_core(0, 100000);
+    const auto grants = grant_trace(machine, 100, 400);
+    ASSERT_GE(grants.size(), 100u);
+    for (std::size_t i = 1; i < grants.size(); ++i) {
+        EXPECT_EQ(grants[i].cycle - grants[i - 1].cycle, 2u) << i;
+        EXPECT_EQ(grants[i].core, (grants[i - 1].core + 1) % 4) << i;
+    }
+}
+
+TEST(GoldenTrace, Figure5GammaLadder) {
+    // The k = 1, 2, 5, 6 ladder of Figure 5: gamma = 4, 3, 0, 5.
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> ladder = {
+        {1, 4}, {2, 3}, {5, 0}, {6, 5}};
+    for (const auto& [k, gamma] : ladder) {
+        const std::unique_ptr<Machine> machine = make_textbook_machine(k);
+        machine->run_until_core(3, 100000);
+        EXPECT_EQ(machine->bus().counters(3).gamma.mode(), gamma)
+            << "k = " << k;
+    }
+}
+
+TEST(GoldenTrace, ScuaGrantSpacingEqualsWindow) {
+    // Under the synchrony effect the scua is served exactly once per
+    // rotation: consecutive scua grants are (gamma + delta + lbus)
+    // cycles apart = ubd + delta when gamma = Eq.2(delta)... for delta=2
+    // (k=1): spacing = lbus*Nc = 8 while gamma = 4.
+    const std::unique_ptr<Machine> machine = make_textbook_machine(1);
+    machine->run_until_core(3, 100000);
+    const auto grants = grant_trace(*machine, 100, 500);
+    std::vector<Cycle> scua_grants;
+    for (const Grant& g : grants) {
+        if (g.core == 3) scua_grants.push_back(g.cycle);
+    }
+    ASSERT_GE(scua_grants.size(), 10u);
+    for (std::size_t i = 1; i < scua_grants.size(); ++i) {
+        EXPECT_EQ(scua_grants[i] - scua_grants[i - 1], 8u) << i;
+    }
+}
+
+TEST(GoldenTrace, NgmpRotationPeriodIs36) {
+    // On the real NGMP numbers (lbus = 9, 4 cores), the saturated
+    // rotation window is Nc * lbus = 36 cycles.
+    Machine machine(MachineConfig::ngmp_ref());
+    machine.tracer().enable();
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams p;
+        p.iterations = 100;
+        p.data_base = 0x0010'0000 + c * 0x0010'0000;
+        p.code_base = c * 0x0001'0000;
+        machine.load_program(c, make_rsk(p));
+        machine.warm_static_footprint(c);
+    }
+    machine.run_until_core(0, 100000);
+    const auto grants = grant_trace(machine, 200, 600);
+    std::vector<Cycle> core0;
+    for (const Grant& g : grants) {
+        if (g.core == 0) core0.push_back(g.cycle);
+    }
+    ASSERT_GE(core0.size(), 5u);
+    for (std::size_t i = 1; i < core0.size(); ++i) {
+        EXPECT_EQ(core0[i] - core0[i - 1], 36u);
+    }
+}
+
+TEST(GoldenTrace, TimelineRenderingIsStable) {
+    // The rendered ASCII timeline for the saturated textbook machine is a
+    // golden artifact: '##' blocks every 8 columns per core.
+    Machine machine(MachineConfig::textbook());
+    machine.tracer().enable();
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams p;
+        p.iterations = 100;
+        p.data_base = 0x0010'0000 + c * 0x0010'0000;
+        p.code_base = c * 0x0001'0000;
+        machine.load_program(c, make_rsk(p));
+        machine.warm_static_footprint(c);
+    }
+    machine.run_until_core(0, 100000);
+    const std::string timeline =
+        machine.tracer().render_bus_timeline(200, 231, 4);
+    // Each row: exactly 8 '#' (4 service slots of 2 cycles in 32 cycles).
+    std::size_t row_start = 0;
+    for (CoreId c = 0; c < 4; ++c) {
+        const std::size_t row_end = timeline.find('\n', row_start);
+        const std::string row = timeline.substr(row_start, row_end - row_start);
+        EXPECT_EQ(std::count(row.begin(), row.end(), '#'), 8) << row;
+        row_start = row_end + 1;
+    }
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,106 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+TEST(Histogram, EmptyBasics) {
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(3), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_THROW((void)h.min(), std::invalid_argument);
+    EXPECT_THROW((void)h.max(), std::invalid_argument);
+    EXPECT_THROW((void)h.mode(), std::invalid_argument);
+}
+
+TEST(Histogram, AddAndCount) {
+    Histogram h;
+    h.add(5);
+    h.add(5);
+    h.add(7, 3);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(5), 2u);
+    EXPECT_EQ(h.count(7), 3u);
+    EXPECT_EQ(h.count(6), 0u);
+}
+
+TEST(Histogram, AddZeroCountIsNoop) {
+    Histogram h;
+    h.add(5, 0);
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, MinMaxMeanMode) {
+    Histogram h;
+    h.add(1, 1);
+    h.add(2, 5);
+    h.add(10, 2);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_EQ(h.mode(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 10.0 + 20.0) / 8.0);
+    EXPECT_DOUBLE_EQ(h.mode_fraction(), 5.0 / 8.0);
+}
+
+TEST(Histogram, ModeTieBreaksToSmallestValue) {
+    Histogram h;
+    h.add(4, 3);
+    h.add(9, 3);
+    EXPECT_EQ(h.mode(), 4u);
+}
+
+TEST(Histogram, Fraction) {
+    Histogram h;
+    h.add(0, 98);
+    h.add(1, 2);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.98);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.02);
+}
+
+TEST(Histogram, QuantileNearestRank) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v) h.add(v);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(0.1), 1u);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRange) {
+    Histogram h;
+    h.add(1);
+    EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsSortedByValue) {
+    Histogram h;
+    h.add(9);
+    h.add(2);
+    h.add(5);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0].first, 2u);
+    EXPECT_EQ(buckets[1].first, 5u);
+    EXPECT_EQ(buckets[2].first, 9u);
+}
+
+TEST(Histogram, Merge) {
+    Histogram a;
+    a.add(1, 2);
+    a.add(3, 1);
+    Histogram b;
+    b.add(3, 4);
+    b.add(7, 1);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 8u);
+    EXPECT_EQ(a.count(3), 5u);
+    EXPECT_EQ(a.count(7), 1u);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,148 @@
+// Cross-module integration tests: the full pipeline a downstream user
+// would run, plus the paper's qualitative claims end to end.
+#include <gtest/gtest.h>
+
+#include "core/rrb.h"
+
+namespace rrb {
+namespace {
+
+TEST(Integration, FullMethodologyMatchesEquationOneOnBothSetups) {
+    for (const bool variant : {false, true}) {
+        const MachineConfig cfg =
+            variant ? MachineConfig::ngmp_var() : MachineConfig::ngmp_ref();
+        UbdEstimatorOptions opt;
+        opt.k_max = 60;
+        opt.unroll = 8;
+        opt.rsk_iterations = 25;
+        const UbdEstimate e = estimate_ubd(cfg, opt);
+        ASSERT_TRUE(e.found);
+        EXPECT_EQ(e.ubd, cfg.ubd_analytic());
+        EXPECT_TRUE(e.confidence.saturated);
+    }
+}
+
+TEST(Integration, MethodologyBeatsNaiveBaseline) {
+    // The whole point of the paper: the rsk-nop estimate is exact where
+    // the naive one is short.
+    const MachineConfig cfg = MachineConfig::ngmp_var();
+    UbdEstimatorOptions opt;
+    opt.k_max = 60;
+    opt.unroll = 8;
+    opt.rsk_iterations = 25;
+    const UbdEstimate ours = estimate_ubd(cfg, opt);
+    const NaiveUbdm naive = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 60);
+    ASSERT_TRUE(ours.found);
+    EXPECT_EQ(ours.ubd, 27u);
+    EXPECT_EQ(naive.ubdm_max_gamma, 23u);
+    EXPECT_LT(naive.ubdm_max_gamma, ours.ubd);
+}
+
+TEST(Integration, EtbPaddingBoundsObservedWorstCase) {
+    // MBTA usage (Section 4.3): ETB = et_isol + nr * ubdm must bound the
+    // execution time under the harshest rsk contention.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, 400, 11);
+    const EtbResult etb =
+        compute_and_validate_etb(cfg, scua, cfg.ubd_analytic());
+    EXPECT_TRUE(etb.bounded());
+    EXPECT_GE(etb.pessimism(), 1.0);
+    EXPECT_GT(etb.nr, 0u);
+    EXPECT_EQ(etb.etb, etb.et_isolation + etb.nr * 27u);
+}
+
+TEST(Integration, UnderestimatedUbdmCanMissTheBound) {
+    // Using the naive ubdm (26) still bounds most programs, but the pad
+    // is strictly smaller than with the true ubd — quantify the gap.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, 200, 5);
+    const EtbResult with_true = compute_and_validate_etb(cfg, scua, 27);
+    const EtbResult with_naive = compute_and_validate_etb(cfg, scua, 26);
+    EXPECT_LT(with_naive.etb, with_true.etb);
+    EXPECT_EQ(with_true.etb - with_naive.etb, with_true.nr);
+}
+
+TEST(Integration, EembcWorkloadsSeeFewReadyContenders) {
+    // Figure 6(a), dark bars: with real workloads the scua finds the bus
+    // "empty or with one contender most of the times".
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const std::vector<Program> wl = random_autobench_workload(4, 21, 300);
+    const Measurement m = run_contention(
+        cfg, wl[0], {wl.begin() + 1, wl.end()}, 0, 200'000'000);
+    ASSERT_FALSE(m.deadline_reached);
+    ASSERT_FALSE(m.ready_contenders.empty());
+    const double few = m.ready_contenders.fraction(0) +
+                       m.ready_contenders.fraction(1);
+    EXPECT_GE(few, 0.5);
+}
+
+TEST(Integration, RskWorkloadSeesAllContendersReady) {
+    // Figure 6(a), light bars: 4 rsk -> on almost every request all other
+    // cores are contending.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams p;
+    p.iterations = 100;
+    const Program scua = make_rsk(p);
+    const Measurement m = run_contention(
+        cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad), 0, 100'000'000);
+    ASSERT_FALSE(m.deadline_reached);
+    EXPECT_GE(m.ready_contenders.fraction(3), 0.95);
+}
+
+TEST(Integration, SaturationUtilizationNearOne) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams p;
+    p.iterations = 150;
+    const Measurement m = run_contention(
+        cfg, make_rsk(p), make_rsk_contenders(cfg, OpKind::kLoad), 0,
+        100'000'000);
+    EXPECT_GE(m.bus_utilization, 0.97);
+}
+
+TEST(Integration, TracerTimelineShowsRotation) {
+    // Figure 2-style check: under saturation the grant order must cycle
+    // through the cores in strict rotation.
+    Machine m(MachineConfig::textbook());
+    m.tracer().enable();
+    RskParams p;
+    p.iterations = 20;
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams pc = p;
+        pc.data_base = 0x0010'0000 + c * 0x0010'0000;
+        pc.code_base = c * 0x0001'0000;
+        m.load_program(c, make_rsk(pc));
+    }
+    m.run_until_core(0, 1'000'000);
+    const auto grants = m.tracer().filtered([](const TraceEvent& e) {
+        return e.kind == TraceKind::kBusGrant;
+    });
+    ASSERT_GE(grants.size(), 40u);
+    // After the warm-up, consecutive grants differ by +1 (mod 4).
+    for (std::size_t i = grants.size() - 20; i + 1 < grants.size(); ++i) {
+        EXPECT_EQ((grants[i].core + 1) % 4, grants[i + 1].core);
+    }
+}
+
+TEST(Integration, StoreSweepShowsRampThenZero) {
+    // Figure 7(b) shape: slowdown ~ nr*ubd at small k, then a descending
+    // ramp, then exactly zero once delta exceeds the drain slot period.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    RskParams p;
+    p.access = OpKind::kStore;
+    p.unroll = 8;
+    p.iterations = 25;
+    std::vector<double> dbus;
+    for (const std::uint32_t k : {1u, 20u, 50u}) {
+        const Program scua = make_rsk_nop(p, k);
+        const SlowdownResult r = run_slowdown(
+            cfg, scua, make_rsk_contenders(cfg, OpKind::kStore));
+        dbus.push_back(static_cast<double>(r.slowdown()));
+    }
+    EXPECT_GT(dbus[0], dbus[1]);  // ramp decreasing
+    EXPECT_NEAR(dbus[2], 0.0, 64.0);  // hidden by the buffer
+}
+
+}  // namespace
+}  // namespace rrb

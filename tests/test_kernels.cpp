@@ -1,0 +1,166 @@
+#include "kernels/autobench.h"
+#include "kernels/rsk.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rrb {
+namespace {
+
+TEST(Rsk, BodyIsWPlusOneLoadsPerGroup) {
+    RskParams p;
+    p.unroll = 4;
+    const Program rsk = make_rsk(p);
+    const std::uint32_t w = p.dl1_geometry.ways;
+    EXPECT_EQ(rsk.body.size(), 4u * (w + 1));
+    EXPECT_EQ(rsk.count(OpKind::kLoad), 4u * (w + 1));
+    EXPECT_EQ(rsk.count(OpKind::kNop), 0u);
+}
+
+TEST(Rsk, AllLoadsMapToSameDl1Set) {
+    RskParams p;
+    const Program rsk = make_rsk(p);
+    const std::uint64_t set0 = p.dl1_geometry.set_of(rsk.body[0].addr.base);
+    for (const Instruction& instr : rsk.body) {
+        EXPECT_EQ(p.dl1_geometry.set_of(instr.addr.base), set0);
+    }
+}
+
+TEST(Rsk, GroupExceedsWays) {
+    // W+1 distinct tags in one set: with LRU every access must miss.
+    RskParams p;
+    p.unroll = 1;
+    const Program rsk = make_rsk(p);
+    std::set<Addr> distinct;
+    for (const Instruction& instr : rsk.body) distinct.insert(instr.addr.base);
+    EXPECT_EQ(distinct.size(), p.dl1_geometry.ways + 1u);
+}
+
+TEST(RskNop, InsertsKNopsPerAccess) {
+    RskParams p;
+    p.unroll = 2;
+    const Program rsk = make_rsk_nop(p, 5);
+    const std::uint32_t w = p.dl1_geometry.ways;
+    EXPECT_EQ(rsk.count(OpKind::kLoad), 2u * (w + 1));
+    EXPECT_EQ(rsk.count(OpKind::kNop), 2u * (w + 1) * 5u);
+    // Pattern: load, nop x5, load, nop x5, ...
+    EXPECT_EQ(rsk.body[0].kind, OpKind::kLoad);
+    for (std::size_t i = 1; i <= 5; ++i) {
+        EXPECT_EQ(rsk.body[i].kind, OpKind::kNop);
+    }
+    EXPECT_EQ(rsk.body[6].kind, OpKind::kLoad);
+}
+
+TEST(RskNop, KZeroEqualsPlainRsk) {
+    RskParams p;
+    const Program a = make_rsk(p);
+    const Program b = make_rsk_nop(p, 0);
+    EXPECT_EQ(a.body.size(), b.body.size());
+}
+
+TEST(Rsk, StoreVariant) {
+    RskParams p;
+    p.access = OpKind::kStore;
+    p.unroll = 1;
+    const Program rsk = make_rsk(p);
+    EXPECT_EQ(rsk.count(OpKind::kStore), p.dl1_geometry.ways + 1u);
+    EXPECT_EQ(rsk.count(OpKind::kLoad), 0u);
+}
+
+TEST(Rsk, RejectsNonMemoryAccessKind) {
+    RskParams p;
+    p.access = OpKind::kNop;
+    EXPECT_THROW(make_rsk(p), std::invalid_argument);
+}
+
+TEST(NopKernel, AllNops) {
+    const Program k = make_nop_kernel(128, 10);
+    EXPECT_EQ(k.body.size(), 128u);
+    EXPECT_EQ(k.count(OpKind::kNop), 128u);
+    EXPECT_EQ(k.iterations, 10u);
+}
+
+TEST(NopKernel, CustomLatency) {
+    const Program k = make_nop_kernel(4, 1, 3);
+    for (const Instruction& instr : k.body) EXPECT_EQ(instr.latency, 3u);
+}
+
+TEST(Autobench, AllSixteenKernelsBuild) {
+    EXPECT_EQ(all_autobench().size(), 16u);
+    for (const Autobench kernel : all_autobench()) {
+        const Program p = make_autobench(kernel, 0x100000, 10, 1);
+        EXPECT_FALSE(p.body.empty()) << to_string(kernel);
+        EXPECT_EQ(p.iterations, 10u);
+        EXPECT_STREQ(p.name.c_str(), to_string(kernel));
+    }
+}
+
+TEST(Autobench, NamesAreDistinct) {
+    std::set<std::string> names;
+    for (const Autobench kernel : all_autobench()) {
+        names.insert(to_string(kernel));
+    }
+    EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(Autobench, KernelsHaveDistinctOpMixes) {
+    // The suite must be heterogeneous: not all kernels share one load
+    // count.
+    std::set<std::uint64_t> load_counts;
+    for (const Autobench kernel : all_autobench()) {
+        const Program p = make_autobench(kernel, 0, 1, 1);
+        load_counts.insert(p.count(OpKind::kLoad));
+    }
+    EXPECT_GE(load_counts.size(), 5u);
+}
+
+TEST(Autobench, DeterministicForSameSeed) {
+    const Program a = make_autobench(Autobench::kTblook, 0x1000, 5, 42);
+    const Program b = make_autobench(Autobench::kTblook, 0x1000, 5, 42);
+    ASSERT_EQ(a.body.size(), b.body.size());
+    for (std::size_t i = 0; i < a.body.size(); ++i) {
+        EXPECT_EQ(a.body[i].kind, b.body[i].kind);
+        EXPECT_EQ(a.body[i].addr.address(7), b.body[i].addr.address(7));
+    }
+}
+
+TEST(RandomWorkload, DrawsDistinctKernels) {
+    const std::vector<Program> wl = random_autobench_workload(4, 99, 100);
+    ASSERT_EQ(wl.size(), 4u);
+    std::set<std::string> names;
+    for (const Program& p : wl) names.insert(p.name);
+    EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(RandomWorkload, DisjointDataRegions) {
+    const std::vector<Program> wl = random_autobench_workload(4, 7, 100);
+    std::set<Addr> bases;
+    for (const Program& p : wl) {
+        for (const Instruction& instr : p.body) {
+            if (instr.kind == OpKind::kLoad || instr.kind == OpKind::kStore) {
+                bases.insert(instr.addr.base & ~Addr{0x000F'FFFF});
+            }
+        }
+    }
+    EXPECT_GE(bases.size(), 4u);
+}
+
+TEST(RandomWorkload, ReproducibleAndSeedSensitive) {
+    const auto a = random_autobench_workload(4, 1, 10);
+    const auto b = random_autobench_workload(4, 1, 10);
+    const auto c = random_autobench_workload(4, 2, 10);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i].name, b[i].name);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (a[i].name != c[i].name) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomWorkload, RejectsTooManyTasks) {
+    EXPECT_THROW(random_autobench_workload(17, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrb

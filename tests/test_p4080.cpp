@@ -1,0 +1,67 @@
+// The methodology on the paper's motivating COTS case: an aggressive
+// 8-core platform in the spirit of the Freescale P4080 (whose contention
+// was characterized by measurement in the avionics work the paper cites).
+// Nothing in the estimator is retuned: the same recipe must recover the
+// (hidden) ubd = 7 * 12 = 84.
+#include <gtest/gtest.h>
+
+#include "core/rrb.h"
+
+namespace rrb {
+namespace {
+
+TEST(P4080Like, ConfigShape) {
+    const MachineConfig cfg = MachineConfig::p4080_like();
+    EXPECT_EQ(cfg.num_cores, 8u);
+    EXPECT_EQ(cfg.load_hit_service(), 12u);
+    EXPECT_EQ(cfg.ubd_analytic(), 84u);
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.l2_geometry.size_bytes / cfg.num_cores, 256u * 1024u);
+}
+
+TEST(P4080Like, RskDefeatsTheBiggerDl1) {
+    const MachineConfig cfg = MachineConfig::p4080_like();
+    RskParams p;
+    p.dl1_geometry = cfg.core.dl1_geometry;
+    p.il1_geometry = cfg.core.il1_geometry;
+    p.unroll = 4;
+    p.iterations = 30;
+    const Measurement m = run_isolation(cfg, make_rsk(p));
+    // 8-way DL1 -> 9 loads per group; all must miss.
+    EXPECT_EQ(m.bus_requests,
+              static_cast<std::uint64_t>(4 * 9 * 30));
+}
+
+TEST(P4080Like, SynchronyEffectCapsNaiveMeasurement) {
+    // delta_rsk = dl1_latency = 2 -> rsk-vs-rsk observes ubd - 2 = 82.
+    const MachineConfig cfg = MachineConfig::p4080_like();
+    const NaiveUbdm naive = naive_ubdm_rsk_vs_rsk(cfg, OpKind::kLoad, 40);
+    EXPECT_EQ(naive.ubdm_max_gamma, 82u);
+    EXPECT_LT(naive.ubdm_max_gamma, cfg.ubd_analytic());
+}
+
+TEST(P4080Like, MethodologyRecoversUbd84) {
+    const MachineConfig cfg = MachineConfig::p4080_like();
+    UbdEstimatorOptions opt;
+    opt.k_max = 200;  // two periods of the (unknown) 84
+    opt.unroll = 4;
+    opt.rsk_iterations = 12;
+    const UbdEstimate e = estimate_ubd(cfg, opt);
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 84u);
+    EXPECT_TRUE(e.confidence.saturated);
+}
+
+TEST(P4080Like, StoreSpanCrossCheckAgrees) {
+    const MachineConfig cfg = MachineConfig::p4080_like();
+    UbdEstimatorOptions opt;
+    opt.k_max = 110;  // store span needs Nc*lbus - 1 = 95
+    opt.unroll = 4;
+    opt.rsk_iterations = 12;
+    const StoreSpanEstimate e = estimate_ubd_store_span(cfg, opt);
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 84u);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,137 @@
+#include "stats/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rrb {
+namespace {
+
+/// A descending saw-tooth like dbus(k): value = period - (k mod period),
+/// which is the paper's Figure 4 shape (scaled).
+std::vector<double> sawtooth(std::size_t period, std::size_t n,
+                             double scale = 1.0, double phase = 0.0) {
+    std::vector<double> xs;
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto in_period =
+            static_cast<double>((k + static_cast<std::size_t>(phase)) % period);
+        xs.push_back(scale * (static_cast<double>(period) - in_period));
+    }
+    return xs;
+}
+
+TEST(ExactPeriod, FindsSawtoothPeriod) {
+    const auto xs = sawtooth(27, 70);
+    const PeriodEstimate e = exact_period(xs);
+    ASSERT_TRUE(e.found());
+    EXPECT_EQ(e.period, 27u);
+    EXPECT_DOUBLE_EQ(e.score, 1.0);
+}
+
+TEST(ExactPeriod, RejectsConstantSeries) {
+    const std::vector<double> xs(40, 2.0);
+    EXPECT_FALSE(exact_period(xs).found());
+}
+
+TEST(ExactPeriod, RejectsTooShortSeries) {
+    const std::vector<double> xs = {1, 2, 3};
+    EXPECT_FALSE(exact_period(xs).found());
+}
+
+TEST(ExactPeriod, NoPeriodInRandomSeries) {
+    Pcg32 rng(99);
+    std::vector<double> xs;
+    for (int i = 0; i < 60; ++i) xs.push_back(rng.next_double() * 100.0);
+    EXPECT_FALSE(exact_period(xs).found());
+}
+
+TEST(ExactPeriod, ToleranceAbsorbsNoise) {
+    auto xs = sawtooth(9, 45, 10.0);
+    Pcg32 rng(5);
+    for (double& x : xs) x += rng.next_double() * 0.2 - 0.1;
+    const PeriodEstimate e = exact_period(xs, 0.25);
+    ASSERT_TRUE(e.found());
+    EXPECT_EQ(e.period, 9u);
+}
+
+TEST(PeakSpacing, FindsPeriod) {
+    const auto xs = sawtooth(13, 60);
+    const PeriodEstimate e = peak_spacing_period(xs);
+    ASSERT_TRUE(e.found());
+    EXPECT_EQ(e.period, 13u);
+}
+
+TEST(PeakSpacing, NeedsTwoPeaks) {
+    const std::vector<double> xs = {1, 5, 1};
+    EXPECT_FALSE(peak_spacing_period(xs).found());
+}
+
+TEST(AutocorrelationPeriod, FindsPeriod) {
+    const auto xs = sawtooth(11, 66);
+    const PeriodEstimate e = autocorrelation_period(xs);
+    ASSERT_TRUE(e.found());
+    EXPECT_EQ(e.period, 11u);
+    EXPECT_GT(e.score, 0.8);
+}
+
+TEST(AutocorrelationPeriod, RejectsWhiteNoise) {
+    Pcg32 rng(123);
+    std::vector<double> xs;
+    for (int i = 0; i < 80; ++i) xs.push_back(rng.next_double());
+    const PeriodEstimate e = autocorrelation_period(xs, 2, 0.5);
+    EXPECT_FALSE(e.found());
+}
+
+TEST(EqualValuePeriod, PaperEquation3OnSawtooth) {
+    // Equation 3: ubd = |ki - kj| for ki != kj with equal dbus. In a
+    // strictly monotone ramp, the nearest equal values are one period
+    // apart.
+    const auto xs = sawtooth(27, 70, 1000.0);
+    const PeriodEstimate e = equal_value_period(xs, 0.5);
+    ASSERT_TRUE(e.found());
+    EXPECT_EQ(e.period, 27u);
+    EXPECT_DOUBLE_EQ(e.score, 1.0);
+}
+
+TEST(EqualValuePeriod, RejectsConstant) {
+    const std::vector<double> xs(30, 4.0);
+    EXPECT_FALSE(equal_value_period(xs).found());
+}
+
+TEST(Consensus, AllDetectorsAgreeOnCleanSawtooth) {
+    const auto xs = sawtooth(27, 70, 123456.0);
+    const PeriodConsensus c = consensus_period(xs, 1.0);
+    ASSERT_TRUE(c.found());
+    EXPECT_EQ(c.period, 27u);
+    EXPECT_GE(c.votes, 3);
+}
+
+TEST(Consensus, NotFoundOnNoise) {
+    Pcg32 rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i) xs.push_back(rng.next_double() * 1e6);
+    const PeriodConsensus c = consensus_period(xs, 0.0);
+    // Individual detectors may hallucinate, but the consensus should not
+    // report high confidence.
+    if (c.found()) {
+        EXPECT_LE(c.votes, 1);
+    }
+}
+
+class SawtoothPeriodSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SawtoothPeriodSweep, ConsensusRecoversEveryPeriod) {
+    const std::size_t period = GetParam();
+    const auto xs = sawtooth(period, period * 3 + 5);
+    const PeriodConsensus c = consensus_period(xs, 0.0);
+    ASSERT_TRUE(c.found()) << "period " << period;
+    EXPECT_EQ(c.period, period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SawtoothPeriodSweep,
+                         ::testing::Values(2, 3, 5, 6, 9, 13, 27, 39, 54));
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,116 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+CacheGeometry geo() { return {1024, 4, 32}; }  // 8 sets, 4 ways
+
+Cache make_plru() {
+    return Cache(geo(), ReplacementPolicy::kPlru, WritePolicy::kWriteBack,
+                 AllocPolicy::kWriteAllocate);
+}
+
+Addr same_set(std::uint32_t i) { return i * geo().set_stride(); }
+
+TEST(Plru, RequiresPowerOfTwoWays) {
+    // 3-way shape is impossible with pow2 sets anyway; test via 32KB/3...
+    // use a 6-way geometry: 6 ways x 32B x 4 sets = 768B.
+    const CacheGeometry bad{768, 6, 32};
+    EXPECT_THROW(Cache(bad, ReplacementPolicy::kPlru,
+                       WritePolicy::kWriteBack, AllocPolicy::kWriteAllocate),
+                 std::invalid_argument);
+}
+
+TEST(Plru, FillsInvalidWaysFirst) {
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i < 4; ++i) c.read(same_set(i));
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(c.probe(same_set(i))) << i;
+    }
+}
+
+TEST(Plru, MostRecentlyUsedSurvivesEviction) {
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i < 4; ++i) c.read(same_set(i));
+    c.read(same_set(2));          // protect 2
+    c.read(same_set(4));          // evict someone
+    EXPECT_TRUE(c.probe(same_set(2)));  // MRU must survive
+}
+
+TEST(Plru, VictimIsNotTheJustInstalledLine) {
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        c.read(same_set(i));
+        EXPECT_TRUE(c.probe(same_set(i))) << i;  // never self-evicting
+    }
+}
+
+TEST(Plru, SequentialWPlusOneThrashesInSteadyState) {
+    // The rsk construction defeats PLRU too, modulo a single transient
+    // hit while the tree state settles: after one warm-up round, cyclic
+    // W+1 access misses on every read — so the paper's LRU/FIFO kernel
+    // recipe carries over to PLRU cores unchanged.
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i <= 4; ++i) c.read(same_set(i));
+    for (std::uint32_t i = 0; i <= 4; ++i) c.read(same_set(i));
+    c.reset_stats();
+    for (int round = 0; round < 8; ++round) {
+        for (std::uint32_t i = 0; i <= 4; ++i) c.read(same_set(i));
+    }
+    EXPECT_EQ(c.stats().read_hits, 0u);
+}
+
+TEST(Plru, WPlusTwoLinesNeverHitAtAll) {
+    // With W+2 distinct lines even the transient disappears.
+    Cache c = make_plru();
+    for (int round = 0; round < 8; ++round) {
+        for (std::uint32_t i = 0; i <= 5; ++i) c.read(same_set(i));
+    }
+    EXPECT_EQ(c.stats().read_hits, 0u);
+}
+
+TEST(Plru, WorkingSetOfWaysAllHits) {
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i < 4; ++i) c.read(same_set(i));
+    c.reset_stats();
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint32_t i = 0; i < 4; ++i) c.read(same_set(i));
+    }
+    EXPECT_EQ(c.stats().read_misses, 0u);
+}
+
+TEST(Plru, FlushResetsTreeState) {
+    Cache c = make_plru();
+    for (std::uint32_t i = 0; i < 6; ++i) c.read(same_set(i));
+    c.flush();
+    for (std::uint32_t i = 0; i < 4; ++i) c.read(same_set(i));
+    // After flush + 4 fills, all four present again.
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(c.probe(same_set(i)));
+    }
+}
+
+TEST(Plru, TwoWayDegeneratesToLru) {
+    // With 2 ways the PLRU tree is a single bit == true LRU.
+    const CacheGeometry g{512, 2, 32};
+    Cache plru(g, ReplacementPolicy::kPlru, WritePolicy::kWriteBack,
+               AllocPolicy::kWriteAllocate);
+    Cache lru(g, ReplacementPolicy::kLru, WritePolicy::kWriteBack,
+              AllocPolicy::kWriteAllocate);
+    const Addr a = 0;
+    const Addr b = g.set_stride();
+    const Addr d = 2 * g.set_stride();
+    for (Cache* c : {&plru, &lru}) {
+        c->read(a);
+        c->read(b);
+        c->read(a);  // a MRU
+        c->read(d);  // evict b
+        EXPECT_TRUE(c->probe(a));
+        EXPECT_FALSE(c->probe(b));
+    }
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,96 @@
+#include "machine/pmc.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/rsk.h"
+
+namespace rrb {
+namespace {
+
+TEST(Pmc, CountersMatchUnderlyingStats) {
+    Machine m(MachineConfig::ngmp_ref());
+    RskParams p;
+    p.unroll = 4;
+    p.iterations = 20;
+    m.load_program(0, make_rsk(p));
+    m.warm_static_footprint(0);
+    m.run(1'000'000);
+
+    const PmcSnapshot snap = read_pmcs(m, 0);
+    EXPECT_EQ(snap.cycles, m.now());
+    EXPECT_EQ(snap.instructions, m.core(0).stats().instructions);
+    EXPECT_EQ(snap.bus_requests, m.bus().counters(0).requests);
+    EXPECT_EQ(snap.dcache_misses, m.core(0).dl1().stats().misses());
+    // Every rsk load misses DL1 and goes to the bus.
+    EXPECT_EQ(snap.bus_requests, snap.dcache_misses);
+}
+
+TEST(Pmc, UtilizationDerivedConsistently) {
+    Machine m(MachineConfig::ngmp_ref());
+    RskParams p;
+    p.unroll = 4;
+    p.iterations = 50;
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams pc = p;
+        pc.data_base = 0x0010'0000 + c * 0x0010'0000;
+        pc.code_base = c * 0x0001'0000;
+        m.load_program(c, make_rsk(pc));
+        m.warm_static_footprint(c);
+    }
+    m.run_until_core(0, 10'000'000);
+
+    const PmcSnapshot snap = read_pmcs(m, 0);
+    EXPECT_GT(snap.total_bus_utilization(), 0.97);  // saturated
+    EXPECT_GT(snap.core_bus_utilization(), 0.2);    // ~1/4 of the bus
+    EXPECT_LT(snap.core_bus_utilization(), 0.3);
+    EXPECT_LE(snap.core_bus_utilization(), snap.total_bus_utilization());
+    // Aggregate of per-core busy cycles equals total busy cycles.
+    std::uint64_t sum = 0;
+    for (CoreId c = 0; c < 4; ++c) sum += read_pmcs(m, c).core_bus_busy_cycles;
+    EXPECT_EQ(sum, snap.total_bus_busy_cycles);
+}
+
+TEST(Pmc, MeanWaitReflectsSynchrony) {
+    Machine m(MachineConfig::ngmp_ref());
+    RskParams p;
+    p.unroll = 4;
+    p.iterations = 60;
+    for (CoreId c = 0; c < 4; ++c) {
+        RskParams pc = p;
+        pc.data_base = 0x0010'0000 + c * 0x0010'0000;
+        pc.code_base = c * 0x0001'0000;
+        pc.iterations = c == 0 ? 60 : 100000;
+        m.load_program(c, make_rsk(pc));
+        m.warm_static_footprint(c);
+    }
+    m.run_until_core(0, 10'000'000);
+    const PmcSnapshot snap = read_pmcs(m, 0);
+    // Under the synchrony effect nearly every request waits ubd-1 = 26.
+    EXPECT_NEAR(snap.mean_wait(), 26.0, 0.5);
+}
+
+TEST(Pmc, EmptyMachineZeros) {
+    Machine m(MachineConfig::ngmp_ref());
+    const PmcSnapshot snap = read_pmcs(m, 1);
+    EXPECT_EQ(snap.bus_requests, 0u);
+    EXPECT_DOUBLE_EQ(snap.core_bus_utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.mean_wait(), 0.0);
+}
+
+TEST(Pmc, RawAndFormat) {
+    Machine m(MachineConfig::ngmp_ref());
+    const PmcSnapshot snap = read_pmcs(m, 0);
+    EXPECT_EQ(snap.raw().size(), 8u);
+    const std::string text = snap.format();
+    EXPECT_NE(text.find("0x17"), std::string::npos);
+    EXPECT_NE(text.find("0x18"), std::string::npos);
+    EXPECT_NE(text.find("total-utilization"), std::string::npos);
+}
+
+TEST(Pmc, CoreIdValidated) {
+    Machine m(MachineConfig::ngmp_ref());
+    EXPECT_THROW((void)read_pmcs(m, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,129 @@
+#include "isa/program.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rrb {
+namespace {
+
+TEST(AddrPattern, FixedAlwaysBase) {
+    const AddrPattern p = AddrPattern::fixed(0x1000);
+    EXPECT_EQ(p.address(0), 0x1000u);
+    EXPECT_EQ(p.address(99), 0x1000u);
+}
+
+TEST(AddrPattern, StrideWrapsAtRange) {
+    const AddrPattern p = AddrPattern::stride(0x2000, 32, 128);
+    EXPECT_EQ(p.address(0), 0x2000u);
+    EXPECT_EQ(p.address(1), 0x2020u);
+    EXPECT_EQ(p.address(3), 0x2060u);
+    EXPECT_EQ(p.address(4), 0x2000u);  // wrapped
+}
+
+TEST(AddrPattern, StrideRejectsEmptyRange) {
+    EXPECT_THROW((void)AddrPattern::stride(0, 4, 0), std::invalid_argument);
+}
+
+TEST(AddrPattern, RandomStaysInRangeAligned) {
+    const AddrPattern p = AddrPattern::random(0x4000, 1024, 32, 7);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const Addr a = p.address(i);
+        EXPECT_GE(a, 0x4000u);
+        EXPECT_LT(a, 0x4000u + 1024u);
+        EXPECT_EQ((a - 0x4000u) % 32, 0u);
+    }
+}
+
+TEST(AddrPattern, RandomIsDeterministic) {
+    const AddrPattern p = AddrPattern::random(0, 4096, 4, 11);
+    const AddrPattern q = AddrPattern::random(0, 4096, 4, 11);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(p.address(i), q.address(i));
+    }
+}
+
+TEST(AddrPattern, RandomSaltDecorrelates) {
+    const AddrPattern p = AddrPattern::random(0, 1 << 20, 4, 1);
+    const AddrPattern q = AddrPattern::random(0, 1 << 20, 4, 2);
+    int equal = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        if (p.address(i) == q.address(i)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(AddrPattern, RandomCoversRange) {
+    const AddrPattern p = AddrPattern::random(0, 64, 4, 3);
+    std::set<Addr> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(p.address(i));
+    EXPECT_EQ(seen.size(), 16u);  // 64/4 slots all reached
+}
+
+TEST(AddrPattern, RandomValidation) {
+    EXPECT_THROW((void)AddrPattern::random(0, 0, 4), std::invalid_argument);
+    EXPECT_THROW((void)AddrPattern::random(0, 16, 0), std::invalid_argument);
+    EXPECT_THROW((void)AddrPattern::random(0, 2, 4), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, BuildsBodyInOrder) {
+    const Program p = ProgramBuilder("t")
+                          .load(AddrPattern::fixed(0))
+                          .nop(2)
+                          .store(AddrPattern::fixed(64))
+                          .alu(1, 3)
+                          .iterations(5)
+                          .build();
+    ASSERT_EQ(p.body.size(), 5u);
+    EXPECT_EQ(p.body[0].kind, OpKind::kLoad);
+    EXPECT_EQ(p.body[1].kind, OpKind::kNop);
+    EXPECT_EQ(p.body[2].kind, OpKind::kNop);
+    EXPECT_EQ(p.body[3].kind, OpKind::kStore);
+    EXPECT_EQ(p.body[4].kind, OpKind::kAlu);
+    EXPECT_EQ(p.body[4].latency, 3u);
+    EXPECT_EQ(p.iterations, 5u);
+    EXPECT_EQ(p.total_instructions(), 25u);
+}
+
+TEST(ProgramBuilder, UnrollReplicates) {
+    const Program p = ProgramBuilder("t")
+                          .load(AddrPattern::fixed(0))
+                          .nop(1)
+                          .unroll(3)
+                          .build();
+    ASSERT_EQ(p.body.size(), 6u);
+    EXPECT_EQ(p.body[2].kind, OpKind::kLoad);
+    EXPECT_EQ(p.body[4].kind, OpKind::kLoad);
+}
+
+TEST(ProgramBuilder, EmptyBodyRejected) {
+    EXPECT_THROW(ProgramBuilder("t").build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, ZeroIterationsRejected) {
+    ProgramBuilder b("t");
+    EXPECT_THROW(b.iterations(0), std::invalid_argument);
+}
+
+TEST(Program, CountByKind) {
+    const Program p = ProgramBuilder("t")
+                          .load(AddrPattern::fixed(0))
+                          .load(AddrPattern::fixed(32))
+                          .nop(3)
+                          .store(AddrPattern::fixed(0))
+                          .build();
+    EXPECT_EQ(p.count(OpKind::kLoad), 2u);
+    EXPECT_EQ(p.count(OpKind::kNop), 3u);
+    EXPECT_EQ(p.count(OpKind::kStore), 1u);
+    EXPECT_EQ(p.count(OpKind::kAlu), 0u);
+}
+
+TEST(Program, CodeBytes) {
+    const Program p =
+        ProgramBuilder("t").nop(10).code_base(0x100).build();
+    EXPECT_EQ(p.code_bytes(), 40u);
+    EXPECT_EQ(p.code_base, 0x100u);
+}
+
+}  // namespace
+}  // namespace rrb

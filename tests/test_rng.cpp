@@ -1,0 +1,115 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace rrb {
+namespace {
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+    Pcg32 a(42, 7);
+    Pcg32 b(42, 7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next_u32(), b.next_u32());
+    }
+}
+
+TEST(Pcg32, DistinctSeedsDiverge) {
+    Pcg32 a(1);
+    Pcg32 b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u32() == b.next_u32()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, DistinctStreamsDiverge) {
+    Pcg32 a(42, 1);
+    Pcg32 b(42, 2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u32() == b.next_u32()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+    Pcg32 rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+TEST(Pcg32, NextBelowOneIsAlwaysZero) {
+    Pcg32 rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.next_below(1), 0u);
+    }
+}
+
+TEST(Pcg32, NextBelowRejectsZeroBound) {
+    Pcg32 rng(5);
+    EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Pcg32, NextInInclusiveRange) {
+    Pcg32 rng(9);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint32_t v = rng.next_in(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values reached
+}
+
+TEST(Pcg32, NextInRejectsEmptyRange) {
+    Pcg32 rng(1);
+    EXPECT_THROW(rng.next_in(3, 2), std::invalid_argument);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+    Pcg32 rng(77);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, UniformityRoughCheck) {
+    Pcg32 rng(2024);
+    std::array<int, 8> buckets{};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i) {
+        ++buckets[rng.next_below(8)];
+    }
+    for (const int count : buckets) {
+        EXPECT_NEAR(count, n / 8, n / 80);  // within 10%
+    }
+}
+
+TEST(Pcg32, BernoulliEdges) {
+    Pcg32 rng(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.next_bool(0.0));
+        EXPECT_TRUE(rng.next_bool(1.0));
+    }
+}
+
+TEST(Pcg32, BernoulliRoughProbability) {
+    Pcg32 rng(31337);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.next_bool(0.25)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,100 @@
+#include "stats/series.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrb {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+    const SeriesSummary s = summarize({});
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, Basics) {
+    const std::vector<double> xs = {2.0, 4.0, 6.0, 8.0};
+    const SeriesSummary s = summarize(xs);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.2360679, 1e-6);
+}
+
+TEST(LocalMaxima, InteriorPeak) {
+    const std::vector<double> xs = {0, 1, 3, 1, 0};
+    const auto peaks = local_maxima(xs);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0], 2u);
+}
+
+TEST(LocalMaxima, EndpointsCount) {
+    // Saw-tooth starting at its maximum, as in Figure 7(a) for ref (peak
+    // at k=0).
+    const std::vector<double> xs = {5, 4, 3, 2, 1, 5, 4, 3, 2, 1};
+    const auto peaks = local_maxima(xs);
+    ASSERT_EQ(peaks.size(), 2u);
+    EXPECT_EQ(peaks[0], 0u);
+    EXPECT_EQ(peaks[1], 5u);
+}
+
+TEST(LocalMaxima, PlateauReportsFirstIndex) {
+    const std::vector<double> xs = {0, 2, 2, 2, 0};
+    const auto peaks = local_maxima(xs);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0], 1u);
+}
+
+TEST(LocalMaxima, SingleElement) {
+    const std::vector<double> xs = {1.0};
+    EXPECT_EQ(local_maxima(xs).size(), 1u);
+}
+
+TEST(LocalMaxima, MonotonicDecreasingOnlyStart) {
+    const std::vector<double> xs = {5, 4, 3, 2};
+    const auto peaks = local_maxima(xs);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0], 0u);
+}
+
+TEST(Diff, FirstDifferences) {
+    const std::vector<double> xs = {1, 4, 2, 2};
+    const auto d = diff(xs);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d[0], 3.0);
+    EXPECT_DOUBLE_EQ(d[1], -2.0);
+    EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Diff, ShortSeriesEmpty) {
+    EXPECT_TRUE(diff(std::vector<double>{1.0}).empty());
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+    std::vector<double> xs;
+    for (int i = 0; i < 60; ++i) xs.push_back((i % 6 == 0) ? 5.0 : 1.0);
+    const auto ac = autocorrelation(xs, 20);
+    ASSERT_GE(ac.size(), 12u);
+    // lag 6 (index 5) should dominate its neighbours.
+    EXPECT_GT(ac[5], ac[3]);
+    EXPECT_GT(ac[5], ac[7]);
+    EXPECT_GT(ac[5], 0.5);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+    const std::vector<double> xs(20, 3.0);
+    const auto ac = autocorrelation(xs, 5);
+    for (const double r : ac) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Lerp, Interpolates) {
+    EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+}
+
+}  // namespace
+}  // namespace rrb

@@ -1,0 +1,103 @@
+// Tests of the store-span estimation path (Figure 7(b) physics) and the
+// cross-checked combined methodology.
+#include "core/store_span.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+UbdEstimatorOptions fast_options(std::uint32_t k_max) {
+    UbdEstimatorOptions opt;
+    opt.k_max = k_max;
+    opt.unroll = 8;
+    opt.rsk_iterations = 25;
+    return opt;
+}
+
+TEST(StoreSpan, RecoversUbd27OnNgmpRef) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const StoreSpanEstimate e =
+        estimate_ubd_store_span(cfg, fast_options(60));
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 27u);
+}
+
+TEST(StoreSpan, RecoversUbd27OnNgmpVar) {
+    // The store path is insensitive to DL1 latency: drains inject with
+    // delta = 0 on both architectures.
+    const MachineConfig cfg = MachineConfig::ngmp_var();
+    const StoreSpanEstimate e =
+        estimate_ubd_store_span(cfg, fast_options(60));
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.ubd, 27u);
+}
+
+TEST(StoreSpan, PlateauThenRampThenZero) {
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const StoreSpanEstimate e =
+        estimate_ubd_store_span(cfg, fast_options(60));
+    ASSERT_TRUE(e.found);
+    // Plateau ends roughly at k = lbus - 1 = 8; zero from k = Nc*lbus - 1.
+    EXPECT_EQ(e.plateau_end, 8u);
+    EXPECT_EQ(e.first_zero, 35u);
+    // Monotone non-increasing across the ramp.
+    for (std::size_t k = e.plateau_end; k + 1 < e.first_zero; ++k) {
+        EXPECT_GE(e.dbus[k], e.dbus[k + 1]) << "k " << k;
+    }
+    // Exactly zero afterwards (deterministic simulation).
+    for (std::size_t k = e.first_zero; k < e.dbus.size(); ++k) {
+        EXPECT_LE(e.dbus[k], e.dbus[0] * 0.02) << "k " << k;
+    }
+}
+
+TEST(StoreSpan, SweepTooShortReportsNotFound) {
+    // k_max = 20 < Nc*lbus - 1 = 35: the zero region is never reached.
+    const MachineConfig cfg = MachineConfig::ngmp_ref();
+    const StoreSpanEstimate e =
+        estimate_ubd_store_span(cfg, fast_options(20));
+    EXPECT_FALSE(e.found);
+}
+
+TEST(StoreSpan, WorksAcrossPlatformShapes) {
+    for (const auto& [cores, lbus] :
+         {std::pair<CoreId, Cycle>{4, 5}, {8, 5}, {4, 13}}) {
+        const MachineConfig cfg = MachineConfig::scaled(cores, lbus);
+        UbdEstimatorOptions opt =
+            fast_options(static_cast<std::uint32_t>(cores * lbus + 10));
+        const StoreSpanEstimate e = estimate_ubd_store_span(cfg, opt);
+        ASSERT_TRUE(e.found) << cores << "x" << lbus;
+        EXPECT_EQ(e.ubd, cfg.ubd_analytic()) << cores << "x" << lbus;
+    }
+}
+
+TEST(CrossCheck, BothPathsAgreeOnNgmp) {
+    for (const bool variant : {false, true}) {
+        const MachineConfig cfg =
+            variant ? MachineConfig::ngmp_var() : MachineConfig::ngmp_ref();
+        const CrossCheckedEstimate e =
+            estimate_ubd_cross_checked(cfg, fast_options(60));
+        EXPECT_TRUE(e.agree) << (variant ? "var" : "ref");
+        EXPECT_EQ(e.ubd, 27u);
+        EXPECT_EQ(e.load_path.ubd, e.store_path.ubd);
+    }
+}
+
+TEST(CrossCheck, DisagreementIsReportedNotHidden) {
+    // Under a fixed-priority arbiter the load path (top-priority core)
+    // finds the blocking period lbus while the store path sees a
+    // different structure; the cross-check must not report agreement on
+    // ubd = (Nc-1)*lbus.
+    MachineConfig cfg = MachineConfig::ngmp_ref();
+    cfg.arbiter = ArbiterKind::kFixedPriority;
+    const CrossCheckedEstimate e =
+        estimate_ubd_cross_checked(cfg, fast_options(60));
+    if (e.agree) {
+        EXPECT_NE(e.ubd, cfg.ubd_analytic());
+    } else {
+        SUCCEED();
+    }
+}
+
+}  // namespace
+}  // namespace rrb

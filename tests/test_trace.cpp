@@ -1,0 +1,92 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace rrb {
+namespace {
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+    Tracer t;
+    t.record(1, TraceKind::kBusGrant, 0);
+    EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, EnabledRecordsInOrder) {
+    Tracer t;
+    t.enable();
+    t.record(5, TraceKind::kRequestReady, 2, 0xabc);
+    t.record(7, TraceKind::kBusGrant, 2, 3);
+    ASSERT_EQ(t.events().size(), 2u);
+    EXPECT_EQ(t.events()[0].cycle, 5u);
+    EXPECT_EQ(t.events()[0].kind, TraceKind::kRequestReady);
+    EXPECT_EQ(t.events()[0].core, 2u);
+    EXPECT_EQ(t.events()[0].arg, 0xabcu);
+    EXPECT_EQ(t.events()[1].kind, TraceKind::kBusGrant);
+}
+
+TEST(Tracer, DisableStopsRecording) {
+    Tracer t;
+    t.enable();
+    t.record(1, TraceKind::kBusGrant, 0);
+    t.disable();
+    t.record(2, TraceKind::kBusGrant, 0);
+    EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(Tracer, ClearEmpties) {
+    Tracer t;
+    t.enable();
+    t.record(1, TraceKind::kBusGrant, 0);
+    t.clear();
+    EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, FilteredSelectsMatching) {
+    Tracer t;
+    t.enable();
+    t.record(1, TraceKind::kBusGrant, 0);
+    t.record(2, TraceKind::kBusRelease, 0);
+    t.record(3, TraceKind::kBusGrant, 1);
+    const auto grants = t.filtered([](const TraceEvent& e) {
+        return e.kind == TraceKind::kBusGrant;
+    });
+    ASSERT_EQ(grants.size(), 2u);
+    EXPECT_EQ(grants[1].core, 1u);
+}
+
+TEST(Tracer, TimelineShowsHoldAndWait) {
+    Tracer t;
+    t.enable();
+    // Core 0: ready at 0, granted at 2, released at 5.
+    t.record(0, TraceKind::kRequestReady, 0);
+    t.record(2, TraceKind::kBusGrant, 0);
+    t.record(5, TraceKind::kBusRelease, 0);
+    const std::string timeline = t.render_bus_timeline(0, 7, 1);
+    // "c0 |..####  |"
+    EXPECT_NE(timeline.find("c0 |"), std::string::npos);
+    EXPECT_NE(timeline.find(".."), std::string::npos);
+    EXPECT_NE(timeline.find("####"), std::string::npos);
+}
+
+TEST(Tracer, TimelineValidation) {
+    Tracer t;
+    EXPECT_THROW(t.render_bus_timeline(5, 4, 1), std::invalid_argument);
+    EXPECT_THROW(t.render_bus_timeline(0, 4, 0), std::invalid_argument);
+}
+
+TEST(Tracer, TimelineIgnoresOutOfRangeCores) {
+    Tracer t;
+    t.enable();
+    t.record(0, TraceKind::kBusGrant, 9);
+    EXPECT_NO_THROW(t.render_bus_timeline(0, 3, 2));
+}
+
+TEST(TraceKindNames, StableStrings) {
+    EXPECT_STREQ(to_string(TraceKind::kBusGrant), "grant");
+    EXPECT_STREQ(to_string(TraceKind::kBusRelease), "release");
+    EXPECT_STREQ(to_string(TraceKind::kRequestReady), "ready");
+    EXPECT_STREQ(to_string(TraceKind::kDramActivate), "dram-act");
+}
+
+}  // namespace
+}  // namespace rrb
