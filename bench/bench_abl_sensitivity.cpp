@@ -18,31 +18,48 @@ void print_figure() {
         "ubd(measured) == (Nc-1)*lbus for every shape, lbus never "
         "disclosed to the estimator");
 
+    // The 20-point Nc x lbus grid runs on the campaign engine: one
+    // estimator per grid point, each with its own machines, collected in
+    // grid order so the table below is stable across job counts.
+    struct GridPoint {
+        CoreId cores;
+        Cycle lbus;
+    };
+    std::vector<GridPoint> grid;
+    for (const CoreId cores : {2u, 3u, 4u, 6u, 8u}) {
+        for (const Cycle lbus : {2u, 5u, 9u, 13u}) {
+            grid.push_back({cores, lbus});
+        }
+    }
+    const auto estimates = engine::run_grid(
+        grid, [](const GridPoint& point) {
+            const MachineConfig cfg = platform(point.cores, point.lbus);
+            UbdEstimatorOptions opt;
+            opt.k_max = static_cast<std::uint32_t>(
+                cfg.ubd_analytic() * 5 / 2 + 6);
+            opt.unroll = 8;
+            opt.rsk_iterations = 20;
+            return estimate_ubd(cfg, opt);
+        });
+
     std::printf("%6s %6s %10s %12s %10s %8s\n", "cores", "lbus", "ubd(eq1)",
                 "ubd(meas)", "period_k", "match");
     int failures = 0;
-    for (const CoreId cores : {2u, 3u, 4u, 6u, 8u}) {
-        for (const Cycle lbus : {2u, 5u, 9u, 13u}) {
-            const MachineConfig cfg = platform(cores, lbus);
-            const Cycle expected = cfg.ubd_analytic();
-            UbdEstimatorOptions opt;
-            opt.k_max = static_cast<std::uint32_t>(expected * 5 / 2 + 6);
-            opt.unroll = 8;
-            opt.rsk_iterations = 20;
-            const UbdEstimate e = estimate_ubd(cfg, opt);
-            const bool exact = e.found && e.ubd == expected;
-            // Nc = 2: the confidence check flags non-saturation and the
-            // estimate over-approximates by the contender gap — safe.
-            const bool safe = e.found && !e.confidence.saturated &&
-                              e.ubd >= expected;
-            if (!exact && !safe) ++failures;
-            std::printf("%6u %6llu %10llu %12llu %10zu %8s\n", cores,
-                        static_cast<unsigned long long>(lbus),
-                        static_cast<unsigned long long>(expected),
-                        static_cast<unsigned long long>(e.found ? e.ubd : 0),
-                        e.period_k,
-                        exact ? "yes" : (safe ? "safe+" : "NO"));
-        }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const Cycle expected =
+            platform(grid[i].cores, grid[i].lbus).ubd_analytic();
+        const UbdEstimate& e = estimates[i];
+        const bool exact = e.found && e.ubd == expected;
+        // Nc = 2: the confidence check flags non-saturation and the
+        // estimate over-approximates by the contender gap — safe.
+        const bool safe =
+            e.found && !e.confidence.saturated && e.ubd >= expected;
+        if (!exact && !safe) ++failures;
+        std::printf("%6u %6llu %10llu %12llu %10zu %8s\n", grid[i].cores,
+                    static_cast<unsigned long long>(grid[i].lbus),
+                    static_cast<unsigned long long>(expected),
+                    static_cast<unsigned long long>(e.found ? e.ubd : 0),
+                    e.period_k, exact ? "yes" : (safe ? "safe+" : "NO"));
     }
     std::printf("failures: %d / 20\n", failures);
 }

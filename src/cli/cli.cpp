@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/rrb.h"
+#include "sim/contract.h"
 
 namespace rrb::cli {
 
@@ -20,6 +21,9 @@ struct ParsedFlags {
     std::uint64_t iterations = 40;
     std::uint32_t nop_latency = 1;
     bool store_span = false;
+    std::size_t runs = 20;
+    std::uint64_t seed = 1;
+    std::size_t jobs = 0;  ///< 0 = hardware concurrency
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
 };
@@ -71,6 +75,16 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             }
         } else if (arg == "--store-span") {
             flags.store_span = true;
+        } else if (arg == "--runs") {
+            if (const auto v = next_number("--runs")) {
+                flags.runs = static_cast<std::size_t>(*v);
+            }
+        } else if (arg == "--seed") {
+            if (const auto v = next_number("--seed")) flags.seed = *v;
+        } else if (arg == "--jobs") {
+            if (const auto v = next_number("--jobs")) {
+                flags.jobs = static_cast<std::size_t>(*v);
+            }
         } else if (arg == "--csv") {
             if (i + 1 >= args.size()) {
                 flags.error = "--csv needs a path";
@@ -175,6 +189,43 @@ int cmd_baseline(const ParsedFlags& flags, std::ostream& out) {
     return 0;
 }
 
+int cmd_campaign(const ParsedFlags& flags, std::ostream& out) {
+    RRB_REQUIRE(flags.runs >= 1, "--runs must be at least 1");
+    const MachineConfig config = build_config(flags);
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, flags.iterations, 9);
+
+    HwmCampaignOptions options;
+    options.runs = flags.runs;
+    options.seed = flags.seed;
+
+    engine::ProgressCounter progress;
+    engine::EngineOptions eng;
+    eng.jobs = flags.jobs;
+    eng.progress = &progress;
+    const std::size_t jobs = engine::effective_jobs(eng.jobs, options.runs);
+
+    const HwmCampaignResult hwm = engine::run_hwm_campaign_parallel(
+        config, scua, make_rsk_contenders(config, OpKind::kLoad), options,
+        eng);
+
+    const Cycle etb = hwm.et_isolation + hwm.nr * config.ubd_analytic();
+    const bool bounded = hwm.high_water_mark <= etb;
+    out << "campaign: " << options.runs << " runs on " << jobs
+        << " jobs, seed " << options.seed << " ("
+        << engine::render_progress(progress) << ")\n";
+    out << "et_isol = " << hwm.et_isolation << " cycles, nr = " << hwm.nr
+        << "\n";
+    out << "hwm = " << hwm.high_water_mark << ", lwm = "
+        << hwm.low_water_mark << ", hwm/req = "
+        << hwm.hwm_slowdown_per_request() << " (ubd = "
+        << config.ubd_analytic() << ")\n";
+    out << "etb = " << etb << ", bounded: " << (bounded ? "yes" : "NO")
+        << ", margin = "
+        << (bounded ? etb - hwm.high_water_mark : Cycle{0}) << " cycles\n";
+    return bounded ? 0 : 2;
+}
+
 int cmd_sweep(const ParsedFlags& flags, std::ostream& out) {
     const MachineConfig config = build_config(flags);
     const UbdEstimate e = estimate_ubd(config, build_options(flags));
@@ -204,6 +255,7 @@ std::string usage() {
            "  estimate   run the rsk-nop methodology and report ubd\n"
            "  calibrate  measure delta_nop with the all-nop kernel\n"
            "  baseline   run the naive rsk-vs-rsk measurement\n"
+           "  campaign   run a randomized HWM campaign vs the ETB bound\n"
            "  sweep      dump the dbus(k) series as CSV\n"
            "  help       show this text\n"
            "\n"
@@ -216,7 +268,14 @@ std::string usage() {
            "  --iterations I       rsk loop iterations (default 40)\n"
            "  --nop-latency L      slow-nop platforms (default 1)\n"
            "  --store-span         cross-check with the store-buffer path\n"
-           "  --csv FILE           write the sweep data to FILE\n";
+           "  --csv FILE           write the sweep data to FILE\n"
+           "\n"
+           "campaign flags:\n"
+           "  --runs R             campaign runs (default 20)\n"
+           "  --seed S             campaign root seed (default 1)\n"
+           "  --jobs N             parallel jobs; 0 = hardware "
+           "concurrency\n"
+           "                       (results are identical for every N)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -236,6 +295,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "estimate") return cmd_estimate(flags, out);
         if (command == "calibrate") return cmd_calibrate(flags, out);
         if (command == "baseline") return cmd_baseline(flags, out);
+        if (command == "campaign") return cmd_campaign(flags, out);
         if (command == "sweep") return cmd_sweep(flags, out);
     } catch (const std::invalid_argument& e) {
         err << "error: " << e.what() << "\n";

@@ -4,6 +4,8 @@
 //                     [--iterations I] [--store-span] [--csv FILE]
 //   rrbtool calibrate [--cores N] [--lbus L] [--var] [--nop-latency L]
 //   rrbtool baseline  [--cores N] [--lbus L] [--var]
+//   rrbtool campaign  [--cores N] [--lbus L] [--var] [--runs R]
+//                     [--seed S] [--jobs N] [--iterations I]
 //   rrbtool sweep     [--cores N] [--lbus L] [--var] [--kmax K]
 //                     [--csv FILE]
 //   rrbtool help

@@ -3,11 +3,47 @@
 #include <algorithm>
 
 #include "core/experiment.h"
+#include "engine/seed_sequence.h"
 #include "machine/machine.h"
 #include "sim/contract.h"
 #include "sim/rng.h"
 
 namespace rrb {
+
+namespace detail {
+
+Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
+                       const std::vector<Program>& contenders,
+                       const HwmCampaignOptions& options,
+                       std::uint64_t run_index) {
+    // Per-run seed derivation (not one RNG shared across runs): run i's
+    // offsets depend only on (options.seed, i), never on which thread or
+    // in which order the run executes.
+    const engine::SeedSequence seeds(options.seed);
+    Pcg32 rng(seeds.seed_for(run_index), run_index);
+
+    Machine machine(config);
+    machine.load_program(0, scua);
+    machine.warm_static_footprint(0);
+    std::size_t next = 0;
+    for (CoreId c = 1; c < config.num_cores; ++c) {
+        Program contender = contenders[next % contenders.size()];
+        ++next;
+        contender.iterations = options.max_cycles_per_run;
+        const Cycle delay =
+            options.max_start_delay == 0
+                ? 0
+                : rng.next_below(static_cast<std::uint32_t>(
+                      options.max_start_delay + 1));
+        machine.load_program(c, contender, delay);
+        machine.warm_static_footprint(c);
+    }
+    const RunResult r = machine.run_until_core(0, options.max_cycles_per_run);
+    RRB_ENSURE(!r.deadline_reached);
+    return r.finish_cycle[0];
+}
+
+}  // namespace detail
 
 HwmCampaignResult run_hwm_campaign(const MachineConfig& config,
                                    const Program& scua,
@@ -25,29 +61,10 @@ HwmCampaignResult run_hwm_campaign(const MachineConfig& config,
         result.nr = isol.bus_requests;
     }
 
-    Pcg32 rng(options.seed);
     result.exec_times.reserve(options.runs);
     for (std::size_t run = 0; run < options.runs; ++run) {
-        Machine machine(config);
-        machine.load_program(0, scua);
-        machine.warm_static_footprint(0);
-        std::size_t next = 0;
-        for (CoreId c = 1; c < config.num_cores; ++c) {
-            Program contender = contenders[next % contenders.size()];
-            ++next;
-            contender.iterations = options.max_cycles_per_run;
-            const Cycle delay =
-                options.max_start_delay == 0
-                    ? 0
-                    : rng.next_below(static_cast<std::uint32_t>(
-                          options.max_start_delay + 1));
-            machine.load_program(c, contender, delay);
-            machine.warm_static_footprint(c);
-        }
-        const RunResult r =
-            machine.run_until_core(0, options.max_cycles_per_run);
-        RRB_ENSURE(!r.deadline_reached);
-        result.exec_times.push_back(r.finish_cycle[0]);
+        result.exec_times.push_back(detail::hwm_campaign_run(
+            config, scua, contenders, options, run));
     }
 
     result.high_water_mark =

@@ -35,21 +35,45 @@ struct HwmCampaignResult {
     std::uint64_t nr = 0;             ///< scua bus requests (PMC)
 
     /// Max observed per-request slowdown: (HWM - isol) / nr. Compare with
-    /// ubd: it can approach but never exceed it.
+    /// ubd: it can approach but never exceed it. Clamped to 0 when the
+    /// HWM is below isolation (possible for hand-built results or warmth
+    /// asymmetries) — the unsigned subtraction would otherwise wrap to a
+    /// huge positive value.
     [[nodiscard]] double hwm_slowdown_per_request() const noexcept {
-        return nr == 0 ? 0.0
-                       : static_cast<double>(high_water_mark -
-                                             et_isolation) /
-                             static_cast<double>(nr);
+        return nr == 0 || high_water_mark <= et_isolation
+                   ? 0.0
+                   : static_cast<double>(high_water_mark - et_isolation) /
+                         static_cast<double>(nr);
     }
 };
 
 /// Runs the campaign: `runs` contention executions of `scua` on core 0
 /// against the contender programs on the other cores, each run with
 /// fresh, seeded-random release offsets for the contenders.
+///
+/// Run i's offsets come from a Pcg32 seeded by
+/// engine::SeedSequence(options.seed).seed_for(i) — a pure function of
+/// (seed, i) — so the serial loop here and the sharded
+/// engine::run_hwm_campaign_parallel produce bit-identical results at
+/// any job count.
 [[nodiscard]] HwmCampaignResult run_hwm_campaign(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options = {});
+
+namespace detail {
+
+/// One campaign run: builds a fresh machine, loads `scua` on core 0 and
+/// the contenders (with seeded-random release offsets) on the rest, and
+/// returns the scua's finish cycle. Thread-safe: everything it touches
+/// is local. Shared by the serial and parallel campaign paths, which is
+/// what keeps them bit-identical.
+[[nodiscard]] Cycle hwm_campaign_run(const MachineConfig& config,
+                                     const Program& scua,
+                                     const std::vector<Program>& contenders,
+                                     const HwmCampaignOptions& options,
+                                     std::uint64_t run_index);
+
+}  // namespace detail
 
 }  // namespace rrb

@@ -21,6 +21,10 @@
 #include "core/store_span.h"
 #include "cpu/core.h"
 #include "dram/dram.h"
+#include "engine/campaign_engine.h"
+#include "engine/progress.h"
+#include "engine/seed_sequence.h"
+#include "engine/thread_pool.h"
 #include "isa/program.h"
 #include "kernels/autobench.h"
 #include "kernels/rsk.h"

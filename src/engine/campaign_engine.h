@@ -1,0 +1,106 @@
+// Parallel campaign engine: sharded, deterministic execution of HWM
+// campaigns and experiment grids.
+//
+// Every run of a measurement campaign — and every point of a sensitivity
+// grid — is an independent simulation: its own Machine, its own RNG
+// stream, no shared mutable state. That makes campaigns embarrassingly
+// parallel *if* two things hold, and this module exists to make them
+// hold:
+//
+//   1. Determinism. Run i draws its random offsets from a Pcg32 seeded
+//      by SeedSequence(campaign_seed).seed_for(i) — a pure function of
+//      (seed, i) — so the schedule of threads can never leak into the
+//      numbers. run_hwm_campaign_parallel(jobs = k) is bit-identical for
+//      every k and to the serial run_hwm_campaign.
+//   2. Cheap merge. Per-run results land in a pre-sized slot vector
+//      indexed by run id (ordered collection), and campaign statistics
+//      (HWM = max, LWM = min) are associative reductions over it — the
+//      sharding-with-constant-cost-merge pattern.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "engine/progress.h"
+#include "engine/seed_sequence.h"
+#include "engine/thread_pool.h"
+#include "isa/program.h"
+#include "machine/config.h"
+
+namespace rrb::engine {
+
+struct EngineOptions {
+    /// Worker threads; 0 means ThreadPool::default_jobs() (hardware
+    /// concurrency). The job count never changes results, only speed.
+    std::size_t jobs = 0;
+    /// Optional progress sink; begin() is called with the batch size and
+    /// tick() once per finished job.
+    ProgressCounter* progress = nullptr;
+};
+
+/// `options.jobs` resolved against the actual amount of work: 0 maps to
+/// hardware concurrency, and the pool is never wider than `work_items`.
+[[nodiscard]] std::size_t effective_jobs(std::size_t requested,
+                                         std::size_t work_items) noexcept;
+
+/// Parallel drop-in for run_hwm_campaign: same preconditions, same
+/// result, `engine.jobs` machines simulating campaign runs concurrently.
+[[nodiscard]] HwmCampaignResult run_hwm_campaign_parallel(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options = {},
+    const EngineOptions& engine = {});
+
+/// Evaluates `fn` on every grid point concurrently and returns the
+/// results in grid order (results[i] == fn(points[i])). `fn` must be
+/// callable from multiple threads at once — in this codebase that means
+/// "builds its own Machine", which every experiment entry point does.
+/// The first exception thrown by any point propagates to the caller
+/// after the remaining in-flight points finish.
+template <typename Point, typename Fn>
+[[nodiscard]] auto run_grid(const std::vector<Point>& points, Fn&& fn,
+                            const EngineOptions& engine = {})
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const Point&>>> {
+    using Result = std::decay_t<std::invoke_result_t<Fn&, const Point&>>;
+    static_assert(!std::is_void_v<Result>,
+                  "grid functions must return a value");
+
+    if (engine.progress != nullptr) engine.progress->begin(points.size());
+    std::vector<Result> results;
+    if (points.empty()) return results;
+
+    // Slots, not push_back: each job writes its own index, so collection
+    // order is grid order no matter which worker finishes first.
+    std::vector<std::optional<Result>> slots(points.size());
+    {
+        ThreadPool pool(effective_jobs(engine.jobs, points.size()));
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            pool.submit([&slots, &points, &fn, &engine, i] {
+                slots[i].emplace(fn(points[i]));
+                if (engine.progress != nullptr) engine.progress->tick();
+            });
+        }
+        pool.wait_idle();  // rethrows the first job failure
+    }
+    results.reserve(slots.size());
+    for (std::optional<Result>& slot : slots) {
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+/// run_grid over the index range [0, count): handy when the "grid" is
+/// just job numbers (campaign runs, seeds, shards).
+template <typename Fn>
+[[nodiscard]] auto run_indexed(std::size_t count, Fn&& fn,
+                               const EngineOptions& engine = {}) {
+    std::vector<std::size_t> indices(count);
+    for (std::size_t i = 0; i < count; ++i) indices[i] = i;
+    return run_grid(indices, std::forward<Fn>(fn), engine);
+}
+
+}  // namespace rrb::engine

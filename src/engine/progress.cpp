@@ -1,0 +1,22 @@
+#include "engine/progress.h"
+
+#include <algorithm>
+
+namespace rrb::engine {
+
+double ProgressCounter::fraction() const noexcept {
+    const std::size_t t = total();
+    if (t == 0) return 1.0;
+    const std::size_t c = std::min(completed(), t);
+    return static_cast<double>(c) / static_cast<double>(t);
+}
+
+std::string render_progress(const ProgressCounter& progress) {
+    const std::size_t t = progress.total();
+    const std::size_t c = std::min(progress.completed(), t);
+    const int percent = static_cast<int>(100.0 * progress.fraction());
+    return std::to_string(c) + "/" + std::to_string(t) + " (" +
+           std::to_string(percent) + "%)";
+}
+
+}  // namespace rrb::engine

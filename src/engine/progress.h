@@ -1,0 +1,50 @@
+// Lock-free progress accounting for long campaigns.
+//
+// Worker threads tick an atomic counter; the CLI (or any front end) polls
+// it from whatever thread owns the terminal. Completed never decreases
+// within a batch and never exceeds the announced total, which is what the
+// engine tests assert (monotonicity) and what a progress bar needs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace rrb::engine {
+
+class ProgressCounter {
+public:
+    /// Announces a new batch of `total` jobs and resets the completed
+    /// count. Not thread-safe against concurrent tick() — call between
+    /// batches, not during one.
+    void begin(std::size_t total) noexcept {
+        completed_.store(0, std::memory_order_relaxed);
+        total_.store(total, std::memory_order_relaxed);
+    }
+
+    /// Records one finished job. Safe to call from any worker thread.
+    void tick() noexcept {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::size_t completed() const noexcept {
+        return completed_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t total() const noexcept {
+        return total_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool done() const noexcept {
+        return completed() >= total();
+    }
+    /// Completed fraction in [0, 1]; 1.0 for an empty batch.
+    [[nodiscard]] double fraction() const noexcept;
+
+private:
+    std::atomic<std::size_t> total_{0};
+    std::atomic<std::size_t> completed_{0};
+};
+
+/// Renders "completed/total (pp%)" for CLI progress lines.
+[[nodiscard]] std::string render_progress(const ProgressCounter& progress);
+
+}  // namespace rrb::engine

@@ -1,0 +1,18 @@
+#include "engine/seed_sequence.h"
+
+#include <vector>
+
+namespace rrb::engine {
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t root_seed,
+                                        std::size_t count) {
+    const SeedSequence sequence(root_seed);
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        seeds.push_back(sequence.seed_for(i));
+    }
+    return seeds;
+}
+
+}  // namespace rrb::engine

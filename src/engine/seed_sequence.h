@@ -1,0 +1,53 @@
+// Deterministic per-job seed derivation for sharded campaigns.
+//
+// A campaign's root seed fans out into one independent seed per job via a
+// stateless SplitMix64 derivation (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA'14). Statelessness is the whole
+// point: job i's seed depends only on (root, i), never on how many jobs
+// ran before it or on which thread it landed, so a campaign sharded over
+// any number of workers draws exactly the same random offsets as the
+// serial loop — bit-identical results for jobs = 1, 4, or 64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rrb::engine {
+
+/// The SplitMix64 output mix (finalizer). Bijective on 64-bit values.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(
+    std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Derives statistically independent seeds for the jobs of one campaign.
+class SeedSequence {
+public:
+    explicit SeedSequence(std::uint64_t root_seed) noexcept
+        : root_(root_seed) {}
+
+    /// Seed for job `job_index`. Pure function of (root, index): two
+    /// sequences with the same root agree on every index, and distinct
+    /// indices land in distinct SplitMix64 streams (golden-ratio
+    /// increments walk the full 2^64 cycle).
+    [[nodiscard]] std::uint64_t seed_for(
+        std::uint64_t job_index) const noexcept {
+        return splitmix64_mix(root_ +
+                              (job_index + 1) * 0x9e3779b97f4a7c15ULL);
+    }
+
+    [[nodiscard]] std::uint64_t root() const noexcept { return root_; }
+
+private:
+    std::uint64_t root_;
+};
+
+/// Materializes the first `count` seeds of the sequence (e.g. to hand a
+/// whole shard its seed block up front).
+[[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t root_seed,
+                                                      std::size_t count);
+
+}  // namespace rrb::engine

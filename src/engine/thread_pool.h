@@ -1,0 +1,68 @@
+// Fixed-size worker pool with a bounded job queue.
+//
+// The campaign engine's execution substrate: N worker threads drain a
+// FIFO of type-erased jobs. The queue is bounded so a producer that can
+// enumerate millions of grid points (pWCET campaigns at 10^5+ runs)
+// never materializes them all in memory — submit() blocks once
+// `max_queued` jobs are waiting, which throttles enumeration to the
+// pool's drain rate. The first exception a job throws is captured and
+// rethrown from wait_idle() on the submitting thread; later exceptions
+// are dropped (one failure already invalidates the batch).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rrb::engine {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (clamped to >= 1). `max_queued` bounds
+    /// the number of submitted-but-not-started jobs.
+    explicit ThreadPool(std::size_t threads, std::size_t max_queued = 256);
+
+    /// Joins all workers. Pending jobs still run to completion first; an
+    /// unretrieved job exception is swallowed (destructors cannot throw),
+    /// so call wait_idle() before destruction when failures matter.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a job. Blocks while the queue is full.
+    void submit(std::function<void()> job);
+
+    /// Blocks until every submitted job has finished, then rethrows the
+    /// first exception any of them threw (clearing it, so the pool is
+    /// reusable afterwards).
+    void wait_idle();
+
+    [[nodiscard]] std::size_t thread_count() const noexcept {
+        return workers_.size();
+    }
+
+    /// Default parallelism: hardware concurrency, at least 1.
+    [[nodiscard]] static std::size_t default_jobs() noexcept;
+
+private:
+    void worker_loop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_changed_;  ///< producers: space freed
+    std::condition_variable work_ready_;     ///< workers: job available
+    std::condition_variable all_done_;       ///< waiters: pool drained
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t max_queued_;
+    std::size_t active_ = 0;   ///< jobs currently executing
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace rrb::engine

@@ -94,6 +94,35 @@ TEST(Cli, BaselineVarArchitecture) {
               std::string::npos);
 }
 
+TEST(Cli, CampaignReportsBoundedHwm) {
+    const CliResult r = invoke({"campaign", "--runs", "4", "--jobs", "2",
+                                "--iterations", "20"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("campaign: 4 runs on 2 jobs"), std::string::npos);
+    EXPECT_NE(r.out.find("4/4 (100%)"), std::string::npos);
+    EXPECT_NE(r.out.find("hwm = "), std::string::npos);
+    EXPECT_NE(r.out.find("bounded: yes"), std::string::npos);
+}
+
+TEST(Cli, CampaignJobCountDoesNotChangeResults) {
+    const CliResult serial = invoke({"campaign", "--runs", "4", "--jobs",
+                                     "1", "--iterations", "20"});
+    const CliResult wide = invoke({"campaign", "--runs", "4", "--jobs",
+                                   "4", "--iterations", "20"});
+    EXPECT_EQ(serial.code, 0);
+    EXPECT_EQ(wide.code, 0);
+    // Everything after the header line (which names the job count) is
+    // identical: sharding must not change the numbers.
+    EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
+              wide.out.substr(wide.out.find('\n')));
+}
+
+TEST(Cli, CampaignValidatesRuns) {
+    const CliResult r = invoke({"campaign", "--runs", "0"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--runs"), std::string::npos);
+}
+
 TEST(Cli, SweepEmitsCsv) {
     const CliResult r = invoke({"sweep", "--cores", "4", "--lbus", "2",
                                 "--kmax", "14", "--iterations", "15"});
