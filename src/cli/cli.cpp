@@ -1,10 +1,15 @@
 #include "cli/cli.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/rrb.h"
 #include "sim/contract.h"
@@ -21,9 +26,11 @@ struct ParsedFlags {
     std::uint64_t iterations = 40;
     std::uint32_t nop_latency = 1;
     bool store_span = false;
-    std::size_t runs = 20;
+    std::optional<std::size_t> runs;  ///< default is per command
     std::uint64_t seed = 1;
     std::size_t jobs = 0;  ///< 0 = hardware concurrency
+    std::size_t block_size = 50;
+    std::vector<double> exceedances;  ///< empty = pwcet defaults
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
 };
@@ -35,6 +42,16 @@ std::optional<std::uint64_t> parse_number(const std::string& text) {
         if (c < '0' || c > '9') return std::nullopt;
         value = value * 10 + static_cast<std::uint64_t>(c - '0');
     }
+    return value;
+}
+
+/// Strict full-string double parse ("1e-9", "0.001"). No partial reads.
+std::optional<double> parse_probability(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    if (!(value > 0.0 && value < 1.0)) return std::nullopt;
     return value;
 }
 
@@ -85,6 +102,19 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             if (const auto v = next_number("--jobs")) {
                 flags.jobs = static_cast<std::size_t>(*v);
             }
+        } else if (arg == "--block-size") {
+            if (const auto v = next_number("--block-size")) {
+                flags.block_size = static_cast<std::size_t>(*v);
+            }
+        } else if (arg == "--exceedance") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--exceedance needs a value";
+            } else if (const auto p = parse_probability(args[++i])) {
+                flags.exceedances.push_back(*p);
+            } else {
+                flags.error =
+                    "--exceedance needs a probability in (0,1), e.g. 1e-9";
+            }
         } else if (arg == "--csv") {
             if (i + 1 >= args.size()) {
                 flags.error = "--csv needs a path";
@@ -98,6 +128,59 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
     }
     return flags;
 }
+
+/// Live progress for long campaigns: a background thread polls the
+/// ProgressCounter and prints a "completed/total (pp%)" line to `err`
+/// twice a second until destruction. Short campaigns stay silent so
+/// command output — which the determinism tests diff — is
+/// deterministic.
+class ProgressReporter {
+public:
+    /// Campaigns below this many runs finish faster than a human can
+    /// read a progress line; don't emit any.
+    static constexpr std::size_t kMinRuns = 10'000;
+
+    ProgressReporter(const engine::ProgressCounter& progress,
+                     std::ostream& err, std::size_t total_runs) {
+        if (total_runs < kMinRuns) return;
+        thread_ = std::thread([this, &progress, &err] {
+            // One line per 5 percentage points (<= 20 lines however long
+            // the campaign runs), and quiet until the campaign announces
+            // its batch — the zero-initialized counter would render
+            // "0/0 (100%)" during the isolation run.
+            std::size_t next_percent = 5;
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (!done_cv_.wait_for(lock, std::chrono::milliseconds(500),
+                                      [this] { return stopping_; })) {
+                if (progress.total() == 0) continue;
+                const std::size_t percent = static_cast<std::size_t>(
+                    100.0 * progress.fraction());
+                if (percent >= next_percent) {
+                    err << engine::render_progress(progress) << "\n";
+                    next_percent = percent + 5;
+                }
+            }
+        });
+    }
+
+    ~ProgressReporter() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        done_cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    ProgressReporter(const ProgressReporter&) = delete;
+    ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+private:
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
 
 MachineConfig build_config(const ParsedFlags& flags) {
     if (flags.cores || flags.lbus) {
@@ -189,14 +272,15 @@ int cmd_baseline(const ParsedFlags& flags, std::ostream& out) {
     return 0;
 }
 
-int cmd_campaign(const ParsedFlags& flags, std::ostream& out) {
-    RRB_REQUIRE(flags.runs >= 1, "--runs must be at least 1");
+int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
+                 std::ostream& err) {
+    RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
     const MachineConfig config = build_config(flags);
     const Program scua =
         make_autobench(Autobench::kCacheb, 0x0100'0000, flags.iterations, 9);
 
     HwmCampaignOptions options;
-    options.runs = flags.runs;
+    options.runs = flags.runs.value_or(20);
     options.seed = flags.seed;
 
     engine::ProgressCounter progress;
@@ -205,9 +289,13 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out) {
     eng.progress = &progress;
     const std::size_t jobs = engine::effective_jobs(eng.jobs, options.runs);
 
-    const HwmCampaignResult hwm = engine::run_hwm_campaign_parallel(
-        config, scua, make_rsk_contenders(config, OpKind::kLoad), options,
-        eng);
+    HwmCampaignResult hwm;
+    {
+        const ProgressReporter reporter(progress, err, options.runs);
+        hwm = engine::run_hwm_campaign_parallel(
+            config, scua, make_rsk_contenders(config, OpKind::kLoad),
+            options, eng);
+    }
 
     const Cycle etb = hwm.et_isolation + hwm.nr * config.ubd_analytic();
     const bool bounded = hwm.high_water_mark <= etb;
@@ -223,6 +311,80 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out) {
     out << "etb = " << etb << ", bounded: " << (bounded ? "yes" : "NO")
         << ", margin = "
         << (bounded ? etb - hwm.high_water_mark : Cycle{0}) << " cycles\n";
+    return bounded ? 0 : 2;
+}
+
+int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
+              std::ostream& err) {
+    RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
+    RRB_REQUIRE(flags.block_size >= 1, "--block-size must be at least 1");
+    const MachineConfig config = build_config(flags);
+    const Program scua =
+        make_autobench(Autobench::kCacheb, 0x0100'0000, flags.iterations, 9);
+
+    PwcetCampaignOptions options;
+    // Default to a quick-but-meaningful campaign: 40 blocks at the
+    // default block size (the campaign command's 20-run default would
+    // not even fill one block).
+    options.protocol.runs = flags.runs.value_or(40 * flags.block_size);
+    options.block_size = flags.block_size;
+    options.protocol.seed = flags.seed;
+    if (!flags.exceedances.empty()) options.exceedance = flags.exceedances;
+
+    engine::ProgressCounter progress;
+    engine::EngineOptions eng;
+    eng.jobs = flags.jobs;
+    eng.progress = &progress;
+    // The reduce engine sizes its pool against the shard plan, not the
+    // raw run count — report the width it will actually use.
+    const std::size_t jobs = engine::effective_jobs(
+        eng.jobs,
+        engine::ReducePlan::for_count(options.protocol.runs).shards());
+
+    PwcetCampaignResult r;
+    {
+        const ProgressReporter reporter(progress, err,
+                                        options.protocol.runs);
+        r = engine::run_pwcet_campaign(
+            config, scua, make_rsk_contenders(config, OpKind::kLoad),
+            options, eng);
+    }
+
+    out << "pwcet: " << r.runs << " runs in blocks of " << options.block_size
+        << " on " << jobs << " jobs, seed " << options.protocol.seed << " ("
+        << engine::render_progress(progress) << ")\n";
+    out << "et_isol = " << r.et_isolation << " cycles, nr = " << r.nr
+        << "\n";
+    out << "hwm = " << r.high_water_mark << ", lwm = " << r.low_water_mark
+        << ", mean = " << r.mean << ", stddev = " << r.stddev << "\n";
+    out << "streamed: " << r.live_values << " live values for " << r.runs
+        << " runs (" << r.blocks << " complete blocks)\n";
+    // The bound check is independent of the fit — report it (and let a
+    // violation dominate the exit code) even when the fit is unusable.
+    const Cycle etb = r.etb(config.ubd_analytic());
+    const bool bounded = r.high_water_mark <= etb;
+    out << "etb = " << etb << ", hwm bounded: " << (bounded ? "yes" : "NO")
+        << "\n";
+    // Exit contract, matching `campaign`: 0 = HWM bounded by the ETB,
+    // 2 = bound violated; 3 = bounded but no usable fit (so scripts can
+    // tell "unsound bound" from "not enough data").
+    if (!r.fit.valid()) {
+        out << "gumbel fit: degenerate (" << r.blocks
+            << " blocks, no spread) — raise --runs or lower --block-size\n";
+        return bounded ? 3 : 2;
+    }
+    out << "gumbel: mu = " << r.fit.mu << ", beta = " << r.fit.beta
+        << " (fit on " << r.fit.sample_size << " block maxima)\n";
+    for (const PwcetQuantile& q : r.quantiles) {
+        out << "pwcet@" << q.exceedance << " = " << q.pwcet << " ("
+            << (q.pwcet >= static_cast<double>(r.high_water_mark)
+                    ? ">= hwm"
+                    : "below hwm")
+            << ", "
+            << (q.pwcet <= static_cast<double>(etb) ? "below etb"
+                                                    : "above etb")
+            << ")\n";
+    }
     return bounded ? 0 : 2;
 }
 
@@ -256,6 +418,8 @@ std::string usage() {
            "  calibrate  measure delta_nop with the all-nop kernel\n"
            "  baseline   run the naive rsk-vs-rsk measurement\n"
            "  campaign   run a randomized HWM campaign vs the ETB bound\n"
+           "  pwcet      streamed Gumbel pWCET campaign (O(runs/block) "
+           "memory)\n"
            "  sweep      dump the dbus(k) series as CSV\n"
            "  help       show this text\n"
            "\n"
@@ -271,11 +435,18 @@ std::string usage() {
            "  --csv FILE           write the sweep data to FILE\n"
            "\n"
            "campaign flags:\n"
-           "  --runs R             campaign runs (default 20)\n"
+           "  --runs R             campaign runs (default 20; pwcet "
+           "defaults\n"
+           "                       to 40 blocks)\n"
            "  --seed S             campaign root seed (default 1)\n"
            "  --jobs N             parallel jobs; 0 = hardware "
            "concurrency\n"
-           "                       (results are identical for every N)\n";
+           "                       (results are identical for every N)\n"
+           "\n"
+           "pwcet flags (plus the campaign flags above):\n"
+           "  --block-size B       runs per EVT block (default 50)\n"
+           "  --exceedance P       quote pWCET at exceedance P in (0,1);\n"
+           "                       repeatable (default 1e-3 1e-6 1e-9)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -295,7 +466,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "estimate") return cmd_estimate(flags, out);
         if (command == "calibrate") return cmd_calibrate(flags, out);
         if (command == "baseline") return cmd_baseline(flags, out);
-        if (command == "campaign") return cmd_campaign(flags, out);
+        if (command == "campaign") return cmd_campaign(flags, out, err);
+        if (command == "pwcet") return cmd_pwcet(flags, out, err);
         if (command == "sweep") return cmd_sweep(flags, out);
     } catch (const std::invalid_argument& e) {
         err << "error: " << e.what() << "\n";

@@ -10,19 +10,23 @@
 
 namespace rrb {
 
-namespace detail {
+namespace {
 
-Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
-                       const std::vector<Program>& contenders,
-                       const HwmCampaignOptions& options,
-                       std::uint64_t run_index) {
+/// Loads one campaign run's programs into `machine` and runs it to the
+/// scua's finish. The single setup shared by the Cycle-only and the
+/// full-Measurement campaign paths — which is what keeps their observed
+/// execution times bit-identical.
+Cycle execute_campaign_run(Machine& machine, const Program& scua,
+                           const std::vector<Program>& contenders,
+                           const HwmCampaignOptions& options,
+                           std::uint64_t run_index) {
     // Per-run seed derivation (not one RNG shared across runs): run i's
     // offsets depend only on (options.seed, i), never on which thread or
     // in which order the run executes.
     const engine::SeedSequence seeds(options.seed);
     Pcg32 rng(seeds.seed_for(run_index), run_index);
 
-    Machine machine(config);
+    const MachineConfig& config = machine.config();
     machine.load_program(0, scua);
     machine.warm_static_footprint(0);
     std::size_t next = 0;
@@ -43,7 +47,33 @@ Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
     return r.finish_cycle[0];
 }
 
+}  // namespace
+
+namespace detail {
+
+Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
+                       const std::vector<Program>& contenders,
+                       const HwmCampaignOptions& options,
+                       std::uint64_t run_index) {
+    Machine machine(config);
+    return execute_campaign_run(machine, scua, contenders, options,
+                                run_index);
+}
+
+Measurement hwm_campaign_measure(const MachineConfig& config,
+                                 const Program& scua,
+                                 const std::vector<Program>& contenders,
+                                 const HwmCampaignOptions& options,
+                                 std::uint64_t run_index) {
+    Machine machine(config);
+    const Cycle finish = execute_campaign_run(machine, scua, contenders,
+                                              options, run_index);
+    return snapshot_measurement(machine, 0, finish,
+                                /*deadline_reached=*/false);
+}
+
 }  // namespace detail
+
 
 HwmCampaignResult run_hwm_campaign(const MachineConfig& config,
                                    const Program& scua,

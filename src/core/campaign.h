@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/experiment.h"
 #include "isa/program.h"
 #include "machine/config.h"
 #include "sim/types.h"
+#include "stats/evt.h"
 
 namespace rrb {
 
@@ -61,6 +63,49 @@ struct HwmCampaignResult {
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options = {});
 
+/// A pWCET campaign streams runs into mergeable accumulators instead of
+/// materializing them: at any moment only O(runs / block_size) values
+/// are live, so 10^5+ runs cost the same memory as 10^2. The run
+/// protocol is HwmCampaignOptions itself — embedded, not copied field
+/// by field — so a streamed campaign observes exactly the execution
+/// times a materializing campaign with equal (seed, runs) would have
+/// stored, including any protocol field added later.
+struct PwcetCampaignOptions {
+    /// Seeding, release offsets and cycle caps of every run.
+    HwmCampaignOptions protocol{.runs = 100'000};
+    /// Consecutive runs per EVT block; the Gumbel is fitted to the block
+    /// maxima (classical block-maxima MBPTA).
+    std::size_t block_size = 50;
+    /// Exceedance probabilities to quote pWCET quantiles at.
+    std::vector<double> exceedance = {1e-3, 1e-6, 1e-9};
+};
+
+struct PwcetQuantile {
+    double exceedance = 0.0;
+    double pwcet = 0.0;  ///< NaN when the fit is degenerate
+};
+
+struct PwcetCampaignResult {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;             ///< scua bus requests (PMC)
+    std::size_t runs = 0;
+    Cycle high_water_mark = 0;
+    Cycle low_water_mark = 0;
+    double mean = 0.0;                ///< streamed (Chan-merged) moments
+    double stddev = 0.0;
+    std::size_t blocks = 0;           ///< complete blocks fed to the fit
+    /// Live (max, fill) pairs the streamed fold held at the end — the
+    /// memory-footprint evidence: ~runs/block_size, never ~runs.
+    std::size_t live_values = 0;
+    GumbelFit fit;                    ///< Gumbel over the block maxima
+    std::vector<PwcetQuantile> quantiles;
+
+    /// The composable bound the quantiles are compared against.
+    [[nodiscard]] Cycle etb(Cycle ubd) const noexcept {
+        return et_isolation + nr * ubd;
+    }
+};
+
 namespace detail {
 
 /// One campaign run: builds a fresh machine, loads `scua` on core 0 and
@@ -73,6 +118,16 @@ namespace detail {
                                      const std::vector<Program>& contenders,
                                      const HwmCampaignOptions& options,
                                      std::uint64_t run_index);
+
+/// hwm_campaign_run with the full Measurement snapshot (black-box PMCs
+/// plus white-box histograms) instead of just the finish cycle. Same
+/// setup, same seeding, same execution — m.exec_time equals
+/// hwm_campaign_run(...) for equal inputs — so streamed accumulators
+/// observe exactly the values the materializing path would have stored.
+[[nodiscard]] Measurement hwm_campaign_measure(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, std::uint64_t run_index);
 
 }  // namespace detail
 

@@ -6,10 +6,10 @@
 
 namespace rrb {
 
-namespace {
+namespace detail {
 
-Measurement snapshot(Machine& machine, CoreId scua_core, Cycle exec_time,
-                     bool deadline_reached) {
+Measurement snapshot_measurement(Machine& machine, CoreId scua_core,
+                                 Cycle exec_time, bool deadline_reached) {
     Measurement m;
     m.exec_time = exec_time;
     m.deadline_reached = deadline_reached;
@@ -27,7 +27,7 @@ Measurement snapshot(Machine& machine, CoreId scua_core, Cycle exec_time,
     return m;
 }
 
-}  // namespace
+}  // namespace detail
 
 Measurement run_isolation(const MachineConfig& config, const Program& scua,
                           CoreId scua_core, Cycle max_cycles) {
@@ -38,7 +38,8 @@ Measurement run_isolation(const MachineConfig& config, const Program& scua,
     const RunResult r = machine.run_until_core(scua_core, max_cycles);
     const Cycle et = r.deadline_reached ? r.cycles
                                         : r.finish_cycle[scua_core];
-    return snapshot(machine, scua_core, et, r.deadline_reached);
+    return detail::snapshot_measurement(machine, scua_core, et,
+                                        r.deadline_reached);
 }
 
 Measurement run_contention(const MachineConfig& config, const Program& scua,
@@ -65,7 +66,8 @@ Measurement run_contention(const MachineConfig& config, const Program& scua,
     const RunResult r = machine.run_until_core(scua_core, max_cycles);
     const Cycle et = r.deadline_reached ? r.cycles
                                         : r.finish_cycle[scua_core];
-    return snapshot(machine, scua_core, et, r.deadline_reached);
+    return detail::snapshot_measurement(machine, scua_core, et,
+                                        r.deadline_reached);
 }
 
 SlowdownResult run_slowdown(const MachineConfig& config, const Program& scua,

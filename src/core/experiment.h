@@ -73,4 +73,19 @@ struct SlowdownResult {
     const std::vector<Program>& contenders, std::size_t jobs = 0,
     Cycle max_cycles = 1'000'000'000);
 
+class Machine;
+
+namespace detail {
+
+/// Reads a finished machine's counters into a Measurement — the one
+/// place the black-box PMC view and the white-box histograms are
+/// snapshotted, shared by the experiment entry points and the campaign
+/// measure path so both report identical statistics.
+[[nodiscard]] Measurement snapshot_measurement(Machine& machine,
+                                               CoreId scua_core,
+                                               Cycle exec_time,
+                                               bool deadline_reached);
+
+}  // namespace detail
+
 }  // namespace rrb

@@ -1,0 +1,69 @@
+#include "engine/reduce.h"
+
+#include <limits>
+
+namespace rrb::engine {
+
+PwcetCampaignResult run_pwcet_campaign(const MachineConfig& config,
+                                       const Program& scua,
+                                       const std::vector<Program>& contenders,
+                                       const PwcetCampaignOptions& options,
+                                       const EngineOptions& engine) {
+    RRB_REQUIRE(options.protocol.runs >= 1, "need at least one run");
+    RRB_REQUIRE(options.block_size >= 1, "block size must be positive");
+    for (const double e : options.exceedance) {
+        RRB_REQUIRE(e > 0.0 && e < 1.0, "exceedance probability in (0,1)");
+    }
+
+    PwcetCampaignResult result;
+    {
+        const Measurement isol = run_isolation(
+            config, scua, 0, options.protocol.max_cycles_per_run);
+        RRB_ENSURE(!isol.deadline_reached);
+        result.et_isolation = isol.exec_time;
+        result.nr = isol.bus_requests;
+    }
+
+    const PwcetAccumulator acc = run_campaign_reduce(
+        config, scua, contenders, options.protocol,
+        PwcetAccumulator(options.block_size), engine);
+
+    result.runs = static_cast<std::size_t>(acc.extremes().count());
+    result.high_water_mark = acc.extremes().max();
+    result.low_water_mark = acc.extremes().min();
+    result.mean = acc.moments().mean();
+    result.stddev = acc.moments().stddev();
+    result.blocks = acc.blocks().complete_blocks();
+    result.live_values = acc.blocks().live_values();
+    result.fit = acc.blocks().fit();
+    result.quantiles.reserve(options.exceedance.size());
+    for (const double e : options.exceedance) {
+        // pwcet() yields NaN on a degenerate fit's behalf only for bad p;
+        // an invalid fit (too few blocks / zero spread) is still a valid
+        // extrapolation-free row, so quote NaN explicitly there too.
+        result.quantiles.push_back(
+            {e, result.fit.valid()
+                    ? result.fit.pwcet(e)
+                    : std::numeric_limits<double>::quiet_NaN()});
+    }
+    return result;
+}
+
+WhiteboxCampaignResult run_whitebox_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, const EngineOptions& engine) {
+    WhiteboxCampaignResult result;
+    {
+        const Measurement isol =
+            run_isolation(config, scua, 0, options.max_cycles_per_run);
+        RRB_ENSURE(!isol.deadline_reached);
+        result.et_isolation = isol.exec_time;
+        result.nr = isol.bus_requests;
+    }
+    result.stats = run_campaign_reduce(config, scua, contenders, options,
+                                       WhiteboxAccumulator{}, engine);
+    return result;
+}
+
+}  // namespace rrb::engine

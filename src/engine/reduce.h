@@ -1,0 +1,169 @@
+// Sharded streaming reduction: campaigns that never materialize results.
+//
+// PR 1's engine collects one result per run into a pre-sized vector;
+// that contract caps campaigns at memory ~ runs. This module extends the
+// determinism contract from "collect all results in run order" to "fold
+// them into mergeable accumulators without ever holding them":
+//
+//   * Each shard owns a contiguous run range and folds it locally, in
+//     ascending run order, into its own accumulator.
+//   * Shard accumulators merge in shard order, so the overall fold order
+//     is exactly run order 0..n-1 — whatever thread ran which shard.
+//   * The shard plan is a pure function of the run count (see
+//     ReducePlan::for_count), never of the job count or the hardware, so
+//     even rounding-sensitive folds (Chan-merged floating-point moments)
+//     see an identical merge tree — and produce bit-identical results —
+//     at every --jobs value.
+//
+// The accumulator concept: copy-constructible (the initial value seeds
+// every shard, carrying configuration such as the EVT block size),
+// `void add(std::uint64_t run_index, const Measurement&)` for campaign
+// reductions (reduce_indexed itself only needs the fold you hand it),
+// and `void merge(const Accumulator& later_shard)`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/experiment.h"
+#include "engine/campaign_engine.h"
+#include "engine/thread_pool.h"
+#include "isa/program.h"
+#include "machine/config.h"
+#include "sim/contract.h"
+#include "stats/streaming.h"
+
+namespace rrb::engine {
+
+/// Contiguous sharding of the run range [0, count). Pure function of
+/// `count`: the plan — and therefore every merge tree built from it —
+/// is identical whatever the worker count, which is what makes
+/// floating-point folds reproducible across --jobs values. The shard
+/// size targets kTargetShards shards so any realistic pool stays busy
+/// while slot bookkeeping stays O(1)-ish.
+struct ReducePlan {
+    static constexpr std::uint64_t kTargetShards = 256;
+
+    std::uint64_t count = 0;
+    std::uint64_t shard_size = 1;
+
+    [[nodiscard]] static ReducePlan for_count(std::uint64_t count) noexcept {
+        ReducePlan plan;
+        plan.count = count;
+        plan.shard_size =
+            count <= kTargetShards
+                ? 1
+                : (count + kTargetShards - 1) / kTargetShards;
+        return plan;
+    }
+
+    [[nodiscard]] std::size_t shards() const noexcept {
+        return count == 0
+                   ? 0
+                   : static_cast<std::size_t>(
+                         (count + shard_size - 1) / shard_size);
+    }
+    [[nodiscard]] std::uint64_t shard_begin(std::size_t shard) const noexcept {
+        return static_cast<std::uint64_t>(shard) * shard_size;
+    }
+    [[nodiscard]] std::uint64_t shard_end(std::size_t shard) const noexcept {
+        const std::uint64_t end = shard_begin(shard) + shard_size;
+        return end < count ? end : count;
+    }
+};
+
+/// Folds `fold(acc, i)` for i in [0, count) into a single accumulator:
+/// shards run concurrently on `engine.jobs` workers, each folding its
+/// contiguous index range into a copy of `init`, and the shard results
+/// merge in shard order. `fold` must be safe to call concurrently on
+/// distinct accumulators. Progress ticks once per index.
+template <typename Accumulator, typename Fold>
+[[nodiscard]] Accumulator reduce_indexed(std::uint64_t count, Fold&& fold,
+                                         Accumulator init,
+                                         const EngineOptions& engine = {}) {
+    if (engine.progress != nullptr) {
+        engine.progress->begin(static_cast<std::size_t>(count));
+    }
+    if (count == 0) return init;
+
+    const ReducePlan plan = ReducePlan::for_count(count);
+    std::vector<std::optional<Accumulator>> slots(plan.shards());
+    {
+        ThreadPool pool(effective_jobs(engine.jobs, plan.shards()));
+        for (std::size_t s = 0; s < plan.shards(); ++s) {
+            pool.submit([&slots, &plan, &fold, &engine, &init, s] {
+                Accumulator acc = init;  // carries configuration state
+                for (std::uint64_t i = plan.shard_begin(s);
+                     i < plan.shard_end(s); ++i) {
+                    fold(acc, i);
+                    if (engine.progress != nullptr) engine.progress->tick();
+                }
+                slots[s].emplace(std::move(acc));
+            });
+        }
+        pool.wait_idle();  // rethrows the first shard failure
+    }
+
+    Accumulator result = std::move(*slots[0]);
+    for (std::size_t s = 1; s < slots.size(); ++s) {
+        result.merge(*slots[s]);
+    }
+    return result;
+}
+
+/// Campaign-shaped reduction: runs the HWM-campaign protocol for every
+/// run index and streams each run's full Measurement into the
+/// accumulator — never materializing a per-run vector. Bit-identical at
+/// every job count (see the module comment).
+template <typename Accumulator>
+[[nodiscard]] Accumulator run_campaign_reduce(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, Accumulator init,
+    const EngineOptions& engine = {}) {
+    RRB_REQUIRE(options.runs >= 1, "need at least one run");
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+    return reduce_indexed(
+        static_cast<std::uint64_t>(options.runs),
+        [&](Accumulator& acc, std::uint64_t run) {
+            acc.add(run, detail::hwm_campaign_measure(config, scua,
+                                                      contenders, options,
+                                                      run));
+        },
+        std::move(init), engine);
+}
+
+/// Streamed pWCET campaign: isolation baseline, then
+/// options.protocol.runs contention runs folded into a PwcetAccumulator
+/// on the reduce path,
+/// then the Gumbel fit over the streamed block maxima and pWCET
+/// quantiles at the requested exceedance probabilities. Live memory is
+/// O(runs / block_size); results are bit-identical for every
+/// engine.jobs.
+[[nodiscard]] PwcetCampaignResult run_pwcet_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const PwcetCampaignOptions& options = {},
+    const EngineOptions& engine = {});
+
+/// White-box campaign statistics over the sharded merge path: the
+/// gamma / ready-contenders / injection-delta histograms and the
+/// run-ordered execution-time series, identical to a serial fold of
+/// hwm_campaign_measure over the same options.
+struct WhiteboxCampaignResult {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;
+    WhiteboxAccumulator stats;
+};
+
+[[nodiscard]] WhiteboxCampaignResult run_whitebox_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options = {},
+    const EngineOptions& engine = {});
+
+}  // namespace rrb::engine

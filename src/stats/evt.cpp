@@ -1,6 +1,7 @@
 #include "stats/evt.h"
 
 #include <cmath>
+#include <limits>
 
 #include "sim/contract.h"
 #include "stats/series.h"
@@ -15,14 +16,20 @@ constexpr double kPi = 3.14159265358979323846;
 }  // namespace
 
 double GumbelFit::quantile(double p) const {
-    RRB_REQUIRE(p > 0.0 && p < 1.0, "quantile probability in (0,1)");
+    // Domain guard: outside (0,1) the inverse CDF is undefined (log of a
+    // non-positive number); NaN comparisons are false, so NaN p lands
+    // here too.
+    if (!(p > 0.0 && p < 1.0)) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     // x = mu - beta * ln(-ln(p))
     return mu - beta * std::log(-std::log(p));
 }
 
 double GumbelFit::pwcet(double exceedance_probability) const {
-    RRB_REQUIRE(exceedance_probability > 0.0 && exceedance_probability < 1.0,
-                "exceedance probability in (0,1)");
+    if (!(exceedance_probability > 0.0 && exceedance_probability < 1.0)) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     return quantile(1.0 - exceedance_probability);
 }
 

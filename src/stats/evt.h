@@ -28,12 +28,14 @@ struct GumbelFit {
         return sample_size >= 2 && beta > 0.0;
     }
 
-    /// Quantile x with P(X <= x) = p (inverse CDF).
-    /// Precondition: 0 < p < 1.
+    /// Quantile x with P(X <= x) = p (inverse CDF). Domain: 0 < p < 1;
+    /// out-of-range (or NaN) p returns quiet NaN instead of a garbage
+    /// extrapolation, so report code can filter with std::isnan.
     [[nodiscard]] double quantile(double p) const;
 
     /// pWCET at an exceedance probability per run, e.g. 1e-9:
-    /// quantile(1 - exceedance).
+    /// quantile(1 - exceedance). Same domain guard as quantile: NaN
+    /// outside (0, 1).
     [[nodiscard]] double pwcet(double exceedance_probability) const;
 
     /// CDF at x.

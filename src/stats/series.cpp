@@ -7,6 +7,17 @@
 
 namespace rrb {
 
+void Series::merge(const Series& other) {
+    // Self-merge duplicates the sample; insert from a copy-safe range.
+    if (this == &other) {
+        const std::size_t n = values_.size();
+        values_.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i) values_.push_back(values_[i]);
+        return;
+    }
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
 SeriesSummary summarize(std::span<const double> xs) {
     SeriesSummary s;
     if (xs.empty()) return s;

@@ -18,6 +18,35 @@ struct SeriesSummary {
 
 [[nodiscard]] SeriesSummary summarize(std::span<const double> xs);
 
+/// Ordered sample container with a shard merge, the Series counterpart of
+/// Histogram::merge: `a.merge(b)` appends b's values after a's, so
+/// merging shard series in shard order reconstructs the original sample
+/// order exactly (the white-box campaign path relies on this). Merge is
+/// associative with the empty series as identity; it is order-preserving
+/// rather than commutative, but every permutation-invariant statistic of
+/// the result (min/max/count, and mean/stddev up to summation rounding)
+/// is merge-order-free.
+class Series {
+public:
+    Series() = default;
+    explicit Series(std::vector<double> values) : values_(std::move(values)) {}
+
+    void add(double x) { values_.push_back(x); }
+
+    /// Appends `other`'s values after this series' values.
+    void merge(const Series& other);
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+    [[nodiscard]] const std::vector<double>& values() const noexcept {
+        return values_;
+    }
+    [[nodiscard]] SeriesSummary summary() const { return summarize(values_); }
+
+private:
+    std::vector<double> values_;
+};
+
 /// Indices of strict local maxima: xs[i-1] < xs[i] >= xs[i+1] with plateau
 /// handling (the first index of a plateau that is higher than both sides).
 /// Endpoints are considered maxima when they dominate their single

@@ -123,6 +123,79 @@ TEST(Cli, CampaignValidatesRuns) {
     EXPECT_NE(r.err.find("--runs"), std::string::npos);
 }
 
+TEST(Cli, HelpListsPwcetCommandAndFlags) {
+    const CliResult r = invoke({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("pwcet"), std::string::npos);
+    EXPECT_NE(r.out.find("--block-size"), std::string::npos);
+    EXPECT_NE(r.out.find("--exceedance"), std::string::npos);
+}
+
+TEST(Cli, PwcetReportsStreamedCampaign) {
+    const CliResult r = invoke({"pwcet", "--runs", "24", "--block-size",
+                                "4", "--jobs", "2", "--iterations", "20",
+                                "--exceedance", "1e-9"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("pwcet: 24 runs in blocks of 4 on 2 jobs"),
+              std::string::npos);
+    // The progress counter covered every run.
+    EXPECT_NE(r.out.find("24/24 (100%)"), std::string::npos);
+    // Streamed memory evidence: 6 blocks live, not 24 values.
+    EXPECT_NE(r.out.find("streamed: 6 live values for 24 runs"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("gumbel: mu = "), std::string::npos);
+    EXPECT_NE(r.out.find("pwcet@1e-09 = "), std::string::npos);
+    EXPECT_NE(r.out.find("hwm bounded: yes"), std::string::npos);
+}
+
+TEST(Cli, PwcetJobCountDoesNotChangeResults) {
+    const CliResult serial = invoke({"pwcet", "--runs", "24",
+                                     "--block-size", "4", "--jobs", "1",
+                                     "--iterations", "20"});
+    const CliResult wide = invoke({"pwcet", "--runs", "24",
+                                   "--block-size", "4", "--jobs", "8",
+                                   "--iterations", "20"});
+    EXPECT_EQ(serial.code, 0);
+    EXPECT_EQ(wide.code, 0);
+    // Everything after the header line (which names the job count) is
+    // identical — including the Chan-merged mean/stddev and the fit:
+    // the shard plan depends on runs, never jobs.
+    EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
+              wide.out.substr(wide.out.find('\n')));
+}
+
+TEST(Cli, PwcetDefaultRunsFillWholeBlocks) {
+    // The pwcet default must produce a valid fit out of the box — the
+    // campaign command's 20-run default would not even fill one
+    // 50-run block. Default here is 40 blocks.
+    const CliResult r = invoke({"pwcet", "--iterations", "20"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("pwcet: 2000 runs in blocks of 50"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("gumbel: mu = "), std::string::npos);
+}
+
+TEST(Cli, PwcetDegenerateFitExitsThree) {
+    // One block -> fewer than two block maxima -> no valid fit. Exit 3
+    // keeps "not enough data" distinct from "bound violated" (exit 2).
+    const CliResult r = invoke({"pwcet", "--runs", "4", "--block-size",
+                                "4", "--iterations", "20"});
+    EXPECT_EQ(r.code, 3);
+    EXPECT_NE(r.out.find("degenerate"), std::string::npos);
+}
+
+TEST(Cli, PwcetValidatesFlags) {
+    EXPECT_EQ(invoke({"pwcet", "--runs", "0"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--block-size", "0"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--block-size"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--block-size", "abc"}).code, 1);
+    const CliResult bad = invoke({"pwcet", "--exceedance", "2.0"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("--exceedance"), std::string::npos);
+    EXPECT_EQ(invoke({"pwcet", "--exceedance", "nope"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--exceedance"}).code, 1);
+}
+
 TEST(Cli, SweepEmitsCsv) {
     const CliResult r = invoke({"sweep", "--cores", "4", "--lbus", "2",
                                 "--kmax", "14", "--iterations", "15"});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "sim/rng.h"
@@ -76,14 +77,23 @@ TEST(GumbelFit, PwcetDominatesSampleMax) {
     EXPECT_GT(fit.pwcet(1e-9), max_seen);
 }
 
-TEST(GumbelFit, ValidatesProbabilityArguments) {
+TEST(GumbelFit, OutOfRangeProbabilityYieldsNaN) {
     GumbelFit fit;
     fit.mu = 0.0;
     fit.beta = 1.0;
     fit.sample_size = 10;
-    EXPECT_THROW((void)fit.quantile(0.0), std::invalid_argument);
-    EXPECT_THROW((void)fit.quantile(1.0), std::invalid_argument);
-    EXPECT_THROW((void)fit.pwcet(0.0), std::invalid_argument);
+    // The domain is 0 < p < 1; anything else — including NaN, which
+    // compares false against everything — must come back NaN, never a
+    // garbage extrapolation.
+    for (const double p : {0.0, 1.0, -0.5, 2.0,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+        EXPECT_TRUE(std::isnan(fit.quantile(p))) << "p = " << p;
+        EXPECT_TRUE(std::isnan(fit.pwcet(p))) << "p = " << p;
+    }
+    // In-range values stay finite.
+    EXPECT_TRUE(std::isfinite(fit.quantile(0.5)));
+    EXPECT_TRUE(std::isfinite(fit.pwcet(1e-9)));
 }
 
 TEST(BlockMaxima, ReducesBlocks) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/rng.h"
+
 namespace rrb {
 namespace {
 
@@ -100,6 +102,54 @@ TEST(Histogram, Merge) {
     EXPECT_EQ(a.total(), 8u);
     EXPECT_EQ(a.count(3), 5u);
     EXPECT_EQ(a.count(7), 1u);
+}
+
+/// Random histogram over a small value domain so merges collide often.
+Histogram random_histogram(std::uint64_t seed, std::size_t entries) {
+    Pcg32 rng(seed);
+    Histogram h;
+    for (std::size_t i = 0; i < entries; ++i) {
+        h.add(rng.next_below(16), 1 + rng.next_below(5));
+    }
+    return h;
+}
+
+TEST(HistogramMergeProperties, Associativity) {
+    // Counts are exact integers, so the shard-merge law holds bitwise:
+    // (a + b) + c == a + (b + c) for any shard split.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const Histogram a = random_histogram(3 * seed + 0, 20);
+        const Histogram b = random_histogram(3 * seed + 1, 15);
+        const Histogram c = random_histogram(3 * seed + 2, 25);
+        Histogram left = a;
+        left.merge(b);
+        left.merge(c);
+        Histogram bc = b;
+        bc.merge(c);
+        Histogram right = a;
+        right.merge(bc);
+        EXPECT_EQ(left.buckets(), right.buckets()) << "seed " << seed;
+        EXPECT_EQ(left.total(), right.total());
+    }
+}
+
+TEST(HistogramMergeProperties, CommutativityAndIdentity) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const Histogram a = random_histogram(2 * seed + 100, 30);
+        const Histogram b = random_histogram(2 * seed + 101, 30);
+        Histogram ab = a;
+        ab.merge(b);
+        Histogram ba = b;
+        ba.merge(a);
+        EXPECT_EQ(ab.buckets(), ba.buckets()) << "seed " << seed;
+
+        Histogram with_empty = a;
+        with_empty.merge(Histogram{});
+        EXPECT_EQ(with_empty.buckets(), a.buckets());
+        Histogram onto_empty;
+        onto_empty.merge(a);
+        EXPECT_EQ(onto_empty.buckets(), a.buckets());
+    }
 }
 
 }  // namespace

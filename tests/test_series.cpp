@@ -4,8 +4,89 @@
 
 #include <vector>
 
+#include "sim/rng.h"
+
 namespace rrb {
 namespace {
+
+/// Integer-valued random series: sums of small integers are exact in
+/// double arithmetic, so permutation-invariant statistics compare with
+/// operator== even across different merge orders.
+Series integer_series(std::size_t n, std::uint64_t seed) {
+    Pcg32 rng(seed);
+    Series s;
+    for (std::size_t i = 0; i < n; ++i) {
+        s.add(static_cast<double>(rng.next_below(1000)));
+    }
+    return s;
+}
+
+TEST(Series, AddAndValues) {
+    Series s;
+    EXPECT_TRUE(s.empty());
+    s.add(3.0);
+    s.add(1.0);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.values(), (std::vector<double>{3.0, 1.0}));
+    const SeriesSummary sum = s.summary();
+    EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+    EXPECT_DOUBLE_EQ(sum.max, 3.0);
+}
+
+TEST(Series, MergeAppendsInOrder) {
+    Series a(std::vector<double>{1.0, 2.0});
+    const Series b(std::vector<double>{3.0, 4.0});
+    a.merge(b);
+    EXPECT_EQ(a.values(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+    const Series empty;
+    a.merge(empty);  // identity
+    EXPECT_EQ(a.size(), 4u);
+    Series c;
+    c.merge(a);  // merge into empty copies
+    EXPECT_EQ(c.values(), a.values());
+}
+
+TEST(Series, SelfMergeDuplicatesTheSample) {
+    Series s(std::vector<double>{1.0, 2.0});
+    s.merge(s);
+    EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 1.0, 2.0}));
+}
+
+TEST(SeriesMergeProperties, Associativity) {
+    const Series a = integer_series(40, 1);
+    const Series b = integer_series(30, 2);
+    const Series c = integer_series(50, 3);
+    Series left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Series bc = b;     // a + (b + c)
+    bc.merge(c);
+    Series right = a;
+    right.merge(bc);
+    EXPECT_EQ(left.values(), right.values());
+}
+
+TEST(SeriesMergeProperties, SummaryIsMergeOrderFree) {
+    // Append is order-preserving, not commutative — but every
+    // permutation-invariant statistic must agree between a+b and b+a
+    // (exactly, on integer-valued samples).
+    const Series a = integer_series(64, 4);
+    const Series b = integer_series(81, 5);
+    Series ab = a;
+    ab.merge(b);
+    Series ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.size(), ba.size());
+    const SeriesSummary sab = ab.summary();
+    const SeriesSummary sba = ba.summary();
+    EXPECT_EQ(sab.min, sba.min);
+    EXPECT_EQ(sab.max, sba.max);
+    // Integer sums are exact in double, so the means agree bitwise; the
+    // squared deviations are rounded, so their permuted sums agree only
+    // to rounding.
+    EXPECT_EQ(sab.mean, sba.mean);
+    EXPECT_NEAR(sab.stddev, sba.stddev, 1e-9);
+}
 
 TEST(Summarize, EmptyIsZero) {
     const SeriesSummary s = summarize({});
