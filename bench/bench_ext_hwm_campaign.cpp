@@ -21,22 +21,24 @@ void print_figure() {
     const MachineConfig cfg = MachineConfig::ngmp_ref();
     const Cycle ubd = cfg.ubd_analytic();
 
-    // One grid point per EEMBC-like scua, each point a full campaign;
-    // the engine fans the campaigns out across hardware threads and the
-    // per-run seed derivation keeps every number identical to a serial
-    // run of the same campaigns, whatever the job count.
+    // One Scenario per EEMBC-like scua, all sharing the same protocol
+    // and executed by one Session: campaigns run back to back on the
+    // session's shared pool, and the per-run seed derivation keeps
+    // every number identical to a serial run, whatever the job count.
     const std::vector<Autobench> kernels = {
         Autobench::kCacheb, Autobench::kMatrix, Autobench::kTblook,
         Autobench::kPntrch, Autobench::kIdctrn, Autobench::kAifirf};
-    const std::vector<HwmCampaignResult> campaigns = engine::run_grid(
-        kernels, [&](const Autobench kernel) {
-            const Program scua = make_autobench(kernel, 0x0100'0000, 150, 9);
-            HwmCampaignOptions opt;
-            opt.runs = 20;
-            opt.seed = 11;
-            return run_hwm_campaign(
-                cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad), opt);
-        });
+    Session session;  // default jobs: hardware concurrency
+    std::vector<HwmCampaignResult> campaigns;
+    campaigns.reserve(kernels.size());
+    for (const Autobench kernel : kernels) {
+        campaigns.push_back(session.hwm(
+            Scenario::on(cfg)
+                .scua(make_autobench(kernel, 0x0100'0000, 150, 9))
+                .rsk_contenders(OpKind::kLoad)
+                .runs(20)
+                .seed(11)));
+    }
 
     std::printf("%-8s %10s %10s %12s %12s %12s %10s\n", "scua", "et_isol",
                 "hwm", "hwm/req", "etb(ubd=27)", "etb(naive26)", "bounded");
@@ -75,15 +77,14 @@ void BM_OneCampaign(benchmark::State& state) {
 BENCHMARK(BM_OneCampaign)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_OneCampaignParallel(benchmark::State& state) {
-    const MachineConfig cfg = MachineConfig::ngmp_ref();
-    const Program scua =
-        make_autobench(Autobench::kCacheb, 0x0100'0000, 150, 9);
+    const Scenario scenario =
+        Scenario::on(MachineConfig::ngmp_ref())
+            .scua(make_autobench(Autobench::kCacheb, 0x0100'0000, 150, 9))
+            .rsk_contenders(OpKind::kLoad)
+            .runs(20);
     for (auto _ : state) {
-        HwmCampaignOptions opt;
-        opt.runs = 20;
-        engine::EngineOptions eng;  // jobs = hardware concurrency
-        benchmark::DoNotOptimize(engine::run_hwm_campaign_parallel(
-            cfg, scua, make_rsk_contenders(cfg, OpKind::kLoad), opt, eng));
+        Session session;  // jobs = hardware concurrency
+        benchmark::DoNotOptimize(session.hwm(scenario));
     }
 }
 BENCHMARK(BM_OneCampaignParallel)

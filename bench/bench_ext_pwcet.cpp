@@ -62,11 +62,19 @@ void print_figure() {
 
     const MachineConfig cfg = MachineConfig::ngmp_ref();
     const Cycle ubd = cfg.ubd_analytic();
-    const Program scua = make_autobench(Autobench::kCacheb, 0x0100'0000,
-                                        120, 5);
-    const std::vector<Program> contenders =
-        make_rsk_contenders(cfg, OpKind::kLoad);
     const std::size_t runs = total_runs();
+
+    // One Scenario, one Session: checkpoints re-size the run count on
+    // the same scenario and share the session's pool.
+    Scenario scenario = Scenario::on(cfg)
+                            .scua(make_autobench(Autobench::kCacheb,
+                                                 0x0100'0000, 120, 5))
+                            .rsk_contenders(OpKind::kLoad)
+                            .seed(23);
+    PwcetSpec spec;
+    spec.block_size = kBlockSize;
+    spec.exceedance = {1e-9};
+    Session session;  // default jobs: hardware concurrency
 
     std::printf("%10s %10s %10s %12s %12s %10s %8s\n", "runs", "hwm",
                 "mu", "beta", "pwcet@1e-9", "etb", "vs etb");
@@ -74,15 +82,9 @@ void print_figure() {
     for (const std::size_t n :
          {runs / 64, runs / 16, runs / 4, runs}) {
         if (n < 2 * kBlockSize) continue;  // need >= 2 blocks for a fit
-        PwcetCampaignOptions opt;
-        opt.protocol.runs = n;
-        opt.block_size = kBlockSize;
-        opt.protocol.seed = 23;
-        opt.exceedance = {1e-9};
         // Same seed: runs [0, n) are a prefix of the full campaign, so
         // each checkpoint row extends the previous row's sample.
-        const PwcetCampaignResult r = engine::run_pwcet_campaign(
-            cfg, scua, contenders, opt);
+        const PwcetCampaignResult r = session.pwcet(scenario.runs(n), spec);
         last = r;
         const Cycle etb = r.etb(ubd);
         if (!r.fit.valid()) {
@@ -123,21 +125,21 @@ void print_figure() {
 }
 
 void BM_StreamedPwcetCampaign(benchmark::State& state) {
-    const MachineConfig cfg = MachineConfig::ngmp_ref();
-    const Program scua = make_autobench(Autobench::kCacheb, 0x0100'0000,
-                                        40, 5);
-    const std::vector<Program> contenders =
-        make_rsk_contenders(cfg, OpKind::kLoad);
-    PwcetCampaignOptions opt;
-    opt.protocol.runs = static_cast<std::size_t>(state.range(0));
-    opt.block_size = 16;
-    opt.protocol.seed = 23;
+    const std::size_t runs = static_cast<std::size_t>(state.range(0));
+    const Scenario scenario =
+        Scenario::on(MachineConfig::ngmp_ref())
+            .scua(make_autobench(Autobench::kCacheb, 0x0100'0000, 40, 5))
+            .rsk_contenders(OpKind::kLoad)
+            .runs(runs)
+            .seed(23);
+    PwcetSpec spec;
+    spec.block_size = 16;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            engine::run_pwcet_campaign(cfg, scua, contenders, opt));
+        Session session;
+        benchmark::DoNotOptimize(session.pwcet(scenario, spec));
     }
     state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(opt.protocol.runs));
+                            static_cast<std::int64_t>(runs));
 }
 BENCHMARK(BM_StreamedPwcetCampaign)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);

@@ -53,10 +53,15 @@ int main() {
     std::vector<Task> skeleton;
     std::vector<Cycle> isolated;
     std::vector<std::uint64_t> requests;
+    const Session session;
     for (const AppSpec& app : apps) {
-        const Program scua =
-            make_autobench(app.kernel, 0x0100'0000, 200, 17);
-        const Measurement isol = run_isolation(config, scua);
+        // One scenario per application; the Session entry point applies
+        // the measurement discipline (core 0, the protocol's cycle cap).
+        const Measurement isol = session.isolation(
+            Scenario::on(config)
+                .scua(make_autobench(app.kernel, 0x0100'0000, 200, 17))
+                .rsk_contenders(OpKind::kLoad)
+                .max_cycles(1'000'000'000));
         skeleton.push_back(
             {to_string(app.kernel), 1, app.period, app.deadline});
         isolated.push_back(isol.exec_time);

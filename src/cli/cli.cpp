@@ -1,15 +1,19 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "core/rrb.h"
 #include "sim/contract.h"
@@ -31,9 +35,52 @@ struct ParsedFlags {
     std::size_t jobs = 0;  ///< 0 = hardware concurrency
     std::size_t block_size = 50;
     std::vector<double> exceedances;  ///< empty = pwcet defaults
+    std::vector<CoreId> cores_axis;
+    std::vector<Cycle> lbus_axis;
+    std::vector<ArbiterKind> arbiter_axis;
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
 };
+
+/// Which flags each command accepts. Parsing rejects — with a non-zero
+/// exit naming the flag — both flags nothing knows and flags that
+/// exist but do not apply to the command at hand: a silently ignored
+/// `calibrate --runs 5` would report numbers for a campaign that never
+/// ran.
+struct CommandSpec {
+    std::string_view name;
+    std::vector<std::string_view> flags;
+};
+
+const std::vector<CommandSpec>& command_specs() {
+    static const std::vector<CommandSpec> specs = {
+        {"estimate",
+         {"--cores", "--lbus", "--var", "--kmax", "--iterations",
+          "--nop-latency", "--store-span", "--csv"}},
+        {"calibrate", {"--cores", "--lbus", "--var", "--nop-latency"}},
+        {"baseline", {"--cores", "--lbus", "--var", "--iterations"}},
+        {"campaign",
+         {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
+          "--iterations"}},
+        {"pwcet",
+         {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
+          "--iterations", "--block-size", "--exceedance"}},
+        {"sweep",
+         {"--cores", "--lbus", "--var", "--kmax", "--iterations", "--csv"}},
+        {"sweep-pwcet",
+         {"--var", "--cores-axis", "--lbus-axis", "--arbiter-axis",
+          "--runs", "--seed", "--jobs", "--iterations", "--block-size",
+          "--exceedance"}},
+    };
+    return specs;
+}
+
+const CommandSpec* find_command(std::string_view name) {
+    for (const CommandSpec& spec : command_specs()) {
+        if (spec.name == name) return &spec;
+    }
+    return nullptr;
+}
 
 std::optional<std::uint64_t> parse_number(const std::string& text) {
     if (text.empty()) return std::nullopt;
@@ -43,6 +90,54 @@ std::optional<std::uint64_t> parse_number(const std::string& text) {
         value = value * 10 + static_cast<std::uint64_t>(c - '0');
     }
     return value;
+}
+
+/// Splits "a,b,c" into items. An empty text yields no items; a
+/// trailing comma yields a trailing empty item (getline would drop it,
+/// and "2," silently becoming {"2"} is exactly the kind of half-parsed
+/// input the flag validators exist to reject).
+std::vector<std::string> split_list(const std::string& text) {
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream stream(text);
+    while (std::getline(stream, item, ',')) items.push_back(item);
+    if (!text.empty() && text.back() == ',') items.emplace_back();
+    return items;
+}
+
+/// Comma-separated number list ("2,4,8"), each value capped at `max` —
+/// a value that would truncate on the way into a narrower config field
+/// must fail the parse, not run a grid the user never asked for. On
+/// failure `values` is empty and `error` says which item and why.
+struct NumberListParse {
+    std::vector<std::uint64_t> values;
+    std::string error;
+};
+
+NumberListParse parse_number_list(const std::string& text,
+                                  std::uint64_t max) {
+    NumberListParse result;
+    const std::vector<std::string> items = split_list(text);
+    if (items.empty()) {
+        result.error = "needs a comma-separated list of numbers";
+        return result;
+    }
+    for (const std::string& item : items) {
+        const auto value = parse_number(item);
+        if (!value) {
+            result.values.clear();
+            result.error = "has a non-number item '" + item + "'";
+            return result;
+        }
+        if (*value > max) {
+            result.values.clear();
+            result.error = "value " + item + " is out of range (max " +
+                           std::to_string(max) + ")";
+            return result;
+        }
+        result.values.push_back(*value);
+    }
+    return result;
 }
 
 /// Strict full-string double parse ("1e-9", "0.001"). No partial reads.
@@ -55,9 +150,31 @@ std::optional<double> parse_probability(const std::string& text) {
     return value;
 }
 
+std::optional<ArbiterKind> parse_arbiter(const std::string& text) {
+    if (text == "rr") return ArbiterKind::kRoundRobin;
+    if (text == "tdma") return ArbiterKind::kTdma;
+    if (text == "wrr") return ArbiterKind::kWeightedRoundRobin;
+    if (text == "fixed") return ArbiterKind::kFixedPriority;
+    return std::nullopt;
+}
+
+const char* arbiter_name(ArbiterKind kind) {
+    switch (kind) {
+        case ArbiterKind::kRoundRobin: return "rr";
+        case ArbiterKind::kTdma: return "tdma";
+        case ArbiterKind::kWeightedRoundRobin: return "wrr";
+        case ArbiterKind::kFixedPriority: return "fixed";
+    }
+    return "?";
+}
+
 ParsedFlags parse_flags(const std::vector<std::string>& args,
-                        std::size_t first) {
+                        std::size_t first, const CommandSpec& command) {
     ParsedFlags flags;
+    const auto allowed = [&command](std::string_view flag) {
+        return std::find(command.flags.begin(), command.flags.end(),
+                         flag) != command.flags.end();
+    };
     for (std::size_t i = first; i < args.size(); ++i) {
         const std::string& arg = args[i];
         auto next_number = [&](const char* name)
@@ -70,6 +187,37 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             if (!value) flags.error = std::string(name) + " needs a number";
             return value;
         };
+        auto next_number_list = [&](const char* name, std::uint64_t max)
+            -> std::optional<std::vector<std::uint64_t>> {
+            if (i + 1 >= args.size()) {
+                flags.error = std::string(name) +
+                              " needs a comma-separated list of numbers";
+                return std::nullopt;
+            }
+            NumberListParse parsed = parse_number_list(args[++i], max);
+            if (!parsed.error.empty()) {
+                flags.error = std::string(name) + " " + parsed.error;
+                return std::nullopt;
+            }
+            return std::move(parsed.values);
+        };
+        if (!arg.empty() && arg[0] == '-' && !allowed(arg)) {
+            // One message when the flag exists for another command,
+            // another when nothing knows it — both fail the parse.
+            bool known = false;
+            for (const CommandSpec& spec : command_specs()) {
+                if (std::find(spec.flags.begin(), spec.flags.end(), arg) !=
+                    spec.flags.end()) {
+                    known = true;
+                    break;
+                }
+            }
+            flags.error = known
+                              ? arg + " does not apply to the '" +
+                                    std::string(command.name) + "' command"
+                              : "unknown flag: " + arg;
+            break;
+        }
         if (arg == "--cores") {
             if (const auto v = next_number("--cores")) {
                 flags.cores = static_cast<CoreId>(*v);
@@ -120,6 +268,41 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
                 flags.error = "--csv needs a path";
             } else {
                 flags.csv_path = args[++i];
+            }
+        } else if (arg == "--cores-axis") {
+            if (const auto vs = next_number_list(
+                    "--cores-axis", std::numeric_limits<CoreId>::max())) {
+                for (const std::uint64_t v : *vs) {
+                    flags.cores_axis.push_back(static_cast<CoreId>(v));
+                }
+            }
+        } else if (arg == "--lbus-axis") {
+            if (const auto vs = next_number_list(
+                    "--lbus-axis", std::numeric_limits<Cycle>::max())) {
+                for (const std::uint64_t v : *vs) {
+                    flags.lbus_axis.push_back(static_cast<Cycle>(v));
+                }
+            }
+        } else if (arg == "--arbiter-axis") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--arbiter-axis needs a comma-separated list "
+                              "of rr,tdma,wrr,fixed";
+            } else {
+                const std::vector<std::string> items =
+                    split_list(args[++i]);
+                for (const std::string& item : items) {
+                    const auto kind = parse_arbiter(item);
+                    if (!kind) {
+                        flags.error = "--arbiter-axis: unknown arbiter '" +
+                                      item + "' (rr, tdma, wrr, fixed)";
+                        break;
+                    }
+                    flags.arbiter_axis.push_back(*kind);
+                }
+                if (flags.error.empty() && items.empty()) {
+                    flags.error = "--arbiter-axis needs a comma-separated "
+                                  "list of rr,tdma,wrr,fixed";
+                }
             }
         } else {
             flags.error = "unknown flag: " + arg;
@@ -200,6 +383,19 @@ UbdEstimatorOptions build_options(const ParsedFlags& flags) {
     return opt;
 }
 
+/// The campaign commands' shared scenario: the cache-buster scua on the
+/// flag-built platform against load-rsk contenders, with the flags
+/// mapped 1:1 onto the Scenario builders.
+Scenario build_scenario(const ParsedFlags& flags,
+                        std::size_t default_runs) {
+    return Scenario::on(build_config(flags))
+        .scua(make_autobench(Autobench::kCacheb, 0x0100'0000,
+                             flags.iterations, 9))
+        .rsk_contenders(OpKind::kLoad)
+        .runs(flags.runs.value_or(default_runs))
+        .seed(flags.seed);
+}
+
 int cmd_estimate(const ParsedFlags& flags, std::ostream& out) {
     const MachineConfig config = build_config(flags);
     const UbdEstimatorOptions options = build_options(flags);
@@ -275,39 +471,31 @@ int cmd_baseline(const ParsedFlags& flags, std::ostream& out) {
 int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
                  std::ostream& err) {
     RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
-    const MachineConfig config = build_config(flags);
-    const Program scua =
-        make_autobench(Autobench::kCacheb, 0x0100'0000, flags.iterations, 9);
-
-    HwmCampaignOptions options;
-    options.runs = flags.runs.value_or(20);
-    options.seed = flags.seed;
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/20);
+    const std::size_t runs = scenario.run_protocol().runs;
+    const std::size_t jobs = engine::effective_jobs(flags.jobs, runs);
 
     engine::ProgressCounter progress;
-    engine::EngineOptions eng;
-    eng.jobs = flags.jobs;
-    eng.progress = &progress;
-    const std::size_t jobs = engine::effective_jobs(eng.jobs, options.runs);
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
 
     HwmCampaignResult hwm;
     {
-        const ProgressReporter reporter(progress, err, options.runs);
-        hwm = engine::run_hwm_campaign_parallel(
-            config, scua, make_rsk_contenders(config, OpKind::kLoad),
-            options, eng);
+        const ProgressReporter reporter(progress, err, runs);
+        hwm = session.hwm(scenario);
     }
 
-    const Cycle etb = hwm.et_isolation + hwm.nr * config.ubd_analytic();
+    const Cycle ubd = scenario.config().ubd_analytic();
+    const Cycle etb = hwm.et_isolation + hwm.nr * ubd;
     const bool bounded = hwm.high_water_mark <= etb;
-    out << "campaign: " << options.runs << " runs on " << jobs
-        << " jobs, seed " << options.seed << " ("
+    out << "campaign: " << runs << " runs on " << jobs << " jobs, seed "
+        << scenario.run_protocol().seed << " ("
         << engine::render_progress(progress) << ")\n";
     out << "et_isol = " << hwm.et_isolation << " cycles, nr = " << hwm.nr
         << "\n";
     out << "hwm = " << hwm.high_water_mark << ", lwm = "
         << hwm.low_water_mark << ", hwm/req = "
-        << hwm.hwm_slowdown_per_request() << " (ubd = "
-        << config.ubd_analytic() << ")\n";
+        << hwm.hwm_slowdown_per_request() << " (ubd = " << ubd << ")\n";
     out << "etb = " << etb << ", bounded: " << (bounded ? "yes" : "NO")
         << ", margin = "
         << (bounded ? etb - hwm.high_water_mark : Cycle{0}) << " cycles\n";
@@ -318,41 +506,34 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
               std::ostream& err) {
     RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
     RRB_REQUIRE(flags.block_size >= 1, "--block-size must be at least 1");
-    const MachineConfig config = build_config(flags);
-    const Program scua =
-        make_autobench(Autobench::kCacheb, 0x0100'0000, flags.iterations, 9);
-
-    PwcetCampaignOptions options;
     // Default to a quick-but-meaningful campaign: 40 blocks at the
     // default block size (the campaign command's 20-run default would
     // not even fill one block).
-    options.protocol.runs = flags.runs.value_or(40 * flags.block_size);
-    options.block_size = flags.block_size;
-    options.protocol.seed = flags.seed;
-    if (!flags.exceedances.empty()) options.exceedance = flags.exceedances;
+    const Scenario scenario =
+        build_scenario(flags, /*default_runs=*/40 * flags.block_size);
+    PwcetSpec spec;
+    spec.block_size = flags.block_size;
+    if (!flags.exceedances.empty()) spec.exceedance = flags.exceedances;
+
+    const std::size_t runs = scenario.run_protocol().runs;
+    // The reduce engine shards the run range — report the width it will
+    // actually keep busy.
+    const std::size_t jobs = engine::effective_jobs(
+        flags.jobs, engine::ReducePlan::for_count(runs).shards());
 
     engine::ProgressCounter progress;
-    engine::EngineOptions eng;
-    eng.jobs = flags.jobs;
-    eng.progress = &progress;
-    // The reduce engine sizes its pool against the shard plan, not the
-    // raw run count — report the width it will actually use.
-    const std::size_t jobs = engine::effective_jobs(
-        eng.jobs,
-        engine::ReducePlan::for_count(options.protocol.runs).shards());
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
 
     PwcetCampaignResult r;
     {
-        const ProgressReporter reporter(progress, err,
-                                        options.protocol.runs);
-        r = engine::run_pwcet_campaign(
-            config, scua, make_rsk_contenders(config, OpKind::kLoad),
-            options, eng);
+        const ProgressReporter reporter(progress, err, runs);
+        r = session.pwcet(scenario, spec);
     }
 
-    out << "pwcet: " << r.runs << " runs in blocks of " << options.block_size
-        << " on " << jobs << " jobs, seed " << options.protocol.seed << " ("
-        << engine::render_progress(progress) << ")\n";
+    out << "pwcet: " << r.runs << " runs in blocks of " << spec.block_size
+        << " on " << jobs << " jobs, seed " << scenario.run_protocol().seed
+        << " (" << engine::render_progress(progress) << ")\n";
     out << "et_isol = " << r.et_isolation << " cycles, nr = " << r.nr
         << "\n";
     out << "hwm = " << r.high_water_mark << ", lwm = " << r.low_water_mark
@@ -361,7 +542,7 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
         << " runs (" << r.blocks << " complete blocks)\n";
     // The bound check is independent of the fit — report it (and let a
     // violation dominate the exit code) even when the fit is unusable.
-    const Cycle etb = r.etb(config.ubd_analytic());
+    const Cycle etb = r.etb(scenario.config().ubd_analytic());
     const bool bounded = r.high_water_mark <= etb;
     out << "etb = " << etb << ", hwm bounded: " << (bounded ? "yes" : "NO")
         << "\n";
@@ -386,6 +567,78 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
             << ")\n";
     }
     return bounded ? 0 : 2;
+}
+
+int cmd_sweep_pwcet(const ParsedFlags& flags, std::ostream& out,
+                    std::ostream& err) {
+    RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
+    RRB_REQUIRE(flags.block_size >= 1, "--block-size must be at least 1");
+    const Scenario scenario =
+        build_scenario(flags, /*default_runs=*/40 * flags.block_size);
+    SweepAxes axes;
+    axes.cores = flags.cores_axis;
+    axes.lbus = flags.lbus_axis;
+    axes.arbiters = flags.arbiter_axis;
+    PwcetSpec spec;
+    spec.block_size = flags.block_size;
+    if (!flags.exceedances.empty()) spec.exceedance = flags.exceedances;
+
+    const std::size_t runs = scenario.run_protocol().runs;
+
+    engine::ProgressCounter progress;  // per grid point
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+    const std::size_t jobs = session.worker_budget();
+
+    SweepResult sweep;
+    {
+        // Point campaigns are silent; report over the whole run volume
+        // only when it is genuinely long.
+        const ProgressReporter reporter(progress, err,
+                                        axes.points() * runs);
+        sweep = session.sweep(scenario, axes, spec);
+    }
+
+    out << "sweep-pwcet: " << sweep.points.size() << " configs x " << runs
+        << " runs in blocks of " << spec.block_size << " on " << jobs
+        << " jobs (shared pool), seed " << scenario.run_protocol().seed
+        << "\n";
+    // Space-separated columns, no padding: rows are machine-diffable
+    // (the determinism tests compare them byte for byte) and a padded
+    // header over unpadded rows would only pretend to align.
+    out << "cores lbus arbiter hwm etb bounded";
+    for (const double e : spec.exceedance) out << " pwcet@" << e;
+    out << "\n";
+
+    bool any_unbounded = false;
+    bool any_degenerate = false;
+    for (const SweepPoint& p : sweep.points) {
+        // The analytic per-request bound — and with it the ETB check —
+        // is the round-robin Equation 1; other arbiters get the grid
+        // point's pWCET quantiles without a bound verdict.
+        const bool rr = p.arbiter == ArbiterKind::kRoundRobin;
+        const Cycle etb = p.result.etb(p.config.ubd_analytic());
+        const bool bounded = p.result.high_water_mark <= etb;
+        if (rr && !bounded) any_unbounded = true;
+        if (!p.result.fit.valid()) any_degenerate = true;
+        out << p.cores << " " << p.lbus << " " << arbiter_name(p.arbiter)
+            << " " << p.result.high_water_mark << " " << etb << " "
+            << (rr ? (bounded ? "yes" : "NO") : "n/a");
+        for (const PwcetQuantile& q : p.result.quantiles) {
+            out << " " << q.pwcet;
+        }
+        out << "\n";
+    }
+    if (any_unbounded) {
+        out << "bound violated on at least one round-robin config\n";
+        return 2;
+    }
+    if (any_degenerate) {
+        out << "degenerate fit on at least one config — raise --runs or "
+               "lower --block-size\n";
+        return 3;
+    }
+    return 0;
 }
 
 int cmd_sweep(const ParsedFlags& flags, std::ostream& out) {
@@ -414,16 +667,21 @@ std::string usage() {
            "usage: rrbtool <command> [flags]\n"
            "\n"
            "commands:\n"
-           "  estimate   run the rsk-nop methodology and report ubd\n"
-           "  calibrate  measure delta_nop with the all-nop kernel\n"
-           "  baseline   run the naive rsk-vs-rsk measurement\n"
-           "  campaign   run a randomized HWM campaign vs the ETB bound\n"
-           "  pwcet      streamed Gumbel pWCET campaign (O(runs/block) "
+           "  estimate     run the rsk-nop methodology and report ubd\n"
+           "  calibrate    measure delta_nop with the all-nop kernel\n"
+           "  baseline     run the naive rsk-vs-rsk measurement\n"
+           "  campaign     run a randomized HWM campaign vs the ETB bound\n"
+           "  pwcet        streamed Gumbel pWCET campaign (O(runs/block) "
            "memory)\n"
-           "  sweep      dump the dbus(k) series as CSV\n"
-           "  help       show this text\n"
+           "  sweep-pwcet  grid of MachineConfigs, one streamed pWCET\n"
+           "               campaign per point on one shared pool\n"
+           "  sweep        dump the dbus(k) series as CSV\n"
+           "  help         show this text\n"
            "\n"
-           "platform flags:\n"
+           "Each command accepts only its own flags; anything else exits\n"
+           "non-zero naming the flag.\n"
+           "\n"
+           "platform flags (sweep-pwcet takes --var and the axes only):\n"
            "  --cores N --lbus L   scaled platform (default: NGMP ref)\n"
            "  --var                NGMP variant (DL1 latency 4)\n"
            "\n"
@@ -446,7 +704,12 @@ std::string usage() {
            "pwcet flags (plus the campaign flags above):\n"
            "  --block-size B       runs per EVT block (default 50)\n"
            "  --exceedance P       quote pWCET at exceedance P in (0,1);\n"
-           "                       repeatable (default 1e-3 1e-6 1e-9)\n";
+           "                       repeatable (default 1e-3 1e-6 1e-9)\n"
+           "\n"
+           "sweep-pwcet flags (plus the campaign and pwcet flags):\n"
+           "  --cores-axis A,B,..  core counts to sweep (default: base)\n"
+           "  --lbus-axis A,B,..   L2-hit bus occupancies to sweep\n"
+           "  --arbiter-axis L     arbiters to sweep: rr,tdma,wrr,fixed\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -456,7 +719,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         return args.empty() ? 1 : 0;
     }
     const std::string& command = args[0];
-    const ParsedFlags flags = parse_flags(args, 1);
+    const CommandSpec* spec = find_command(command);
+    if (spec == nullptr) {
+        err << "error: unknown command '" << command << "'\n\n" << usage();
+        return 1;
+    }
+    const ParsedFlags flags = parse_flags(args, 1, *spec);
     if (!flags.error.empty()) {
         err << "error: " << flags.error << "\n\n" << usage();
         return 1;
@@ -468,11 +736,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "baseline") return cmd_baseline(flags, out);
         if (command == "campaign") return cmd_campaign(flags, out, err);
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
+        if (command == "sweep-pwcet") return cmd_sweep_pwcet(flags, out, err);
         if (command == "sweep") return cmd_sweep(flags, out);
     } catch (const std::invalid_argument& e) {
         err << "error: " << e.what() << "\n";
         return 1;
     }
+    // Unreachable while command_specs() and the dispatch above agree;
+    // fail loudly rather than silently succeed if they ever drift.
     err << "error: unknown command '" << command << "'\n\n" << usage();
     return 1;
 }

@@ -6,15 +6,21 @@
 //   rrbtool baseline  [--cores N] [--lbus L] [--var]
 //   rrbtool campaign  [--cores N] [--lbus L] [--var] [--runs R]
 //                     [--seed S] [--jobs N] [--iterations I]
+//   rrbtool pwcet     [campaign flags] [--block-size B] [--exceedance P]
+//   rrbtool sweep-pwcet [--var] [--cores-axis A,B] [--lbus-axis A,B]
+//                     [--arbiter-axis rr,tdma,...] [campaign/pwcet flags]
 //   rrbtool sweep     [--cores N] [--lbus L] [--var] [--kmax K]
 //                     [--csv FILE]
 //   rrbtool help
 //
 // The platform flags construct a MachineConfig: the NGMP reference model
 // by default, `--var` for the 4-cycle-DL1 variant, or `--cores/--lbus`
-// for a scaled platform. The tool is a thin shell over the library; the
-// command implementations live here so they are unit-testable without
-// spawning processes.
+// for a scaled platform. Each command accepts only its own flag set and
+// exits non-zero naming any flag that does not apply. The campaign
+// commands are thin shells over the Scenario/Session API
+// (core/scenario.h, core/session.h): flags map 1:1 onto Scenario
+// builders and Session execution policy. Command implementations live
+// here so they are unit-testable without spawning processes.
 #pragma once
 
 #include <iosfwd>

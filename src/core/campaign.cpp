@@ -1,8 +1,8 @@
 #include "core/campaign.h"
 
-#include <algorithm>
-
 #include "core/experiment.h"
+#include "core/scenario.h"
+#include "core/session.h"
 #include "engine/seed_sequence.h"
 #include "machine/machine.h"
 #include "sim/contract.h"
@@ -79,29 +79,14 @@ HwmCampaignResult run_hwm_campaign(const MachineConfig& config,
                                    const Program& scua,
                                    const std::vector<Program>& contenders,
                                    const HwmCampaignOptions& options) {
-    RRB_REQUIRE(options.runs >= 1, "need at least one run");
-    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
-
-    HwmCampaignResult result;
-    {
-        const Measurement isol =
-            run_isolation(config, scua, 0, options.max_cycles_per_run);
-        RRB_ENSURE(!isol.deadline_reached);
-        result.et_isolation = isol.exec_time;
-        result.nr = isol.bus_requests;
-    }
-
-    result.exec_times.reserve(options.runs);
-    for (std::size_t run = 0; run < options.runs; ++run) {
-        result.exec_times.push_back(detail::hwm_campaign_run(
-            config, scua, contenders, options, run));
-    }
-
-    result.high_water_mark =
-        *std::max_element(result.exec_times.begin(), result.exec_times.end());
-    result.low_water_mark =
-        *std::min_element(result.exec_times.begin(), result.exec_times.end());
-    return result;
+    // Thin wrapper over the Scenario/Session layer. One worker keeps
+    // the historical serial semantics — and by the engine's determinism
+    // contract the numbers are bit-identical at any other width too.
+    Session session;
+    return session.jobs(1).hwm(Scenario::on(config)
+                                   .scua(scua)
+                                   .contenders(contenders)
+                                   .protocol(options));
 }
 
 }  // namespace rrb

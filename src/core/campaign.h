@@ -55,9 +55,13 @@ struct HwmCampaignResult {
 ///
 /// Run i's offsets come from a Pcg32 seeded by
 /// engine::SeedSequence(options.seed).seed_for(i) — a pure function of
-/// (seed, i) — so the serial loop here and the sharded
-/// engine::run_hwm_campaign_parallel produce bit-identical results at
-/// any job count.
+/// (seed, i) — so every execution path produces bit-identical results
+/// at any job count.
+///
+/// Low-level layer: this free function is kept as the historical entry
+/// point and delegates to the Scenario/Session API (core/session.h)
+/// with a one-worker budget. New code should build a Scenario and call
+/// Session::hwm directly.
 [[nodiscard]] HwmCampaignResult run_hwm_campaign(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,

@@ -8,6 +8,11 @@
 // counts, bus-utilization PMCs — NGMP counters 0x17/0x18) and white-box
 // introspection (per-request contention delays) used only to *validate*
 // the methodology, never inside it.
+//
+// Low-level layer: these free functions are the primitives underneath
+// the Scenario/Session API (core/scenario.h, core/session.h). Prefer
+// Session::isolation / Session::contention / Session::slowdown in new
+// code; the functions here stay for single-run composition.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,84 @@
+#include "core/scenario.h"
+
+#include <utility>
+
+#include "core/estimator.h"
+#include "sim/contract.h"
+
+namespace rrb {
+
+Scenario::Scenario(MachineConfig config) : config_(std::move(config)) {}
+
+Scenario Scenario::on(MachineConfig config) {
+    return Scenario(std::move(config));
+}
+
+Scenario& Scenario::scua(Program program) {
+    scua_ = std::move(program);
+    return *this;
+}
+
+Scenario& Scenario::contenders(std::vector<Program> programs) {
+    explicit_contenders_ = std::move(programs);
+    return *this;
+}
+
+Scenario& Scenario::rsk_contenders(OpKind access) {
+    explicit_contenders_.reset();
+    rsk_access_ = access;
+    return *this;
+}
+
+Scenario& Scenario::runs(std::size_t n) {
+    protocol_.runs = n;
+    return *this;
+}
+
+Scenario& Scenario::seed(std::uint64_t s) {
+    protocol_.seed = s;
+    return *this;
+}
+
+Scenario& Scenario::max_start_delay(Cycle d) {
+    protocol_.max_start_delay = d;
+    return *this;
+}
+
+Scenario& Scenario::max_cycles(Cycle c) {
+    protocol_.max_cycles_per_run = c;
+    return *this;
+}
+
+Scenario& Scenario::protocol(HwmCampaignOptions options) {
+    protocol_ = options;
+    return *this;
+}
+
+Scenario Scenario::with_config(MachineConfig config) const {
+    Scenario re = *this;
+    re.config_ = std::move(config);
+    return re;
+}
+
+const Program& Scenario::scua_program() const {
+    RRB_REQUIRE(scua_.has_value(), "scenario has no scua program");
+    return *scua_;
+}
+
+std::vector<Program> Scenario::contender_programs() const {
+    if (explicit_contenders_.has_value()) return *explicit_contenders_;
+    return make_rsk_contenders(config_, rsk_access_);
+}
+
+void Scenario::validate() const {
+    config_.validate();
+    RRB_REQUIRE(scua_.has_value(), "scenario needs a scua program");
+    RRB_REQUIRE(protocol_.runs >= 1, "need at least one run");
+    // Emptiness is decidable without building the programs: the rsk
+    // policy always yields a (single, core-cycled) contender kernel.
+    RRB_REQUIRE(!explicit_contenders_.has_value() ||
+                    !explicit_contenders_->empty(),
+                "need at least one contender");
+}
+
+}  // namespace rrb

@@ -1,0 +1,110 @@
+// Scenario: a declarative, composable description of *what to run*.
+//
+// The paper's methodology is one protocol — a software component under
+// analysis (scua) plus contenders on a randomized machine, observed
+// under a measurement discipline — yet the low-level API exposes it as
+// free functions each taking (config, scua, contenders, options...).
+// A Scenario names that protocol once, fluently:
+//
+//   const Scenario s = Scenario::on(MachineConfig::ngmp_ref())
+//                          .scua(make_autobench(Autobench::kCacheb,
+//                                               0x0100'0000, 40))
+//                          .rsk_contenders(OpKind::kLoad)
+//                          .runs(100'000)
+//                          .seed(7);
+//
+// and a Session (core/session.h) decides *how* to execute it: jobs,
+// progress, streaming vs. materializing, single campaign vs. config
+// sweep. The split is what lets one scenario drive hwm / pwcet /
+// whitebox / sweep entry points without re-spelling the inputs.
+//
+// Scenarios are value types: cheap to copy, re-target (`with_config`)
+// and mutate per grid point without aliasing surprises.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/campaign.h"
+#include "isa/program.h"
+#include "machine/config.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+class Scenario {
+public:
+    /// Starts a scenario on the given platform.
+    [[nodiscard]] static Scenario on(MachineConfig config);
+
+    // ------------------------------------------------ fluent builders
+
+    /// The software component under analysis (runs on core 0).
+    Scenario& scua(Program program);
+
+    /// Explicit contender programs, cycled over the non-scua cores.
+    /// Overrides any previously chosen contender policy.
+    Scenario& contenders(std::vector<Program> programs);
+
+    /// Contender policy: Nc-1 resource-stressing kernels of the given
+    /// access type, derived from the scenario's *current* config — and
+    /// re-derived whenever the scenario is re-targeted (`with_config`),
+    /// which is what a config sweep needs. This is the default policy.
+    Scenario& rsk_contenders(OpKind access);
+
+    /// Campaign runs (randomized-alignment contention executions).
+    Scenario& runs(std::size_t n);
+
+    /// Root seed; run i draws offsets from a pure function of (seed, i).
+    Scenario& seed(std::uint64_t s);
+
+    /// Contender release offsets are uniform in [0, d].
+    Scenario& max_start_delay(Cycle d);
+
+    /// Per-run simulation cycle cap.
+    Scenario& max_cycles(Cycle c);
+
+    /// Replaces the whole run protocol at once — the exact-roundtrip
+    /// path the legacy free-function wrappers use.
+    Scenario& protocol(HwmCampaignOptions options);
+
+    // --------------------------------------------------------- views
+
+    /// A copy re-targeted at another platform. Policy contenders (rsk)
+    /// re-derive against the new config; explicit contender lists are
+    /// kept verbatim.
+    [[nodiscard]] Scenario with_config(MachineConfig config) const;
+
+    [[nodiscard]] const MachineConfig& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] bool has_scua() const noexcept {
+        return scua_.has_value();
+    }
+    /// Precondition: has_scua().
+    [[nodiscard]] const Program& scua_program() const;
+    /// Resolves the contender policy against the current config.
+    [[nodiscard]] std::vector<Program> contender_programs() const;
+    [[nodiscard]] const HwmCampaignOptions& run_protocol() const noexcept {
+        return protocol_;
+    }
+
+    /// Checks the scenario is executable: scua set, at least one run,
+    /// at least one contender, and a valid machine config. Every
+    /// Session entry point calls this first.
+    void validate() const;
+
+private:
+    explicit Scenario(MachineConfig config);
+
+    MachineConfig config_;
+    std::optional<Program> scua_;
+    /// Engaged = explicit contender list; disengaged = rsk policy.
+    std::optional<std::vector<Program>> explicit_contenders_;
+    OpKind rsk_access_ = OpKind::kLoad;
+    HwmCampaignOptions protocol_;
+};
+
+}  // namespace rrb

@@ -1,0 +1,195 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "engine/campaign_engine.h"
+#include "engine/progress.h"
+#include "engine/thread_pool.h"
+#include "sim/contract.h"
+
+namespace rrb {
+
+namespace {
+
+/// Applies the set axis values to a copy of the base config, sharing
+/// MachineConfig::scaled's choices (one 64KB L2 way per core, the
+/// retime_bus timing model) where an axis is present and keeping the
+/// base's settings where it is not.
+MachineConfig apply_axes(MachineConfig config, std::optional<CoreId> cores,
+                         std::optional<Cycle> lbus,
+                         std::optional<ArbiterKind> arbiter) {
+    if (cores.has_value()) {
+        RRB_REQUIRE(*cores >= 1, "need at least one core");
+        config.num_cores = *cores;
+        config.l2_geometry.ways = *cores;
+        config.l2_geometry.size_bytes = 64ULL * 1024 * *cores;
+    }
+    if (lbus.has_value()) config.retime_bus(*lbus);
+    if (arbiter.has_value()) config.arbiter = *arbiter;
+    config.validate();
+    return config;
+}
+
+/// The one place a (Scenario, PwcetSpec) pair becomes the low-level
+/// campaign options — standalone pwcet and sweep grid points must
+/// assemble them identically or the bit-identity contract breaks.
+PwcetCampaignOptions to_campaign_options(const Scenario& scenario,
+                                         const PwcetSpec& spec) {
+    PwcetCampaignOptions options;
+    options.protocol = scenario.run_protocol();
+    options.block_size = spec.block_size;
+    options.exceedance = spec.exceedance;
+    return options;
+}
+
+}  // namespace
+
+Session::Session() = default;
+Session::~Session() = default;
+
+Session& Session::jobs(std::size_t n) {
+    RRB_REQUIRE(pool_ == nullptr,
+                "set the jobs budget before the first campaign call");
+    jobs_ = n;
+    return *this;
+}
+
+Session& Session::progress(engine::ProgressCounter* sink) {
+    progress_ = sink;
+    return *this;
+}
+
+std::size_t Session::worker_budget() const noexcept {
+    return jobs_ == 0 ? engine::ThreadPool::default_jobs() : jobs_;
+}
+
+engine::ThreadPool& Session::shared_pool() {
+    if (pool_ == nullptr) {
+        pool_ = std::make_unique<engine::ThreadPool>(worker_budget());
+    }
+    return *pool_;
+}
+
+engine::EngineOptions Session::engine_options(
+    engine::ProgressCounter* sink) {
+    engine::EngineOptions options;
+    options.jobs = jobs_;
+    options.progress = sink;
+    options.pool = &shared_pool();
+    return options;
+}
+
+Measurement Session::isolation(const Scenario& scenario) const {
+    scenario.validate();
+    Measurement m =
+        run_isolation(scenario.config(), scenario.scua_program(), 0,
+                      scenario.run_protocol().max_cycles_per_run);
+    // A capped run is not a measurement — same contract as the
+    // campaign paths. Probe with the low-level run_isolation when
+    // deadline_reached is the thing being asked.
+    RRB_ENSURE(!m.deadline_reached);
+    return m;
+}
+
+Measurement Session::contention(const Scenario& scenario) const {
+    scenario.validate();
+    Measurement m =
+        run_contention(scenario.config(), scenario.scua_program(),
+                       scenario.contender_programs(), 0,
+                       scenario.run_protocol().max_cycles_per_run);
+    RRB_ENSURE(!m.deadline_reached);
+    return m;
+}
+
+SlowdownResult Session::slowdown(const Scenario& scenario) const {
+    return {isolation(scenario), contention(scenario)};
+}
+
+HwmCampaignResult Session::hwm(const Scenario& scenario) {
+    scenario.validate();
+    return engine::run_hwm_campaign_parallel(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), scenario.run_protocol(),
+        engine_options(progress_));
+}
+
+PwcetCampaignResult Session::pwcet(const Scenario& scenario,
+                                   const PwcetSpec& spec) {
+    scenario.validate();
+    return engine::run_pwcet_campaign(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), to_campaign_options(scenario, spec),
+        engine_options(progress_));
+}
+
+engine::WhiteboxCampaignResult Session::whitebox(const Scenario& scenario) {
+    scenario.validate();
+    return engine::run_whitebox_campaign(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), scenario.run_protocol(),
+        engine_options(progress_));
+}
+
+SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
+                           const PwcetSpec& spec) {
+    scenario.validate();
+
+    // Materialize the enumeration. An empty axis contributes a single
+    // disengaged value: apply_axes leaves the base config's setting
+    // completely untouched (re-timing the bus to an equal lbus would
+    // still be a different machine).
+    const auto materialize = [](const auto& axis) {
+        using Value = typename std::decay_t<decltype(axis)>::value_type;
+        std::vector<std::optional<Value>> values;
+        if (axis.empty()) {
+            values.push_back(std::nullopt);
+        } else {
+            for (const Value& v : axis) values.push_back(v);
+        }
+        return values;
+    };
+    const auto cores = materialize(axes.cores);
+    const auto lbus = materialize(axes.lbus);
+    const auto arbiters = materialize(axes.arbiters);
+
+    if (progress_ != nullptr) progress_->begin(axes.points());
+
+    SweepResult result;
+    result.points.reserve(axes.points());
+    for (const std::optional<CoreId>& c : cores) {
+        for (const std::optional<Cycle>& l : lbus) {
+            for (const std::optional<ArbiterKind>& a : arbiters) {
+                SweepPoint point;
+                point.config = apply_axes(scenario.config(), c, l, a);
+                point.cores = point.config.num_cores;
+                point.lbus = point.config.load_hit_service();
+                point.arbiter = point.config.arbiter;
+                // Grid points run one after another; each point's
+                // campaign fans its shards across the shared pool, so
+                // the session's jobs budget covers both nesting levels.
+                // Per-run progress stays off here — the sweep reports
+                // per point.
+                point.result = pwcet_on_pool(point.config, scenario, spec);
+                result.points.push_back(std::move(point));
+                if (progress_ != nullptr) progress_->tick();
+            }
+        }
+    }
+    return result;
+}
+
+PwcetCampaignResult Session::pwcet_on_pool(const MachineConfig& config,
+                                           const Scenario& scenario,
+                                           const PwcetSpec& spec) {
+    const Scenario point = scenario.with_config(config);
+    return engine::run_pwcet_campaign(
+        point.config(), point.scua_program(), point.contender_programs(),
+        to_campaign_options(point, spec),
+        engine_options(/*sink=*/nullptr));
+}
+
+}  // namespace rrb

@@ -1,0 +1,155 @@
+// Session: the single entry point that executes Scenarios.
+//
+// A Scenario (core/scenario.h) says *what* to run; a Session owns the
+// execution policy — worker budget, progress sink, one shared thread
+// pool reused across calls — and exposes typed entry points:
+//
+//   Session session;
+//   session.jobs(8).progress(&counter);
+//   HwmCampaignResult   hwm = session.hwm(scenario);
+//   PwcetCampaignResult p   = session.pwcet(scenario, PwcetSpec{});
+//   auto                wb  = session.whitebox(scenario);
+//   SweepResult         g   = session.sweep(scenario, axes, spec);
+//
+// Every entry point inherits the engine's determinism contract: results
+// are bit-identical at every jobs value, including 1. sweep() runs a
+// grid of MachineConfig variations (cores / lbus / arbiter axes) where
+// each grid point is itself a streamed pWCET campaign; grid points run
+// sequentially while each point's shards fan out across the session's
+// shared pool, so the jobs budget is split across the nesting instead
+// of multiplying (never points x jobs threads).
+//
+// This is the high-level layer. The free functions in core/campaign.h,
+// core/experiment.h and engine/ remain the low-level layer underneath;
+// the legacy campaign entry points delegate here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "engine/reduce.h"
+#include "machine/config.h"
+#include "sim/types.h"
+
+namespace rrb {
+
+/// The statistical half of a pWCET campaign — everything that is not
+/// the run protocol (which the Scenario owns): EVT block size and the
+/// exceedance probabilities to quote quantiles at. Defaults come from
+/// PwcetCampaignOptions, the low-level single source of truth.
+struct PwcetSpec {
+    std::size_t block_size = PwcetCampaignOptions{}.block_size;
+    std::vector<double> exceedance = PwcetCampaignOptions{}.exceedance;
+};
+
+/// Axes of a MachineConfig grid. Empty axis = keep the base scenario's
+/// value (a single implicit point on that axis); the grid is the cross
+/// product of the non-empty axes, enumerated cores-major, then lbus,
+/// then arbiter — a pure function of the axes, never of the jobs count.
+struct SweepAxes {
+    std::vector<CoreId> cores;
+    std::vector<Cycle> lbus;  ///< bus occupancy of one L2 load hit
+    std::vector<ArbiterKind> arbiters;
+
+    [[nodiscard]] std::size_t points() const noexcept {
+        const auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
+        return dim(cores.size()) * dim(lbus.size()) * dim(arbiters.size());
+    }
+};
+
+/// One grid point: the axis values it was built from, the derived
+/// config, and the streamed pWCET campaign result — bit-identical to
+/// running Session::pwcet standalone on `config` with the same
+/// scenario protocol and spec.
+struct SweepPoint {
+    CoreId cores = 0;
+    Cycle lbus = 0;
+    ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+    MachineConfig config;
+    PwcetCampaignResult result;
+};
+
+struct SweepResult {
+    std::vector<SweepPoint> points;  ///< in axes enumeration order
+};
+
+class Session {
+public:
+    Session();
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    // --------------------------------------------- execution policy
+
+    /// Worker budget; 0 = hardware concurrency. Must be set before the
+    /// first campaign call — the shared pool is built lazily at that
+    /// width and reused for the session's lifetime. The pool is sized
+    /// to the budget, not to any one call's workload: clamping to the
+    /// first campaign's run count would silently under-parallelize
+    /// every later, larger call. Workers beyond a small campaign's
+    /// needs just sleep.
+    Session& jobs(std::size_t n);
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// The resolved worker count the shared pool has (or will be built
+    /// with): the jobs budget, with 0 resolved to hardware concurrency.
+    /// Front ends should report this rather than re-deriving the
+    /// resolution policy.
+    [[nodiscard]] std::size_t worker_budget() const noexcept;
+
+    /// Optional progress sink. Campaign entry points report per run;
+    /// sweep() reports per grid point.
+    Session& progress(engine::ProgressCounter* sink);
+
+    // ------------------------------------------------- entry points
+
+    /// Single runs (no campaign randomization): the scua alone, and the
+    /// scua against the scenario's contenders. Both respect the
+    /// scenario protocol's cycle cap.
+    [[nodiscard]] Measurement isolation(const Scenario& scenario) const;
+    [[nodiscard]] Measurement contention(const Scenario& scenario) const;
+    [[nodiscard]] SlowdownResult slowdown(const Scenario& scenario) const;
+
+    /// Materializing HWM campaign (one exec time per run).
+    [[nodiscard]] HwmCampaignResult hwm(const Scenario& scenario);
+
+    /// Streamed pWCET campaign: O(runs / block_size) live memory.
+    [[nodiscard]] PwcetCampaignResult pwcet(const Scenario& scenario,
+                                            const PwcetSpec& spec = {});
+
+    /// White-box campaign statistics through the sharded merge path.
+    [[nodiscard]] engine::WhiteboxCampaignResult whitebox(
+        const Scenario& scenario);
+
+    /// Grid of MachineConfig variations, each point a streamed pWCET
+    /// campaign over the re-targeted scenario. See the module comment
+    /// for the nesting/jobs contract.
+    [[nodiscard]] SweepResult sweep(const Scenario& scenario,
+                                    const SweepAxes& axes,
+                                    const PwcetSpec& spec = {});
+
+private:
+    /// EngineOptions carrying the session policy and the shared pool.
+    [[nodiscard]] engine::EngineOptions engine_options(
+        engine::ProgressCounter* sink);
+    [[nodiscard]] engine::ThreadPool& shared_pool();
+    /// One sweep grid point: the scenario re-targeted at `config`, run
+    /// as a streamed pWCET campaign on the shared pool with per-run
+    /// progress muted (the sweep itself ticks per point).
+    [[nodiscard]] PwcetCampaignResult pwcet_on_pool(
+        const MachineConfig& config, const Scenario& scenario,
+        const PwcetSpec& spec);
+
+    std::size_t jobs_ = 0;
+    engine::ProgressCounter* progress_ = nullptr;
+    std::unique_ptr<engine::ThreadPool> pool_;
+};
+
+}  // namespace rrb

@@ -16,6 +16,11 @@
 //      indexed by run id (ordered collection), and campaign statistics
 //      (HWM = max, LWM = min) are associative reductions over it — the
 //      sharding-with-constant-cost-merge pattern.
+//
+// This module is the low-level execution layer. The public facade is
+// the Scenario/Session API (core/scenario.h, core/session.h), which
+// builds EngineOptions — including the shared pool that lets nested
+// sweeps split one jobs budget — and delegates down to these functions.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +45,15 @@ struct EngineOptions {
     /// Optional progress sink; begin() is called with the batch size and
     /// tick() once per finished job.
     ProgressCounter* progress = nullptr;
+    /// Optional non-owning shared pool. When set, grids and reductions
+    /// submit to it instead of spawning their own workers, and `jobs` no
+    /// longer sizes anything — the pool's width is the budget. This is
+    /// how Session::sweep nests streamed campaigns inside a config grid
+    /// without multiplying thread counts: one pool, sequential grid
+    /// points, each point's shards fanned across the shared workers.
+    /// The caller must not drive the same pool from two batches at once
+    /// (wait_idle() waits for *all* submitted jobs).
+    ThreadPool* pool = nullptr;
 };
 
 /// `options.jobs` resolved against the actual amount of work: 0 maps to
@@ -77,7 +91,15 @@ template <typename Point, typename Fn>
     // order is grid order no matter which worker finishes first.
     std::vector<std::optional<Result>> slots(points.size());
     {
-        ThreadPool pool(effective_jobs(engine.jobs, points.size()));
+        // A shared pool (engine.pool) is borrowed as-is; otherwise a
+        // batch-local pool is sized against the work. wait_idle() returns
+        // only after every submitted job finished, so the stack state the
+        // jobs capture outlives them in both cases.
+        std::optional<ThreadPool> local;
+        ThreadPool& pool =
+            engine.pool != nullptr
+                ? *engine.pool
+                : local.emplace(effective_jobs(engine.jobs, points.size()));
         for (std::size_t i = 0; i < points.size(); ++i) {
             pool.submit([&slots, &points, &fn, &engine, i] {
                 slots[i].emplace(fn(points[i]));

@@ -93,7 +93,15 @@ template <typename Accumulator, typename Fold>
     const ReducePlan plan = ReducePlan::for_count(count);
     std::vector<std::optional<Accumulator>> slots(plan.shards());
     {
-        ThreadPool pool(effective_jobs(engine.jobs, plan.shards()));
+        // Borrow a shared pool when the caller provides one (nested
+        // campaigns splitting a jobs budget); otherwise build a
+        // batch-local pool. Neither changes results: the shard plan —
+        // and with it every merge tree — depends only on `count`.
+        std::optional<ThreadPool> local;
+        ThreadPool& pool =
+            engine.pool != nullptr
+                ? *engine.pool
+                : local.emplace(effective_jobs(engine.jobs, plan.shards()));
         for (std::size_t s = 0; s < plan.shards(); ++s) {
             pool.submit([&slots, &plan, &fold, &engine, &init, s] {
                 Accumulator acc = init;  // carries configuration state

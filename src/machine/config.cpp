@@ -43,18 +43,23 @@ MachineConfig MachineConfig::ngmp_var() {
     return cfg;
 }
 
+void MachineConfig::retime_bus(Cycle lbus) {
+    RRB_REQUIRE(lbus >= 2, "lbus must cover transfer + L2 hit");
+    bus_transfer_cycles = 1;
+    l2_hit_cycles = lbus - 1;
+    store_service_cycles = lbus;
+    miss_request_cycles = 1;
+    fill_response_cycles = 1;
+    if (tdma_slot_cycles < lbus) tdma_slot_cycles = lbus;
+}
+
 MachineConfig MachineConfig::scaled(CoreId cores, Cycle lbus) {
     RRB_REQUIRE(cores >= 1, "need at least one core");
-    RRB_REQUIRE(lbus >= 2, "lbus must cover transfer + L2 hit");
     MachineConfig cfg = ngmp_ref();
     cfg.num_cores = cores;
     cfg.l2_geometry.ways = cores;
     cfg.l2_geometry.size_bytes = 64ULL * 1024 * cores;
-    cfg.bus_transfer_cycles = 1;
-    cfg.l2_hit_cycles = lbus - 1;
-    cfg.store_service_cycles = lbus;
-    cfg.miss_request_cycles = 1;
-    cfg.fill_response_cycles = 1;
+    cfg.retime_bus(lbus);
     return cfg;
 }
 

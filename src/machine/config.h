@@ -46,6 +46,13 @@ struct MachineConfig {
     [[nodiscard]] Cycle load_hit_service() const noexcept {
         return bus_transfer_cycles + l2_hit_cycles;
     }
+
+    /// Re-times the bus so one L2 load hit occupies `lbus` cycles
+    /// (transfer 1 + hit lbus-1; stores and the split-transaction
+    /// phases follow). The single timing model behind `scaled()` and
+    /// Session sweep lbus axes — the two must never diverge. TDMA
+    /// slots grow to fit when needed.
+    void retime_bus(Cycle lbus);
     /// Equation 1: ubd = (Nc - 1) * lbus.
     [[nodiscard]] Cycle ubd_analytic() const noexcept {
         return (num_cores - 1) * load_hit_service();

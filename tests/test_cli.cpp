@@ -44,6 +44,27 @@ TEST(Cli, UnknownFlagFails) {
     const CliResult r = invoke({"estimate", "--bogus"});
     EXPECT_EQ(r.code, 1);
     EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+    // The offending flag is named, whatever position it appears in.
+    EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+    const CliResult late = invoke({"campaign", "--runs", "4", "--bogus"});
+    EXPECT_EQ(late.code, 1);
+    EXPECT_NE(late.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, FlagsFromOtherCommandsAreRejectedNotIgnored) {
+    // Regression: a known flag that does not apply to the command used
+    // to be parsed and silently ignored — `calibrate --runs 5` would
+    // report calibration numbers as if a 5-run campaign had happened.
+    const CliResult r = invoke({"calibrate", "--runs", "5"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--runs"), std::string::npos);
+    EXPECT_NE(r.err.find("calibrate"), std::string::npos);
+
+    EXPECT_EQ(invoke({"estimate", "--jobs", "2"}).code, 1);
+    EXPECT_EQ(invoke({"baseline", "--block-size", "4"}).code, 1);
+    EXPECT_EQ(invoke({"campaign", "--kmax", "10"}).code, 1);
+    EXPECT_EQ(invoke({"campaign", "--cores-axis", "2,4"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--cores", "4"}).code, 1);
 }
 
 TEST(Cli, FlagValueValidation) {
@@ -194,6 +215,81 @@ TEST(Cli, PwcetValidatesFlags) {
     EXPECT_NE(bad.err.find("--exceedance"), std::string::npos);
     EXPECT_EQ(invoke({"pwcet", "--exceedance", "nope"}).code, 1);
     EXPECT_EQ(invoke({"pwcet", "--exceedance"}).code, 1);
+}
+
+TEST(Cli, SweepPwcetRunsAConfigGrid) {
+    const CliResult r = invoke({"sweep-pwcet", "--cores-axis", "2,4",
+                                "--lbus-axis", "5", "--runs", "16",
+                                "--block-size", "4", "--jobs", "2",
+                                "--iterations", "20", "--exceedance",
+                                "1e-6"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("sweep-pwcet: 2 configs x 16 runs"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("pwcet@1e-06"), std::string::npos);
+    // One row per grid point, cores-major.
+    EXPECT_NE(r.out.find("\n2 5 rr "), std::string::npos);
+    EXPECT_NE(r.out.find("\n4 5 rr "), std::string::npos);
+}
+
+TEST(Cli, SweepPwcetJobCountDoesNotChangeResults) {
+    const std::vector<std::string> base = {
+        "sweep-pwcet", "--cores-axis", "2,4",  "--lbus-axis", "5,9",
+        "--runs",      "16",           "--block-size", "4",
+        "--iterations", "20"};
+    auto with_jobs = [&base](const char* jobs) {
+        std::vector<std::string> args = base;
+        args.emplace_back("--jobs");
+        args.emplace_back(jobs);
+        return args;
+    };
+    const CliResult serial = invoke(with_jobs("1"));
+    const CliResult wide = invoke(with_jobs("8"));
+    EXPECT_EQ(serial.code, 0);
+    EXPECT_EQ(wide.code, 0);
+    // Everything after the header line (which names the job count) is
+    // identical: the nested campaigns shard deterministically.
+    EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
+              wide.out.substr(wide.out.find('\n')));
+}
+
+TEST(Cli, SweepPwcetArbiterAxis) {
+    const CliResult r = invoke({"sweep-pwcet", "--arbiter-axis",
+                                "rr,tdma", "--runs", "8", "--block-size",
+                                "4", "--iterations", "20"});
+    // TDMA isolates cores from alignment, so its campaign can have zero
+    // spread — a (correct) degenerate fit exits 3; never a bound
+    // violation (2) or a usage error (1).
+    EXPECT_TRUE(r.code == 0 || r.code == 3) << "code " << r.code;
+    EXPECT_NE(r.out.find(" rr "), std::string::npos);
+    EXPECT_NE(r.out.find(" tdma "), std::string::npos);
+    // Non-RR rows carry no Equation-1 bound verdict.
+    EXPECT_NE(r.out.find("n/a"), std::string::npos);
+}
+
+TEST(Cli, SweepPwcetValidatesFlags) {
+    EXPECT_EQ(invoke({"sweep-pwcet", "--cores-axis"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--cores-axis", "2,x"}).code, 1);
+    // A value that would truncate into CoreId must fail the parse, not
+    // silently run some other grid (4294967298 would truncate to 2).
+    EXPECT_EQ(invoke({"sweep-pwcet", "--cores-axis", "4294967298"}).code,
+              1);
+    // A trailing comma is a half-typed list, not a shorter one.
+    EXPECT_EQ(invoke({"sweep-pwcet", "--cores-axis", "2,"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--arbiter-axis", "rr,"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--arbiter-axis", "bogus"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--runs", "0"}).code, 1);
+    const CliResult bad = invoke({"sweep-pwcet", "--arbiter-axis", "rr,nope"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("nope"), std::string::npos);
+}
+
+TEST(Cli, HelpListsSweepPwcet) {
+    const CliResult r = invoke({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("sweep-pwcet"), std::string::npos);
+    EXPECT_NE(r.out.find("--cores-axis"), std::string::npos);
+    EXPECT_NE(r.out.find("--arbiter-axis"), std::string::npos);
 }
 
 TEST(Cli, SweepEmitsCsv) {

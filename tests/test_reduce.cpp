@@ -232,6 +232,31 @@ TEST(PwcetCampaign, Validates) {
         std::invalid_argument);
 }
 
+TEST(ReduceIndexed, PeaksOverThresholdRidesTheReducePathUnchanged) {
+    // The POT accumulator satisfies the campaign-accumulator concept,
+    // so it shards through reduce_indexed with no engine changes —
+    // exceedances arrive in run order at every job count.
+    StreamingPeaksOverThreshold serial(600.0);
+    const auto value = [](std::uint64_t i) {
+        return static_cast<double>((i * 733) % 1000);
+    };
+    for (std::uint64_t i = 0; i < 400; ++i) serial.add(i, value(i));
+
+    for (const std::size_t jobs : {1u, 4u}) {
+        engine::EngineOptions eng;
+        eng.jobs = jobs;
+        const StreamingPeaksOverThreshold sharded = engine::reduce_indexed(
+            400,
+            [&](StreamingPeaksOverThreshold& acc, std::uint64_t i) {
+                acc.add(i, value(i));
+            },
+            StreamingPeaksOverThreshold(600.0), eng);
+        EXPECT_EQ(sharded.count(), serial.count()) << "jobs " << jobs;
+        EXPECT_EQ(sharded.exceedances(), serial.exceedances())
+            << "jobs " << jobs;
+    }
+}
+
 // -------------------------------------------------- white-box campaigns
 
 TEST(WhiteboxCampaign, ShardedMergeEqualsSerialSingleThread) {
