@@ -95,7 +95,11 @@ void BM_RtaOnPaddedSet(benchmark::State& state) {
     std::vector<Cycle> isolated;
     std::vector<std::uint64_t> requests;
     for (int i = 0; i < 5; ++i) {
-        skeleton.push_back({"t" + std::to_string(i), 1,
+        // Indexed in place rather than "t" + to_string(i): that concat
+        // trips GCC 12's -Wrestrict false positive (PR 105651) at -O3.
+        std::string name = "t0";
+        name[1] = static_cast<char>('0' + i);
+        skeleton.push_back({std::move(name), 1,
                             100'000u * (static_cast<Cycle>(i) + 1),
                             90'000u * (static_cast<Cycle>(i) + 1)});
         isolated.push_back(10'000u * (static_cast<Cycle>(i) + 1));

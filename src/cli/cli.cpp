@@ -38,6 +38,9 @@ struct ParsedFlags {
     std::vector<CoreId> cores_axis;
     std::vector<Cycle> lbus_axis;
     std::vector<ArbiterKind> arbiter_axis;
+    std::optional<SliceSpec> shard;  ///< --shard i/N
+    std::string checkpoint_out;
+    std::vector<std::string> inputs;  ///< positional args (merge files)
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
 };
@@ -50,6 +53,9 @@ struct ParsedFlags {
 struct CommandSpec {
     std::string_view name;
     std::vector<std::string_view> flags;
+    /// Accepts positional (non-flag) arguments — checkpoint files for
+    /// `merge`. Everywhere else a stray positional fails the parse.
+    bool takes_files = false;
 };
 
 const std::vector<CommandSpec>& command_specs() {
@@ -64,7 +70,9 @@ const std::vector<CommandSpec>& command_specs() {
           "--iterations"}},
         {"pwcet",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
-          "--iterations", "--block-size", "--exceedance"}},
+          "--iterations", "--block-size", "--exceedance", "--shard",
+          "--checkpoint-out"}},
+        {"merge", {}, /*takes_files=*/true},
         {"sweep",
          {"--cores", "--lbus", "--var", "--kmax", "--iterations", "--csv"}},
         {"sweep-pwcet",
@@ -150,6 +158,36 @@ std::optional<double> parse_probability(const std::string& text) {
     return value;
 }
 
+/// "--shard i/N": run slice i of N (0-based, i < N). Half-typed or
+/// out-of-range specs fail the parse with a message naming the flag —
+/// "--shard 4/4" silently running the wrong slice would poison a whole
+/// distributed campaign.
+std::optional<SliceSpec> parse_shard(const std::string& text,
+                                     std::string& error) {
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos) {
+        error = "--shard needs the form i/N, e.g. 0/4";
+        return std::nullopt;
+    }
+    const auto index = parse_number(text.substr(0, slash));
+    const auto count = parse_number(text.substr(slash + 1));
+    if (!index || !count) {
+        error = "--shard needs the form i/N, e.g. 0/4";
+        return std::nullopt;
+    }
+    if (*count == 0) {
+        error = "--shard slice count must be at least 1";
+        return std::nullopt;
+    }
+    if (*index >= *count) {
+        error = "--shard index " + std::to_string(*index) +
+                " must be below the slice count " + std::to_string(*count);
+        return std::nullopt;
+    }
+    return SliceSpec{static_cast<std::size_t>(*index),
+                     static_cast<std::size_t>(*count)};
+}
+
 std::optional<ArbiterKind> parse_arbiter(const std::string& text) {
     if (text == "rr") return ArbiterKind::kRoundRobin;
     if (text == "tdma") return ArbiterKind::kTdma;
@@ -201,7 +239,19 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             }
             return std::move(parsed.values);
         };
-        if (!arg.empty() && arg[0] == '-' && !allowed(arg)) {
+        if (arg.empty() || arg[0] != '-') {
+            // Positional argument: a checkpoint file for `merge`, an
+            // error anywhere else (a mistyped flag value would
+            // otherwise configure an experiment the user never asked
+            // for).
+            if (command.takes_files) {
+                flags.inputs.push_back(arg);
+                continue;
+            }
+            flags.error = "unexpected argument '" + arg + "'";
+            break;
+        }
+        if (!allowed(arg)) {
             // One message when the flag exists for another command,
             // another when nothing knows it — both fail the parse.
             bool known = false;
@@ -253,6 +303,18 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
         } else if (arg == "--block-size") {
             if (const auto v = next_number("--block-size")) {
                 flags.block_size = static_cast<std::size_t>(*v);
+            }
+        } else if (arg == "--shard") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--shard needs a value like 0/4";
+            } else {
+                flags.shard = parse_shard(args[++i], flags.error);
+            }
+        } else if (arg == "--checkpoint-out") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--checkpoint-out needs a path";
+            } else {
+                flags.checkpoint_out = args[++i];
             }
         } else if (arg == "--exceedance") {
             if (i + 1 >= args.size()) {
@@ -502,6 +564,80 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
     return bounded ? 0 : 2;
 }
 
+/// Everything a pWCET campaign report prints after its header line —
+/// shared verbatim by `pwcet` and `merge`, so a distributed fan-in's
+/// report is byte-identical to the single-process reference from the
+/// second line on (CI diffs exactly that). Returns the exit code:
+/// 0 = HWM bounded by the ETB, 2 = bound violated, 3 = bounded but no
+/// usable fit (so scripts can tell "unsound bound" from "not enough
+/// data").
+int report_pwcet(const PwcetCampaignResult& r, Cycle ubd,
+                 std::ostream& out) {
+    out << "et_isol = " << r.et_isolation << " cycles, nr = " << r.nr
+        << "\n";
+    out << "hwm = " << r.high_water_mark << ", lwm = " << r.low_water_mark
+        << ", mean = " << r.mean << ", stddev = " << r.stddev << "\n";
+    out << "streamed: " << r.live_values << " live values for " << r.runs
+        << " runs (" << r.blocks << " complete blocks)\n";
+    // The bound check is independent of the fit — report it (and let a
+    // violation dominate the exit code) even when the fit is unusable.
+    const Cycle etb = r.etb(ubd);
+    const bool bounded = r.high_water_mark <= etb;
+    out << "etb = " << etb << ", hwm bounded: " << (bounded ? "yes" : "NO")
+        << "\n";
+    if (!r.fit.valid()) {
+        out << "gumbel fit: degenerate (" << r.blocks
+            << " blocks, no spread) — raise --runs or lower --block-size\n";
+        return bounded ? 3 : 2;
+    }
+    out << "gumbel: mu = " << r.fit.mu << ", beta = " << r.fit.beta
+        << " (fit on " << r.fit.sample_size << " block maxima)\n";
+    for (const PwcetQuantile& q : r.quantiles) {
+        out << "pwcet@" << q.exceedance << " = " << q.pwcet << " ("
+            << (q.pwcet >= static_cast<double>(r.high_water_mark)
+                    ? ">= hwm"
+                    : "below hwm")
+            << ", "
+            << (q.pwcet <= static_cast<double>(etb) ? "below etb"
+                                                    : "above etb")
+            << ")\n";
+    }
+    return bounded ? 0 : 2;
+}
+
+/// `pwcet --shard i/N --checkpoint-out FILE`: run one slice of the
+/// campaign's shard plan and persist its accumulator state instead of
+/// fitting — the fit happens at `merge` time, over every slice.
+int cmd_pwcet_checkpoint(const ParsedFlags& flags, const Scenario& scenario,
+                         const PwcetSpec& spec, std::ostream& out,
+                         std::ostream& err) {
+    RRB_REQUIRE(!flags.checkpoint_out.empty(),
+                "--shard needs --checkpoint-out to name the slice file");
+    const SliceSpec slice = flags.shard.value_or(SliceSpec{0, 1});
+
+    engine::ProgressCounter progress;
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+
+    PwcetCheckpoint checkpoint;
+    {
+        const ProgressReporter reporter(progress, err,
+                                        scenario.run_protocol().runs);
+        checkpoint = session.checkpoint(scenario, spec, slice,
+                                        flags.checkpoint_out);
+    }
+
+    const CheckpointMeta& meta = checkpoint.meta;
+    out << "pwcet shard " << slice.index << "/" << slice.count << ": runs ["
+        << meta.first_run << ", " << meta.last_run << ") of "
+        << meta.total_runs << " in blocks of " << meta.block_size
+        << ", seed " << meta.seed << "\n";
+    out << "checkpoint written to " << flags.checkpoint_out << " ("
+        << checkpoint.shards.size() << " shard accumulators, merge with "
+        << "'rrbtool merge')\n";
+    return 0;
+}
+
 int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
               std::ostream& err) {
     RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
@@ -514,6 +650,10 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     PwcetSpec spec;
     spec.block_size = flags.block_size;
     if (!flags.exceedances.empty()) spec.exceedance = flags.exceedances;
+
+    if (flags.shard.has_value() || !flags.checkpoint_out.empty()) {
+        return cmd_pwcet_checkpoint(flags, scenario, spec, out, err);
+    }
 
     const std::size_t runs = scenario.run_protocol().runs;
     // The reduce engine shards the run range — report the width it will
@@ -534,39 +674,22 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     out << "pwcet: " << r.runs << " runs in blocks of " << spec.block_size
         << " on " << jobs << " jobs, seed " << scenario.run_protocol().seed
         << " (" << engine::render_progress(progress) << ")\n";
-    out << "et_isol = " << r.et_isolation << " cycles, nr = " << r.nr
-        << "\n";
-    out << "hwm = " << r.high_water_mark << ", lwm = " << r.low_water_mark
-        << ", mean = " << r.mean << ", stddev = " << r.stddev << "\n";
-    out << "streamed: " << r.live_values << " live values for " << r.runs
-        << " runs (" << r.blocks << " complete blocks)\n";
-    // The bound check is independent of the fit — report it (and let a
-    // violation dominate the exit code) even when the fit is unusable.
-    const Cycle etb = r.etb(scenario.config().ubd_analytic());
-    const bool bounded = r.high_water_mark <= etb;
-    out << "etb = " << etb << ", hwm bounded: " << (bounded ? "yes" : "NO")
-        << "\n";
     // Exit contract, matching `campaign`: 0 = HWM bounded by the ETB,
-    // 2 = bound violated; 3 = bounded but no usable fit (so scripts can
-    // tell "unsound bound" from "not enough data").
-    if (!r.fit.valid()) {
-        out << "gumbel fit: degenerate (" << r.blocks
-            << " blocks, no spread) — raise --runs or lower --block-size\n";
-        return bounded ? 3 : 2;
-    }
-    out << "gumbel: mu = " << r.fit.mu << ", beta = " << r.fit.beta
-        << " (fit on " << r.fit.sample_size << " block maxima)\n";
-    for (const PwcetQuantile& q : r.quantiles) {
-        out << "pwcet@" << q.exceedance << " = " << q.pwcet << " ("
-            << (q.pwcet >= static_cast<double>(r.high_water_mark)
-                    ? ">= hwm"
-                    : "below hwm")
-            << ", "
-            << (q.pwcet <= static_cast<double>(etb) ? "below etb"
-                                                    : "above etb")
-            << ")\n";
-    }
-    return bounded ? 0 : 2;
+    // 2 = bound violated; 3 = bounded but no usable fit.
+    return report_pwcet(r, scenario.config().ubd_analytic(), out);
+}
+
+int cmd_merge(const ParsedFlags& flags, std::ostream& out) {
+    RRB_REQUIRE(!flags.inputs.empty(),
+                "merge needs at least one checkpoint file");
+    const Session session;
+    const MergedPwcetCampaign merged = session.merge(flags.inputs);
+    out << "merge: " << flags.inputs.size() << " checkpoints, "
+        << merged.result.runs << " runs in blocks of "
+        << merged.meta.block_size << ", seed " << merged.meta.seed << "\n";
+    // From here the report is byte-identical to the reference
+    // single-process `pwcet` run — including the exit-code contract.
+    return report_pwcet(merged.result, merged.meta.ubd_analytic, out);
 }
 
 int cmd_sweep_pwcet(const ParsedFlags& flags, std::ostream& out,
@@ -673,6 +796,8 @@ std::string usage() {
            "  campaign     run a randomized HWM campaign vs the ETB bound\n"
            "  pwcet        streamed Gumbel pWCET campaign (O(runs/block) "
            "memory)\n"
+           "  merge        merge pwcet checkpoint files into the full "
+           "campaign\n"
            "  sweep-pwcet  grid of MachineConfigs, one streamed pWCET\n"
            "               campaign per point on one shared pool\n"
            "  sweep        dump the dbus(k) series as CSV\n"
@@ -705,6 +830,18 @@ std::string usage() {
            "  --block-size B       runs per EVT block (default 50)\n"
            "  --exceedance P       quote pWCET at exceedance P in (0,1);\n"
            "                       repeatable (default 1e-3 1e-6 1e-9)\n"
+           "  --shard i/N          run slice i of N of the campaign's\n"
+           "                       shard plan (needs --checkpoint-out)\n"
+           "  --checkpoint-out F   write the slice's accumulator state "
+           "to F;\n"
+           "                       merging every slice with 'rrbtool "
+           "merge'\n"
+           "                       is bit-identical to one full run\n"
+           "\n"
+           "merge:\n"
+           "  rrbtool merge F1 F2 ...   merge checkpoint files; rejects\n"
+           "                       mismatched campaigns and duplicate or\n"
+           "                       missing slices\n"
            "\n"
            "sweep-pwcet flags (plus the campaign and pwcet flags):\n"
            "  --cores-axis A,B,..  core counts to sweep (default: base)\n"
@@ -736,9 +873,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "baseline") return cmd_baseline(flags, out);
         if (command == "campaign") return cmd_campaign(flags, out, err);
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
+        if (command == "merge") return cmd_merge(flags, out);
         if (command == "sweep-pwcet") return cmd_sweep_pwcet(flags, out, err);
         if (command == "sweep") return cmd_sweep(flags, out);
     } catch (const std::invalid_argument& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const CheckpointError& e) {
+        // Bad checkpoint *data* (unreadable, corrupt, or from another
+        // campaign) — a usage-style failure, distinct from the bound
+        // verdicts the campaign exit codes carry.
         err << "error: " << e.what() << "\n";
         return 1;
     }

@@ -7,6 +7,8 @@
 //   rrbtool campaign  [--cores N] [--lbus L] [--var] [--runs R]
 //                     [--seed S] [--jobs N] [--iterations I]
 //   rrbtool pwcet     [campaign flags] [--block-size B] [--exceedance P]
+//                     [--shard i/N --checkpoint-out F]
+//   rrbtool merge     F1 F2 ...
 //   rrbtool sweep-pwcet [--var] [--cores-axis A,B] [--lbus-axis A,B]
 //                     [--arbiter-axis rr,tdma,...] [campaign/pwcet flags]
 //   rrbtool sweep     [--cores N] [--lbus L] [--var] [--kmax K]

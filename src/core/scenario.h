@@ -96,6 +96,15 @@ public:
     /// Session entry point calls this first.
     void validate() const;
 
+    /// Content hash of everything that determines the campaign's
+    /// numbers: machine config, scua, resolved contenders, and the run
+    /// protocol. Checkpoints (stats/checkpoint.h) stamp it so a merge
+    /// or resume against a different scenario — a changed config field,
+    /// another seed, a re-built contender — is rejected loudly instead
+    /// of silently blending two campaigns. Program names are cosmetic
+    /// and excluded; every timing-relevant field participates.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
 private:
     explicit Scenario(MachineConfig config);
 

@@ -46,6 +46,26 @@ PwcetCampaignOptions to_campaign_options(const Scenario& scenario,
     return options;
 }
 
+/// The campaign identity a (scenario, spec) pair stamps into its
+/// checkpoints — and the identity resume validates loaded checkpoints
+/// against. Slice, run-range and isolation fields are filled by the
+/// slice that ran.
+CheckpointMeta campaign_meta(const Scenario& scenario, const PwcetSpec& spec,
+                             const engine::ReducePlan& plan) {
+    CheckpointMeta meta;
+    meta.scenario_fingerprint = scenario.fingerprint();
+    meta.seed = scenario.run_protocol().seed;
+    meta.total_runs = scenario.run_protocol().runs;
+    meta.block_size = spec.block_size;
+    meta.shard_size = plan.shard_size;
+    meta.plan_shards = plan.shards();
+    meta.shard_plan_hash =
+        shard_plan_hash(meta.total_runs, meta.shard_size, meta.plan_shards);
+    meta.ubd_analytic = scenario.config().ubd_analytic();
+    meta.exceedance = spec.exceedance;
+    return meta;
+}
+
 }  // namespace
 
 Session::Session() = default;
@@ -180,6 +200,130 @@ SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
         }
     }
     return result;
+}
+
+PwcetCheckpoint Session::checkpoint(const Scenario& scenario,
+                                    const PwcetSpec& spec,
+                                    const SliceSpec& slice,
+                                    const std::string& path) {
+    scenario.validate();
+    const PwcetCampaignOptions options = to_campaign_options(scenario, spec);
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(
+        static_cast<std::uint64_t>(options.protocol.runs));
+    const engine::ReducePlan::ShardRange range =
+        plan.slice(slice.index, slice.count);
+
+    engine::PwcetShardSlice run = engine::run_pwcet_campaign_shards(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), options, range,
+        engine_options(progress_));
+
+    PwcetCheckpoint checkpoint;
+    checkpoint.meta = campaign_meta(scenario, spec, plan);
+    checkpoint.meta.slice_index = slice.index;
+    checkpoint.meta.slice_count = slice.count;
+    checkpoint.meta.first_run = run.first_run;
+    checkpoint.meta.last_run = run.last_run;
+    checkpoint.meta.et_isolation = run.et_isolation;
+    checkpoint.meta.nr = run.nr;
+    checkpoint.first_shard = run.first_shard;
+    checkpoint.shards = std::move(run.shards);
+    save_pwcet_checkpoint(path, checkpoint);
+    return checkpoint;
+}
+
+MergedPwcetCampaign Session::merge(
+    const std::vector<std::string>& paths) const {
+    RRB_REQUIRE(!paths.empty(), "merge needs at least one checkpoint file");
+    std::vector<PwcetCheckpoint> checkpoints;
+    checkpoints.reserve(paths.size());
+    for (const std::string& path : paths) {
+        checkpoints.push_back(load_pwcet_checkpoint(path));
+    }
+    return merge_pwcet_checkpoints(std::move(checkpoints), paths);
+}
+
+PwcetCampaignResult Session::resume(const Scenario& scenario,
+                                    const PwcetSpec& spec,
+                                    const std::vector<std::string>& paths) {
+    scenario.validate();
+    const PwcetCampaignOptions options = to_campaign_options(scenario, spec);
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(
+        static_cast<std::uint64_t>(options.protocol.runs));
+    CheckpointMeta expected = campaign_meta(scenario, spec, plan);
+
+    // Load and validate: every checkpoint must identify as a slice of
+    // *this* campaign before any of its state is trusted. The expected
+    // meta knows everything except the isolation baseline (measured,
+    // not specified); the first checkpoint supplies it and every later
+    // one must agree.
+    constexpr std::size_t kNobody = static_cast<std::size_t>(-1);
+    std::vector<PwcetAccumulator> by_shard(plan.shards());
+    std::vector<std::size_t> owner(plan.shards(), kNobody);
+    bool have_baseline = false;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        PwcetCheckpoint checkpoint = load_pwcet_checkpoint(paths[i]);
+        const CheckpointMeta& meta = checkpoint.meta;
+        if (!have_baseline) {
+            expected.et_isolation = meta.et_isolation;
+            expected.nr = meta.nr;
+            have_baseline = true;
+        }
+        require_same_campaign(meta, expected, paths[i],
+                              "the campaign being resumed");
+        for (std::size_t s = 0; s < checkpoint.shards.size(); ++s) {
+            const std::size_t index =
+                static_cast<std::size_t>(checkpoint.first_shard) + s;
+            if (owner[index] != kNobody) {
+                throw CheckpointError("duplicate slice: shard " +
+                                      std::to_string(index) +
+                                      " appears in both " +
+                                      paths[owner[index]] + " and " +
+                                      paths[i]);
+            }
+            owner[index] = i;
+            by_shard[index] = std::move(checkpoint.shards[s]);
+        }
+    }
+
+    // Run every maximal uncovered shard range, exactly as a checkpoint
+    // slice would have.
+    for (std::size_t s = 0; s < plan.shards();) {
+        if (owner[s] != kNobody) {
+            ++s;
+            continue;
+        }
+        std::size_t end = s;
+        while (end < plan.shards() && owner[end] == kNobody) ++end;
+        engine::PwcetShardSlice fresh = engine::run_pwcet_campaign_shards(
+            scenario.config(), scenario.scua_program(),
+            scenario.contender_programs(), options, {s, end},
+            engine_options(progress_));
+        if (have_baseline && (fresh.et_isolation != expected.et_isolation ||
+                              fresh.nr != expected.nr)) {
+            // The fingerprints matched, so a diverging deterministic
+            // baseline means the checkpoint does not come from this
+            // scenario after all.
+            throw CheckpointError(
+                "checkpointed isolation baseline disagrees with the "
+                "scenario being resumed");
+        }
+        expected.et_isolation = fresh.et_isolation;
+        expected.nr = fresh.nr;
+        have_baseline = true;
+        for (std::size_t f = 0; f < fresh.shards.size(); ++f) {
+            by_shard[s + f] = std::move(fresh.shards[f]);
+        }
+        s = end;
+    }
+
+    // The monolithic merge sequence: left-fold in shard-index order.
+    PwcetAccumulator acc = std::move(by_shard[0]);
+    for (std::size_t s = 1; s < by_shard.size(); ++s) {
+        acc.merge(by_shard[s]);
+    }
+    return finalize_pwcet_campaign(acc, expected.et_isolation, expected.nr,
+                                   options.exceedance);
 }
 
 PwcetCampaignResult Session::pwcet_on_pool(const MachineConfig& config,

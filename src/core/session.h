@@ -29,12 +29,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "core/campaign.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "engine/reduce.h"
 #include "machine/config.h"
 #include "sim/types.h"
+#include "stats/checkpoint.h"
 
 namespace rrb {
 
@@ -76,6 +79,16 @@ struct SweepPoint {
 
 struct SweepResult {
     std::vector<SweepPoint> points;  ///< in axes enumeration order
+};
+
+/// Which slice of a checkpointed campaign to run: slice `index` of
+/// `count`. Slices divide the campaign's shard plan (engine/reduce.h)
+/// into contiguous ranges, so any full set of slices — run on any mix
+/// of processes or machines — merges into exactly the monolithic
+/// result.
+struct SliceSpec {
+    std::size_t index = 0;
+    std::size_t count = 1;
 };
 
 class Session {
@@ -134,6 +147,36 @@ public:
     [[nodiscard]] SweepResult sweep(const Scenario& scenario,
                                     const SweepAxes& axes,
                                     const PwcetSpec& spec = {});
+
+    // --------------------------------------- checkpointed campaigns
+
+    /// Runs slice `slice.index` of `slice.count` of the scenario's
+    /// pWCET campaign and writes its accumulator state plus campaign
+    /// identity (scenario fingerprint, seed, run range, shard-plan
+    /// hash) to `path`. Merging every slice — across processes or
+    /// machines — is bit-identical to `pwcet(scenario, spec)` at every
+    /// jobs value. Returns the checkpoint that was written.
+    PwcetCheckpoint checkpoint(const Scenario& scenario,
+                               const PwcetSpec& spec, const SliceSpec& slice,
+                               const std::string& path);
+
+    /// Loads, cross-validates and merges checkpoint files into the
+    /// full-campaign result. Throws CheckpointError — naming the file —
+    /// on unreadable/corrupt input, on checkpoints from different
+    /// campaigns, and on duplicate or missing slices.
+    [[nodiscard]] MergedPwcetCampaign merge(
+        const std::vector<std::string>& paths) const;
+
+    /// Completes a partially checkpointed campaign: validates every
+    /// checkpoint against this (scenario, spec) — mismatched
+    /// fingerprints, seeds, plans and duplicate slices are rejected
+    /// loudly — runs whatever shard ranges no checkpoint covers, and
+    /// returns the merged result, bit-identical to `pwcet(scenario,
+    /// spec)`. With full coverage nothing re-runs; with no paths this
+    /// is the monolithic campaign.
+    [[nodiscard]] PwcetCampaignResult resume(
+        const Scenario& scenario, const PwcetSpec& spec,
+        const std::vector<std::string>& paths);
 
 private:
     /// EngineOptions carrying the session policy and the shared pool.

@@ -1,52 +1,86 @@
 #include "engine/reduce.h"
 
-#include <limits>
+#include <utility>
+
+#include "stats/checkpoint.h"
 
 namespace rrb::engine {
+
+namespace {
+
+void validate_pwcet_options(const PwcetCampaignOptions& options,
+                            const std::vector<Program>& contenders) {
+    RRB_REQUIRE(options.protocol.runs >= 1, "need at least one run");
+    RRB_REQUIRE(options.block_size >= 1, "block size must be positive");
+    for (const double e : options.exceedance) {
+        RRB_REQUIRE(e > 0.0 && e < 1.0, "exceedance probability in (0,1)");
+    }
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+}
+
+/// The deterministic isolation baseline every slice re-measures.
+std::pair<Cycle, std::uint64_t> isolation_baseline(
+    const MachineConfig& config, const Program& scua,
+    const PwcetCampaignOptions& options) {
+    const Measurement isol = run_isolation(
+        config, scua, 0, options.protocol.max_cycles_per_run);
+    RRB_ENSURE(!isol.deadline_reached);
+    return {isol.exec_time, isol.bus_requests};
+}
+
+}  // namespace
 
 PwcetCampaignResult run_pwcet_campaign(const MachineConfig& config,
                                        const Program& scua,
                                        const std::vector<Program>& contenders,
                                        const PwcetCampaignOptions& options,
                                        const EngineOptions& engine) {
-    RRB_REQUIRE(options.protocol.runs >= 1, "need at least one run");
-    RRB_REQUIRE(options.block_size >= 1, "block size must be positive");
-    for (const double e : options.exceedance) {
-        RRB_REQUIRE(e > 0.0 && e < 1.0, "exceedance probability in (0,1)");
-    }
+    // The monolithic campaign is the full-range slice: same shard fold,
+    // same merge sequence as a checkpointed fan-in, one process.
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(
+            options.protocol.runs));
+    PwcetShardSlice slice = run_pwcet_campaign_shards(
+        config, scua, contenders, options, {0, plan.shards()}, engine);
 
-    PwcetCampaignResult result;
-    {
-        const Measurement isol = run_isolation(
-            config, scua, 0, options.protocol.max_cycles_per_run);
-        RRB_ENSURE(!isol.deadline_reached);
-        result.et_isolation = isol.exec_time;
-        result.nr = isol.bus_requests;
+    PwcetAccumulator acc = std::move(slice.shards[0]);
+    for (std::size_t s = 1; s < slice.shards.size(); ++s) {
+        acc.merge(slice.shards[s]);
     }
+    return finalize_pwcet_campaign(acc, slice.et_isolation, slice.nr,
+                                   options.exceedance);
+}
 
-    const PwcetAccumulator acc = run_campaign_reduce(
-        config, scua, contenders, options.protocol,
+PwcetShardSlice run_pwcet_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const PwcetCampaignOptions& options, ReducePlan::ShardRange range,
+    const EngineOptions& engine) {
+    validate_pwcet_options(options, contenders);
+
+    PwcetShardSlice slice;
+    const auto [et_isolation, nr] = isolation_baseline(config, scua, options);
+    slice.et_isolation = et_isolation;
+    slice.nr = nr;
+
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(
+            options.protocol.runs));
+    slice.first_shard = range.first;
+    if (range.size() > 0) {
+        slice.first_run = plan.shard_begin(range.first);
+        slice.last_run = plan.shard_end(range.last - 1);
+    }
+    slice.shards = reduce_indexed_shards(
+        plan, range,
+        [&](PwcetAccumulator& acc, std::uint64_t run) {
+            acc.add(run, detail::hwm_campaign_measure(config, scua,
+                                                      contenders,
+                                                      options.protocol,
+                                                      run));
+        },
         PwcetAccumulator(options.block_size), engine);
-
-    result.runs = static_cast<std::size_t>(acc.extremes().count());
-    result.high_water_mark = acc.extremes().max();
-    result.low_water_mark = acc.extremes().min();
-    result.mean = acc.moments().mean();
-    result.stddev = acc.moments().stddev();
-    result.blocks = acc.blocks().complete_blocks();
-    result.live_values = acc.blocks().live_values();
-    result.fit = acc.blocks().fit();
-    result.quantiles.reserve(options.exceedance.size());
-    for (const double e : options.exceedance) {
-        // pwcet() yields NaN on a degenerate fit's behalf only for bad p;
-        // an invalid fit (too few blocks / zero spread) is still a valid
-        // extrapolation-free row, so quote NaN explicitly there too.
-        result.quantiles.push_back(
-            {e, result.fit.valid()
-                    ? result.fit.pwcet(e)
-                    : std::numeric_limits<double>::quiet_NaN()});
-    }
-    return result;
+    return slice;
 }
 
 WhiteboxCampaignResult run_whitebox_campaign(

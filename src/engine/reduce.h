@@ -74,25 +74,63 @@ struct ReducePlan {
         const std::uint64_t end = shard_begin(shard) + shard_size;
         return end < count ? end : count;
     }
+
+    /// Contiguous shard range [first, last) of one plan.
+    struct ShardRange {
+        std::size_t first = 0;
+        std::size_t last = 0;
+
+        [[nodiscard]] std::size_t size() const noexcept {
+            return last - first;
+        }
+    };
+
+    /// Slice `slice_index` of `slice_count`: the plan's shards divided
+    /// into contiguous, collectively exhaustive, mutually disjoint
+    /// ranges. Slicing at shard granularity — never splitting a shard —
+    /// is what keeps a checkpointed slice's accumulators bit-identical
+    /// to the monolithic fold's: each shard is always folded whole, in
+    /// run order, by exactly one worker. With more slices than shards
+    /// the trailing slices are empty, which is valid (their checkpoints
+    /// simply cover no runs).
+    [[nodiscard]] ShardRange slice(std::size_t slice_index,
+                                   std::size_t slice_count) const {
+        RRB_REQUIRE(slice_count >= 1, "need at least one slice");
+        RRB_REQUIRE(slice_index < slice_count,
+                    "slice index must be below the slice count");
+        const std::size_t total = shards();
+        return {total * slice_index / slice_count,
+                total * (slice_index + 1) / slice_count};
+    }
 };
 
-/// Folds `fold(acc, i)` for i in [0, count) into a single accumulator:
-/// shards run concurrently on `engine.jobs` workers, each folding its
-/// contiguous index range into a copy of `init`, and the shard results
-/// merge in shard order. `fold` must be safe to call concurrently on
-/// distinct accumulators. Progress ticks once per index.
+/// Folds the plan's shards [range.first, range.last) concurrently, each
+/// shard folding its contiguous index range in ascending order into a
+/// copy of `init`, and returns the *unmerged* per-shard accumulators in
+/// shard order. This is the primitive both the monolithic reduce and
+/// the checkpointed slices are built on: a shard accumulator depends
+/// only on (plan, shard index, fold), so a shard computed by slice 3 of
+/// 4 on another machine is bit-identical to the one the monolithic run
+/// would have produced — and the fan-in can always replay the one true
+/// merge sequence. `fold` must be safe to call concurrently on distinct
+/// accumulators. Progress begins with the range's index count and ticks
+/// once per index.
 template <typename Accumulator, typename Fold>
-[[nodiscard]] Accumulator reduce_indexed(std::uint64_t count, Fold&& fold,
-                                         Accumulator init,
-                                         const EngineOptions& engine = {}) {
+[[nodiscard]] std::vector<Accumulator> reduce_indexed_shards(
+    const ReducePlan& plan, ReducePlan::ShardRange range, Fold&& fold,
+    const Accumulator& init, const EngineOptions& engine = {}) {
+    RRB_REQUIRE(range.first <= range.last && range.last <= plan.shards(),
+                "shard range outside the plan");
     if (engine.progress != nullptr) {
-        engine.progress->begin(static_cast<std::size_t>(count));
+        const std::uint64_t indices =
+            range.size() == 0
+                ? 0
+                : plan.shard_end(range.last - 1) -
+                      plan.shard_begin(range.first);
+        engine.progress->begin(static_cast<std::size_t>(indices));
     }
-    if (count == 0) return init;
-
-    const ReducePlan plan = ReducePlan::for_count(count);
-    std::vector<std::optional<Accumulator>> slots(plan.shards());
-    {
+    std::vector<std::optional<Accumulator>> slots(range.size());
+    if (!slots.empty()) {
         // Borrow a shared pool when the caller provides one (nested
         // campaigns splitting a jobs budget); otherwise build a
         // batch-local pool. Neither changes results: the shard plan —
@@ -101,12 +139,12 @@ template <typename Accumulator, typename Fold>
         ThreadPool& pool =
             engine.pool != nullptr
                 ? *engine.pool
-                : local.emplace(effective_jobs(engine.jobs, plan.shards()));
-        for (std::size_t s = 0; s < plan.shards(); ++s) {
-            pool.submit([&slots, &plan, &fold, &engine, &init, s] {
+                : local.emplace(effective_jobs(engine.jobs, range.size()));
+        for (std::size_t s = 0; s < range.size(); ++s) {
+            pool.submit([&slots, &plan, &range, &fold, &engine, &init, s] {
                 Accumulator acc = init;  // carries configuration state
-                for (std::uint64_t i = plan.shard_begin(s);
-                     i < plan.shard_end(s); ++i) {
+                for (std::uint64_t i = plan.shard_begin(range.first + s);
+                     i < plan.shard_end(range.first + s); ++i) {
                     fold(acc, i);
                     if (engine.progress != nullptr) engine.progress->tick();
                 }
@@ -115,10 +153,31 @@ template <typename Accumulator, typename Fold>
         }
         pool.wait_idle();  // rethrows the first shard failure
     }
+    std::vector<Accumulator> results;
+    results.reserve(slots.size());
+    for (std::optional<Accumulator>& slot : slots) {
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
 
-    Accumulator result = std::move(*slots[0]);
-    for (std::size_t s = 1; s < slots.size(); ++s) {
-        result.merge(*slots[s]);
+/// Folds `fold(acc, i)` for i in [0, count) into a single accumulator:
+/// the full shard range via reduce_indexed_shards, then the shard
+/// results merged in shard order. Progress ticks once per index.
+template <typename Accumulator, typename Fold>
+[[nodiscard]] Accumulator reduce_indexed(std::uint64_t count, Fold&& fold,
+                                         Accumulator init,
+                                         const EngineOptions& engine = {}) {
+    if (count == 0) {
+        if (engine.progress != nullptr) engine.progress->begin(0);
+        return init;
+    }
+    const ReducePlan plan = ReducePlan::for_count(count);
+    std::vector<Accumulator> shards = reduce_indexed_shards(
+        plan, {0, plan.shards()}, std::forward<Fold>(fold), init, engine);
+    Accumulator result = std::move(shards[0]);
+    for (std::size_t s = 1; s < shards.size(); ++s) {
+        result.merge(shards[s]);
     }
     return result;
 }
@@ -156,6 +215,28 @@ template <typename Accumulator>
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const PwcetCampaignOptions& options = {},
+    const EngineOptions& engine = {});
+
+/// One checkpointable slice of a pWCET campaign: the isolation baseline
+/// (re-measured — it is deterministic, so every slice observes the same
+/// value) plus the *unmerged* per-shard accumulators for the plan's
+/// shards [range.first, range.last). The stats/checkpoint.h codec
+/// persists this; merging every slice's shards in shard-index order is
+/// bit-identical to the monolithic run_pwcet_campaign at every jobs
+/// value and every slicing.
+struct PwcetShardSlice {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;  ///< scua bus requests (PMC)
+    std::size_t first_shard = 0;
+    std::uint64_t first_run = 0;  ///< run range [first_run, last_run)
+    std::uint64_t last_run = 0;
+    std::vector<PwcetAccumulator> shards;  ///< in shard order
+};
+
+[[nodiscard]] PwcetShardSlice run_pwcet_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const PwcetCampaignOptions& options, ReducePlan::ShardRange range,
     const EngineOptions& engine = {});
 
 /// White-box campaign statistics over the sharded merge path: the

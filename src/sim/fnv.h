@@ -1,0 +1,38 @@
+// Incremental 64-bit FNV-1a — the one hash used for content
+// fingerprints and checkpoint checksums (Scenario::fingerprint,
+// stats/checkpoint.h). Not cryptographic; it exists to turn silent
+// mismatches and corruption into loud errors. Multi-byte values fold
+// little-endian byte by byte after widening to u64, so a hash is a pure
+// function of the logical values — independent of host endianness and
+// integer widths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rrb {
+
+class Fnv1a {
+public:
+    void byte(std::uint8_t b) noexcept { hash_ = (hash_ ^ b) * kPrime; }
+
+    void bytes(std::span<const std::uint8_t> bs) noexcept {
+        for (const std::uint8_t b : bs) byte(b);
+    }
+
+    void u64(std::uint64_t v) noexcept {
+        for (int shift = 0; shift < 64; shift += 8) {
+            byte(static_cast<std::uint8_t>(v >> shift));
+        }
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+private:
+    static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ULL;
+    static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace rrb

@@ -1,0 +1,573 @@
+#include "stats/checkpoint.h"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "sim/contract.h"
+#include "sim/fnv.h"
+
+namespace rrb {
+
+namespace {
+
+// 8-byte magic + format version. Bump the version on ANY layout change:
+// an old reader must reject a new file (and vice versa) rather than
+// misinterpret bytes into plausible-looking statistics.
+constexpr std::uint8_t kMagic[8] = {'R', 'R', 'B', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// The trailer checksum over a byte range.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+    Fnv1a hash;
+    hash.bytes(bytes);
+    return hash.value();
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+    throw CheckpointError("corrupt checkpoint: " + what);
+}
+
+}  // namespace
+
+// ------------------------------------------------------ writer / reader
+
+void CheckpointWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void CheckpointWriter::u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+void CheckpointWriter::u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+void CheckpointWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t CheckpointReader::u8() {
+    if (remaining() < 1) corrupt("truncated (read past end)");
+    return bytes_[offset_++];
+}
+
+std::uint32_t CheckpointReader::u32() {
+    if (remaining() < 4) corrupt("truncated (read past end)");
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+        v |= static_cast<std::uint32_t>(bytes_[offset_++]) << shift;
+    }
+    return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+    if (remaining() < 8) corrupt("truncated (read past end)");
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+        v |= static_cast<std::uint64_t>(bytes_[offset_++]) << shift;
+    }
+    return v;
+}
+
+double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
+
+// ------------------------------------------------------------- codec
+
+void CheckpointCodec::save(CheckpointWriter& w,
+                           const StreamingExtremes<Cycle>& a) {
+    w.u64(a.count_);
+    w.u64(a.min_);
+    w.u64(a.max_);
+}
+
+StreamingExtremes<Cycle> CheckpointCodec::load_extremes(CheckpointReader& r) {
+    StreamingExtremes<Cycle> a;
+    a.count_ = r.u64();
+    a.min_ = r.u64();
+    a.max_ = r.u64();
+    if (a.count_ == 0) {
+        return StreamingExtremes<Cycle>{};  // canonical empty state
+    }
+    if (a.min_ > a.max_) corrupt("extremes with min > max");
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w, const StreamingMoments& a) {
+    w.u64(a.count_);
+    w.f64(a.mean_);
+    w.f64(a.m2_);
+}
+
+StreamingMoments CheckpointCodec::load_moments(CheckpointReader& r) {
+    StreamingMoments a;
+    a.count_ = r.u64();
+    a.mean_ = r.f64();
+    a.m2_ = r.f64();
+    // No finiteness check: a campaign that folded a NaN observation has
+    // NaN moments, and the round-trip must reproduce that state
+    // bit-exactly rather than launder it.
+    if (a.count_ == 0) return StreamingMoments{};
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w,
+                           const StreamingBlockMaxima& a) {
+    w.u64(a.block_size_);
+    w.u64(a.count_);
+    w.u64(a.blocks_.size());
+    for (const auto& [index, block] : a.blocks_) {
+        w.u64(index);
+        w.f64(block.max);
+        w.u64(block.filled);
+    }
+}
+
+StreamingBlockMaxima CheckpointCodec::load_block_maxima(CheckpointReader& r) {
+    const std::uint64_t block_size = r.u64();
+    if (block_size == 0) corrupt("block maxima with block size 0");
+    StreamingBlockMaxima a(static_cast<std::size_t>(block_size));
+    a.count_ = r.u64();
+    const std::uint64_t n = r.u64();
+    std::uint64_t filled_total = 0;
+    std::uint64_t previous_index = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t index = r.u64();
+        if (i > 0 && index <= previous_index) {
+            corrupt("block indices out of order");
+        }
+        previous_index = index;
+        StreamingBlockMaxima::Block block;
+        block.max = r.f64();
+        block.filled = r.u64();
+        if (block.filled == 0 || block.filled > block_size) {
+            corrupt("block fill outside [1, block_size]");
+        }
+        filled_total += block.filled;
+        a.blocks_.emplace(index, block);
+    }
+    if (filled_total != a.count_) {
+        corrupt("block fills do not sum to the observation count");
+    }
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w,
+                           const StreamingPeaksOverThreshold& a) {
+    w.f64(a.threshold_);
+    w.u64(a.count_);
+    w.u64(a.exceedances_.size());
+    for (const double v : a.exceedances_) w.f64(v);
+}
+
+StreamingPeaksOverThreshold CheckpointCodec::load_pot(CheckpointReader& r) {
+    const double threshold = r.f64();
+    StreamingPeaksOverThreshold a(threshold);
+    a.count_ = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n > a.count_) corrupt("more exceedances than observations");
+    a.exceedances_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double v = r.f64();
+        if (!(v > threshold)) corrupt("exceedance not above the threshold");
+        a.exceedances_.push_back(v);
+    }
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w, const Histogram& a) {
+    const auto buckets = a.buckets();
+    w.u64(buckets.size());
+    for (const auto& [value, count] : buckets) {
+        w.u64(value);
+        w.u64(count);
+    }
+}
+
+Histogram CheckpointCodec::load_histogram(CheckpointReader& r) {
+    Histogram a;
+    const std::uint64_t n = r.u64();
+    std::uint64_t previous_value = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t value = r.u64();
+        const std::uint64_t count = r.u64();
+        if (i > 0 && value <= previous_value) {
+            corrupt("histogram buckets out of order");
+        }
+        previous_value = value;
+        if (count == 0) corrupt("histogram bucket with zero count");
+        a.add(value, count);
+    }
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w, const Series& a) {
+    w.u64(a.size());
+    for (const double v : a.values()) w.f64(v);
+}
+
+Series CheckpointCodec::load_series(CheckpointReader& r) {
+    const std::uint64_t n = r.u64();
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) values.push_back(r.f64());
+    return Series(std::move(values));
+}
+
+void CheckpointCodec::save(CheckpointWriter& w,
+                           const WhiteboxAccumulator& a) {
+    w.u64(a.runs_);
+    w.u64(a.max_gamma_);
+    save(w, a.gamma_);
+    save(w, a.ready_contenders_);
+    save(w, a.injection_delta_);
+    save(w, a.exec_times_);
+    save(w, a.extremes_);
+}
+
+WhiteboxAccumulator CheckpointCodec::load_whitebox(CheckpointReader& r) {
+    WhiteboxAccumulator a;
+    a.runs_ = r.u64();
+    a.max_gamma_ = r.u64();
+    a.gamma_ = load_histogram(r);
+    a.ready_contenders_ = load_histogram(r);
+    a.injection_delta_ = load_histogram(r);
+    a.exec_times_ = load_series(r);
+    a.extremes_ = load_extremes(r);
+    if (a.exec_times_.size() != a.runs_ || a.extremes_.count() != a.runs_) {
+        corrupt("white-box sample sizes disagree with the run count");
+    }
+    return a;
+}
+
+void CheckpointCodec::save(CheckpointWriter& w, const PwcetAccumulator& a) {
+    save(w, a.extremes_);
+    save(w, a.moments_);
+    save(w, a.blocks_);
+}
+
+PwcetAccumulator CheckpointCodec::load_pwcet(CheckpointReader& r) {
+    const StreamingExtremes<Cycle> extremes = load_extremes(r);
+    const StreamingMoments moments = load_moments(r);
+    StreamingBlockMaxima blocks = load_block_maxima(r);
+    if (extremes.count() != moments.count() ||
+        extremes.count() != blocks.count()) {
+        corrupt("pwcet accumulator parts disagree on the run count");
+    }
+    PwcetAccumulator a(blocks.block_size());
+    a.extremes_ = extremes;
+    a.moments_ = moments;
+    a.blocks_ = std::move(blocks);
+    return a;
+}
+
+// -------------------------------------------------- campaign checkpoint
+
+std::uint64_t shard_plan_hash(std::uint64_t total_runs,
+                              std::uint64_t shard_size,
+                              std::uint64_t plan_shards) {
+    Fnv1a hash;
+    hash.u64(total_runs);
+    hash.u64(shard_size);
+    hash.u64(plan_shards);
+    return hash.value();
+}
+
+namespace {
+
+void encode_meta(CheckpointWriter& w, const CheckpointMeta& meta) {
+    w.u64(meta.scenario_fingerprint);
+    w.u64(meta.seed);
+    w.u64(meta.total_runs);
+    w.u64(meta.block_size);
+    w.u64(meta.shard_size);
+    w.u64(meta.plan_shards);
+    w.u64(meta.shard_plan_hash);
+    w.u64(meta.slice_index);
+    w.u64(meta.slice_count);
+    w.u64(meta.first_run);
+    w.u64(meta.last_run);
+    w.u64(meta.et_isolation);
+    w.u64(meta.nr);
+    w.u64(meta.ubd_analytic);
+    w.u64(meta.exceedance.size());
+    for (const double e : meta.exceedance) w.f64(e);
+}
+
+CheckpointMeta decode_meta(CheckpointReader& r) {
+    CheckpointMeta meta;
+    meta.scenario_fingerprint = r.u64();
+    meta.seed = r.u64();
+    meta.total_runs = r.u64();
+    meta.block_size = r.u64();
+    meta.shard_size = r.u64();
+    meta.plan_shards = r.u64();
+    meta.shard_plan_hash = r.u64();
+    meta.slice_index = r.u64();
+    meta.slice_count = r.u64();
+    meta.first_run = r.u64();
+    meta.last_run = r.u64();
+    meta.et_isolation = r.u64();
+    meta.nr = r.u64();
+    meta.ubd_analytic = r.u64();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        meta.exceedance.push_back(r.f64());
+    }
+    if (meta.block_size == 0) corrupt("block size 0");
+    if (meta.shard_size == 0 || meta.plan_shards == 0) {
+        corrupt("empty shard plan");
+    }
+    if (meta.shard_plan_hash !=
+        shard_plan_hash(meta.total_runs, meta.shard_size,
+                        meta.plan_shards)) {
+        throw CheckpointError(
+            "checkpoint was written under a different shard plan "
+            "(engine version mismatch?) — re-run the campaign instead of "
+            "merging across plans");
+    }
+    if (meta.first_run > meta.last_run || meta.last_run > meta.total_runs) {
+        corrupt("run range outside the campaign");
+    }
+    return meta;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pwcet_checkpoint(
+    const PwcetCheckpoint& checkpoint) {
+    CheckpointWriter w;
+    for (const std::uint8_t b : kMagic) w.u8(b);
+    w.u32(kFormatVersion);
+    encode_meta(w, checkpoint.meta);
+    w.u64(checkpoint.first_shard);
+    w.u64(checkpoint.shards.size());
+    for (const PwcetAccumulator& shard : checkpoint.shards) {
+        CheckpointCodec::save(w, shard);
+    }
+    std::vector<std::uint8_t> bytes = w.bytes();
+    const std::uint64_t checksum = fnv1a(bytes);
+    CheckpointWriter trailer;
+    trailer.u64(checksum);
+    bytes.insert(bytes.end(), trailer.bytes().begin(),
+                 trailer.bytes().end());
+    return bytes;
+}
+
+PwcetCheckpoint decode_pwcet_checkpoint(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < sizeof(kMagic) + 4 + 8) {
+        corrupt("too short to hold a header");
+    }
+    for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+        if (bytes[i] != kMagic[i]) {
+            throw CheckpointError(
+                "not a pwcet checkpoint (bad magic bytes)");
+        }
+    }
+    // Verify the trailer checksum before trusting any field beyond the
+    // magic: a flipped byte must fail here, not parse into plausible
+    // statistics.
+    const std::span<const std::uint8_t> body =
+        bytes.subspan(0, bytes.size() - 8);
+    CheckpointReader trailer(bytes.subspan(bytes.size() - 8));
+    if (fnv1a(body) != trailer.u64()) {
+        corrupt("checksum mismatch (truncated or corrupted file)");
+    }
+
+    CheckpointReader r(body.subspan(sizeof(kMagic)));
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion) {
+        throw CheckpointError(
+            "unsupported checkpoint format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(kFormatVersion) + ")");
+    }
+    PwcetCheckpoint checkpoint;
+    checkpoint.meta = decode_meta(r);
+    checkpoint.first_shard = r.u64();
+    const std::uint64_t n_shards = r.u64();
+    // Overflow-proof range check: `first_shard + n_shards` could wrap
+    // and slip a huge first_shard past the bound, and these indices go
+    // on to address plan-sized vectors in merge/resume.
+    if (checkpoint.first_shard > checkpoint.meta.plan_shards ||
+        n_shards > checkpoint.meta.plan_shards - checkpoint.first_shard) {
+        corrupt("shard range outside the plan");
+    }
+    std::uint64_t folded = 0;
+    for (std::uint64_t i = 0; i < n_shards; ++i) {
+        PwcetAccumulator shard = CheckpointCodec::load_pwcet(r);
+        if (shard.blocks().block_size() != checkpoint.meta.block_size) {
+            corrupt("shard block size disagrees with the metadata");
+        }
+        folded += shard.extremes().count();
+        checkpoint.shards.push_back(std::move(shard));
+    }
+    if (folded != checkpoint.meta.last_run - checkpoint.meta.first_run) {
+        corrupt("shard observation counts do not cover the run range");
+    }
+    if (r.remaining() != 0) corrupt("trailing bytes after the payload");
+    return checkpoint;
+}
+
+void save_pwcet_checkpoint(const std::string& path,
+                           const PwcetCheckpoint& checkpoint) {
+    const std::vector<std::uint8_t> bytes =
+        encode_pwcet_checkpoint(checkpoint);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+        throw CheckpointError("could not write checkpoint file " + path);
+    }
+}
+
+PwcetCheckpoint load_pwcet_checkpoint(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw CheckpointError("could not open checkpoint file " + path);
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        throw CheckpointError("could not read checkpoint file " + path);
+    }
+    try {
+        return decode_pwcet_checkpoint(bytes);
+    } catch (const CheckpointError& e) {
+        throw CheckpointError(path + ": " + e.what());
+    }
+}
+
+// ----------------------------------------------------------- merge
+
+PwcetCampaignResult finalize_pwcet_campaign(
+    const PwcetAccumulator& acc, Cycle et_isolation, std::uint64_t nr,
+    const std::vector<double>& exceedance) {
+    RRB_REQUIRE(!acc.extremes().empty(),
+                "cannot finalize a campaign with no observations");
+    PwcetCampaignResult result;
+    result.et_isolation = et_isolation;
+    result.nr = nr;
+    result.runs = static_cast<std::size_t>(acc.extremes().count());
+    result.high_water_mark = acc.extremes().max();
+    result.low_water_mark = acc.extremes().min();
+    result.mean = acc.moments().mean();
+    result.stddev = acc.moments().stddev();
+    result.blocks = acc.blocks().complete_blocks();
+    result.live_values = acc.blocks().live_values();
+    result.fit = acc.blocks().fit();
+    result.quantiles.reserve(exceedance.size());
+    for (const double e : exceedance) {
+        // pwcet() yields NaN on a degenerate fit's behalf only for bad p;
+        // an invalid fit (too few blocks / zero spread) is still a valid
+        // extrapolation-free row, so quote NaN explicitly there too.
+        result.quantiles.push_back(
+            {e, result.fit.valid()
+                    ? result.fit.pwcet(e)
+                    : std::numeric_limits<double>::quiet_NaN()});
+    }
+    return result;
+}
+
+void require_same_campaign(const CheckpointMeta& meta,
+                           const CheckpointMeta& reference,
+                           const std::string& source,
+                           const std::string& reference_name) {
+    const auto mismatch = [&](const char* what) {
+        throw CheckpointError(
+            source + ": " + what + " differs from " + reference_name +
+            " — these checkpoints are not slices of one campaign");
+    };
+    if (meta.scenario_fingerprint != reference.scenario_fingerprint) {
+        mismatch("scenario fingerprint");
+    }
+    if (meta.seed != reference.seed) mismatch("campaign seed");
+    if (meta.total_runs != reference.total_runs) mismatch("run count");
+    if (meta.block_size != reference.block_size) mismatch("block size");
+    // The plan fields individually, not just their hash: callers size
+    // shard-coverage tables by plan_shards, so a checkpoint written
+    // under a different plan must never get as far as indexing them —
+    // even under a hash collision.
+    if (meta.shard_plan_hash != reference.shard_plan_hash ||
+        meta.shard_size != reference.shard_size ||
+        meta.plan_shards != reference.plan_shards) {
+        mismatch("shard plan");
+    }
+    if (meta.exceedance != reference.exceedance) {
+        mismatch("exceedance list");
+    }
+    if (meta.et_isolation != reference.et_isolation ||
+        meta.nr != reference.nr) {
+        mismatch("isolation baseline");
+    }
+    if (meta.ubd_analytic != reference.ubd_analytic) {
+        mismatch("analytic ubd");
+    }
+}
+
+MergedPwcetCampaign merge_pwcet_checkpoints(
+    std::vector<PwcetCheckpoint> checkpoints,
+    const std::vector<std::string>& sources) {
+    if (checkpoints.empty()) {
+        throw CheckpointError("merge needs at least one checkpoint");
+    }
+    const auto source = [&](std::size_t i) {
+        return i < sources.size() ? sources[i]
+                                  : "checkpoint #" + std::to_string(i + 1);
+    };
+
+    const CheckpointMeta& reference = checkpoints.front().meta;
+    for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+        require_same_campaign(checkpoints[i].meta, reference, source(i),
+                              source(0));
+    }
+
+    // Coverage: every plan shard exactly once — a duplicate slice (the
+    // same shard from two files) is as wrong as a missing one.
+    constexpr std::size_t kNobody = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> owner(
+        static_cast<std::size_t>(reference.plan_shards), kNobody);
+    std::vector<const PwcetAccumulator*> by_shard(owner.size(), nullptr);
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        const PwcetCheckpoint& checkpoint = checkpoints[i];
+        for (std::size_t s = 0; s < checkpoint.shards.size(); ++s) {
+            const std::size_t index =
+                static_cast<std::size_t>(checkpoint.first_shard) + s;
+            if (owner[index] != kNobody) {
+                throw CheckpointError(
+                    "duplicate slice: shard " + std::to_string(index) +
+                    " appears in both " + source(owner[index]) + " and " +
+                    source(i));
+            }
+            owner[index] = i;
+            by_shard[index] = &checkpoint.shards[s];
+        }
+    }
+    for (std::size_t index = 0; index < owner.size(); ++index) {
+        if (owner[index] == kNobody) {
+            throw CheckpointError(
+                "incomplete campaign: shard " + std::to_string(index) +
+                " of " + std::to_string(owner.size()) +
+                " is covered by no checkpoint");
+        }
+    }
+
+    // The monolithic merge sequence: left-fold in shard-index order.
+    PwcetAccumulator acc = *by_shard[0];
+    for (std::size_t index = 1; index < by_shard.size(); ++index) {
+        acc.merge(*by_shard[index]);
+    }
+
+    MergedPwcetCampaign merged;
+    merged.meta = reference;
+    merged.result = finalize_pwcet_campaign(
+        acc, reference.et_isolation, reference.nr, reference.exceedance);
+    return merged;
+}
+
+}  // namespace rrb

@@ -38,6 +38,12 @@
 
 namespace rrb {
 
+/// Serialization backdoor (stats/checkpoint.h): accumulators befriend
+/// the codec so checkpoints can round-trip their raw state bit-exactly
+/// (e.g. StreamingMoments' m2, which no public accessor exposes without
+/// a lossy divide) while the public API keeps its invariants.
+struct CheckpointCodec;
+
 /// Running min/max/count — the streamed form of HWM/LWM tracking.
 template <typename T>
 class StreamingExtremes {
@@ -74,6 +80,8 @@ public:
     }
 
 private:
+    friend struct CheckpointCodec;
+
     T min_{};
     T max_{};
     std::uint64_t count_ = 0;
@@ -103,6 +111,8 @@ public:
     [[nodiscard]] double stddev() const noexcept;
 
 private:
+    friend struct CheckpointCodec;
+
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;  ///< sum of squared deviations from the mean
@@ -147,6 +157,8 @@ public:
     [[nodiscard]] GumbelFit fit() const;
 
 private:
+    friend struct CheckpointCodec;
+
     struct Block {
         double max = 0.0;
         std::uint64_t filled = 0;
@@ -198,6 +210,8 @@ public:
     [[nodiscard]] std::vector<double> excesses() const;
 
 private:
+    friend struct CheckpointCodec;
+
     double threshold_;
     std::uint64_t count_ = 0;
     std::vector<double> exceedances_;
@@ -237,6 +251,8 @@ public:
     }
 
 private:
+    friend struct CheckpointCodec;
+
     std::uint64_t runs_ = 0;
     std::uint64_t max_gamma_ = 0;
     Histogram gamma_;
@@ -269,6 +285,8 @@ public:
     }
 
 private:
+    friend struct CheckpointCodec;
+
     StreamingExtremes<Cycle> extremes_;
     StreamingMoments moments_;
     StreamingBlockMaxima blocks_;

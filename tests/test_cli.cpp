@@ -217,6 +217,110 @@ TEST(Cli, PwcetValidatesFlags) {
     EXPECT_EQ(invoke({"pwcet", "--exceedance"}).code, 1);
 }
 
+TEST(Cli, PwcetShardWritesACheckpointAndMergeReproducesTheReference) {
+    const std::string dir = testing::TempDir();
+    // The single-process reference: everything after its header line is
+    // the contract the merged report must reproduce byte for byte.
+    const CliResult reference =
+        invoke({"pwcet", "--runs", "64", "--block-size", "8", "--jobs",
+                "2", "--iterations", "20", "--seed", "9"});
+    EXPECT_EQ(reference.code, 0);
+
+    std::vector<std::string> merge_args = {"merge"};
+    for (const char* shard : {"0/2", "1/2"}) {
+        const std::string path =
+            dir + "rrb_cli_shard_" + std::string(1, shard[0]) + ".ckpt";
+        const CliResult r =
+            invoke({"pwcet", "--runs", "64", "--block-size", "8", "--jobs",
+                    "2", "--iterations", "20", "--seed", "9", "--shard",
+                    shard, "--checkpoint-out", path});
+        EXPECT_EQ(r.code, 0) << r.err;
+        EXPECT_NE(r.out.find("checkpoint written to " + path),
+                  std::string::npos);
+        merge_args.push_back(path);
+    }
+
+    const CliResult merged = invoke(merge_args);
+    EXPECT_EQ(merged.code, 0) << merged.err;
+    EXPECT_NE(merged.out.find("merge: 2 checkpoints, 64 runs"),
+              std::string::npos);
+    EXPECT_EQ(merged.out.substr(merged.out.find('\n')),
+              reference.out.substr(reference.out.find('\n')));
+
+    for (std::size_t i = 1; i < merge_args.size(); ++i) {
+        std::remove(merge_args[i].c_str());
+    }
+}
+
+TEST(Cli, PwcetShardValidation) {
+    // Malformed or out-of-range specs fail naming --shard.
+    for (const char* bad : {"abc", "1", "1/", "/4", "2/2", "5/4", "1/0"}) {
+        const CliResult r = invoke({"pwcet", "--shard", bad,
+                                    "--checkpoint-out", "/tmp/x.ckpt"});
+        EXPECT_EQ(r.code, 1) << bad;
+        EXPECT_NE(r.err.find("--shard"), std::string::npos) << bad;
+    }
+    EXPECT_EQ(invoke({"pwcet", "--shard"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--checkpoint-out"}).code, 1);
+    // A slice without a checkpoint file would be thrown away — refuse,
+    // naming both flags.
+    const CliResult no_out = invoke({"pwcet", "--runs", "8", "--shard",
+                                     "0/2"});
+    EXPECT_EQ(no_out.code, 1);
+    EXPECT_NE(no_out.err.find("--checkpoint-out"), std::string::npos);
+    // Shard flags belong to pwcet only.
+    EXPECT_EQ(invoke({"campaign", "--shard", "0/2"}).code, 1);
+    EXPECT_EQ(invoke({"sweep-pwcet", "--checkpoint-out", "x"}).code, 1);
+}
+
+TEST(Cli, MergeValidation) {
+    const CliResult none = invoke({"merge"});
+    EXPECT_EQ(none.code, 1);
+    EXPECT_NE(none.err.find("at least one checkpoint"), std::string::npos);
+
+    // An unreadable file exits non-zero naming the path.
+    const CliResult missing = invoke({"merge", "/tmp/rrb_no_such.ckpt"});
+    EXPECT_EQ(missing.code, 1);
+    EXPECT_NE(missing.err.find("/tmp/rrb_no_such.ckpt"),
+              std::string::npos);
+
+    // Garbage bytes are rejected as corrupt, naming the path.
+    const std::string garbage = testing::TempDir() + "rrb_garbage.ckpt";
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "this is not a checkpoint";
+    }
+    const CliResult bad = invoke({"merge", garbage});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find(garbage), std::string::npos);
+    std::remove(garbage.c_str());
+
+    // Flags are rejected: merge takes checkpoint files only.
+    EXPECT_EQ(invoke({"merge", "--jobs", "2"}).code, 1);
+
+    // The same slice twice is a duplicate, not a bigger campaign.
+    const std::string path = testing::TempDir() + "rrb_dup.ckpt";
+    EXPECT_EQ(invoke({"pwcet", "--runs", "16", "--block-size", "4",
+                      "--iterations", "20", "--shard", "0/2",
+                      "--checkpoint-out", path})
+                  .code,
+              0);
+    const CliResult dup = invoke({"merge", path, path});
+    EXPECT_EQ(dup.code, 1);
+    EXPECT_NE(dup.err.find("duplicate slice"), std::string::npos);
+    // A lone half-campaign is incomplete.
+    const CliResult half = invoke({"merge", path});
+    EXPECT_EQ(half.code, 1);
+    EXPECT_NE(half.err.find("incomplete campaign"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, PositionalArgumentsAreRejectedOutsideMerge) {
+    const CliResult r = invoke({"pwcet", "stray.ckpt"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("stray.ckpt"), std::string::npos);
+}
+
 TEST(Cli, SweepPwcetRunsAConfigGrid) {
     const CliResult r = invoke({"sweep-pwcet", "--cores-axis", "2,4",
                                 "--lbus-axis", "5", "--runs", "16",

@@ -44,6 +44,34 @@ TEST(ReducePlan, SmallCountsGetOneRunPerShard) {
     EXPECT_EQ(plan.shard_size, 1u);
 }
 
+TEST(ReducePlan, SlicesPartitionTheShardsContiguously) {
+    for (const std::uint64_t count : {7ull, 256ull, 100000ull}) {
+        const engine::ReducePlan plan = engine::ReducePlan::for_count(count);
+        for (const std::size_t slices : {1u, 2u, 3u, 4u, 7u}) {
+            std::size_t next = 0;
+            for (std::size_t i = 0; i < slices; ++i) {
+                const engine::ReducePlan::ShardRange range =
+                    plan.slice(i, slices);
+                EXPECT_EQ(range.first, next)
+                    << count << " sliced " << i << "/" << slices;
+                EXPECT_LE(range.first, range.last);
+                next = range.last;
+            }
+            EXPECT_EQ(next, plan.shards());
+        }
+    }
+    // More slices than shards: trailing slices are empty, never lost.
+    const engine::ReducePlan tiny = engine::ReducePlan::for_count(2);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+        covered += tiny.slice(i, 5).size();
+    }
+    EXPECT_EQ(covered, tiny.shards());
+    // Bad slice specs are rejected.
+    EXPECT_THROW((void)tiny.slice(5, 5), std::invalid_argument);
+    EXPECT_THROW((void)tiny.slice(0, 0), std::invalid_argument);
+}
+
 // -------------------------------------------------------- reduce_indexed
 
 /// Toy accumulator recording the fold order — merge appends, so the
@@ -69,6 +97,50 @@ TEST(ReduceIndexed, FoldOrderIsRunOrderAtEveryJobCount) {
             ASSERT_EQ(acc.order[i], i) << "jobs = " << jobs;
         }
     }
+}
+
+TEST(ReduceIndexedShards, ShardsEqualTheMonolithicFoldsAtEveryJobCount) {
+    // Each shard accumulator is a pure function of (plan, shard, fold):
+    // a slice computed alone must hold exactly the indices the
+    // monolithic run folds into that shard, in the same order.
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(1000);
+    for (const std::size_t jobs : {1u, 4u}) {
+        engine::EngineOptions eng;
+        eng.jobs = jobs;
+        const engine::ReducePlan::ShardRange range =
+            plan.slice(1, 3);  // some interior slice
+        const std::vector<OrderAccumulator> shards =
+            engine::reduce_indexed_shards(
+                plan, range,
+                [](OrderAccumulator& a, std::uint64_t i) { a.fold(i); },
+                OrderAccumulator{}, eng);
+        ASSERT_EQ(shards.size(), range.size());
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            const std::size_t shard = range.first + s;
+            ASSERT_EQ(shards[s].order.size(),
+                      plan.shard_end(shard) - plan.shard_begin(shard));
+            for (std::size_t k = 0; k < shards[s].order.size(); ++k) {
+                ASSERT_EQ(shards[s].order[k], plan.shard_begin(shard) + k)
+                    << "jobs " << jobs;
+            }
+        }
+    }
+}
+
+TEST(ReduceIndexedShards, EmptyRangeYieldsNoShards) {
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(10);
+    const std::vector<OrderAccumulator> none =
+        engine::reduce_indexed_shards(
+            plan, {4, 4},
+            [](OrderAccumulator& a, std::uint64_t i) { a.fold(i); },
+            OrderAccumulator{});
+    EXPECT_TRUE(none.empty());
+    EXPECT_THROW(
+        (void)engine::reduce_indexed_shards(
+            plan, {4, 11},
+            [](OrderAccumulator& a, std::uint64_t i) { a.fold(i); },
+            OrderAccumulator{}),
+        std::invalid_argument);
 }
 
 TEST(ReduceIndexed, ZeroCountReturnsInit) {
