@@ -1,0 +1,305 @@
+// Hot-path microbenchmark + allocation audit for the campaign simulator.
+//
+// Measures the same workload as bench_ext_hwm_campaign's BM_OneCampaign —
+// the EEMBC-like cacheb scua against load-rsk contenders on the NGMP
+// reference platform — through two execution paths:
+//
+//   naive : a fresh Machine per run, cycle-by-cycle stepping — the
+//           pre-optimization reference semantics;
+//   hot   : the production path (engine::MachineLease reuse +
+//           event-driven cycle skipping + POD completion tokens).
+//
+// Emits machine-readable JSON (runs/sec, simulated cycles/sec, speedup,
+// heap allocations per run) and FAILS (exit 1) when the hot path's
+// steady state performs any heap allocation per run — the allocation
+// counter is a global operator new/delete interposer, so nothing can
+// hide. CI runs this as the perf-smoke stage; the numbers live in
+// BENCH_hotpath.json.
+//
+// Deliberately not a google-benchmark binary: the allocation interposer
+// must own global new/delete without fighting the framework, and CI
+// needs this to build even where google-benchmark is absent.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/estimator.h"
+#include "engine/machine_lease.h"
+#include "kernels/autobench.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+
+// ------------------------------------------------ allocation interposer
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_allocated_bytes{0};
+std::atomic<bool> g_counting{false};
+
+std::uint64_t allocations_now() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+struct CountScope {
+    CountScope() { g_counting.store(true, std::memory_order_relaxed); }
+    ~CountScope() { g_counting.store(false, std::memory_order_relaxed); }
+};
+
+}  // namespace
+
+namespace {
+
+void count_allocation(std::size_t size) {
+    if (g_counting.load(std::memory_order_relaxed)) {
+        g_allocations.fetch_add(1, std::memory_order_relaxed);
+        g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+    count_allocation(size);
+    void* p = std::malloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// Over-aligned and nothrow forms too — an allocation must not escape
+// the audit by using a cache-line-aligned type or a nothrow new.
+void* operator new(std::size_t size, std::align_val_t align) {
+    count_allocation(size);
+    void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                 (size + static_cast<std::size_t>(align) -
+                                  1) &
+                                     ~(static_cast<std::size_t>(align) - 1));
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    count_allocation(size);
+    return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    count_allocation(size);
+    return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+
+// ------------------------------------------------------------ benchmark
+
+namespace {
+
+using namespace rrb;
+using Clock = std::chrono::steady_clock;
+
+struct PathResult {
+    double seconds = 0.0;
+    std::uint64_t runs = 0;
+    std::uint64_t cycles = 0;  ///< sum of simulated finish cycles
+    std::uint64_t hwm = 0;     ///< campaign HWM — the bit-identity witness
+    double allocs_per_run = 0.0;
+
+    [[nodiscard]] double runs_per_sec() const {
+        return static_cast<double>(runs) / seconds;
+    }
+    [[nodiscard]] double cycles_per_sec() const {
+        return static_cast<double>(cycles) / seconds;
+    }
+};
+
+std::uint64_t env_runs(const char* name, std::uint64_t fallback) {
+    const char* text = std::getenv(name);
+    if (text == nullptr || *text == '\0') return fallback;
+    return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+/// The naive reference: fresh machine, naive stepping, per-run program
+/// loads — semantically the pre-PR execution path. Runs the run indices
+/// [first, first + runs) so its finishes are comparable one-to-one with
+/// the hot path's.
+PathResult run_naive(const MachineConfig& config, const Program& scua,
+                     const std::vector<Program>& contenders,
+                     const HwmCampaignOptions& options, std::uint64_t first,
+                     std::uint64_t runs, std::vector<Cycle>& finishes) {
+    PathResult result;
+    const auto start = Clock::now();
+    for (std::uint64_t run = first; run < first + runs; ++run) {
+        Machine machine(config);
+        machine.set_cycle_skipping(false);
+        std::uint64_t no_campaign = 0;
+        const Cycle finish = detail::execute_campaign_run(
+            machine, no_campaign, scua, contenders, options, run);
+        result.cycles += finish;
+        result.hwm = std::max(result.hwm, finish);
+        finishes.push_back(finish);
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.runs = runs;
+    return result;
+}
+
+/// The production hot path, with the steady-state allocation audit:
+/// after a warmup that sizes every reusable buffer, further runs must
+/// not touch the heap at all. `finishes` must be pre-reserved — filling
+/// it may not allocate inside the counting scope.
+PathResult run_hot(const MachineConfig& config, const Program& scua,
+                   const std::vector<Program>& contenders,
+                   const HwmCampaignOptions& options, std::uint64_t runs,
+                   std::uint64_t warmup, std::vector<Cycle>& finishes) {
+    for (std::uint64_t run = 0; run < warmup; ++run) {
+        (void)detail::hwm_campaign_run(config, scua, contenders, options,
+                                       run);
+    }
+
+    PathResult result;
+    const std::uint64_t allocs_before = allocations_now();
+    const auto start = Clock::now();
+    {
+        const CountScope counting;
+        for (std::uint64_t run = warmup; run < warmup + runs; ++run) {
+            const Cycle finish = detail::hwm_campaign_run(
+                config, scua, contenders, options, run);
+            result.cycles += finish;
+            result.hwm = std::max(result.hwm, finish);
+            finishes.push_back(finish);
+        }
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.runs = runs;
+    result.allocs_per_run =
+        static_cast<double>(allocations_now() - allocs_before) /
+        static_cast<double>(runs);
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        }
+    }
+
+    const std::uint64_t runs = env_runs("RRB_HOTPATH_RUNS", 400);
+    const std::uint64_t warmup = env_runs("RRB_HOTPATH_WARMUP", 50);
+
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    const Program scua = make_autobench(Autobench::kCacheb, 0x0100'0000,
+                                        150, 9);
+    const std::vector<Program> contenders =
+        make_rsk_contenders(config, OpKind::kLoad);
+    HwmCampaignOptions options;
+    options.runs = static_cast<std::size_t>(warmup + runs);
+
+    // Hot first over [warmup, warmup+runs), then the naive reference
+    // over a prefix of the same index range: element-wise equality of
+    // the finish cycles is a live bit-identity check on every
+    // invocation, not just a benchmark.
+    std::vector<Cycle> hot_finishes;
+    hot_finishes.reserve(static_cast<std::size_t>(runs));
+    const PathResult hot = run_hot(config, scua, contenders, options, runs,
+                                   warmup, hot_finishes);
+    const std::uint64_t naive_runs = runs == 0 ? 0 : runs / 4 + 1;
+    std::vector<Cycle> naive_finishes;
+    naive_finishes.reserve(static_cast<std::size_t>(naive_runs));
+    const PathResult naive =
+        run_naive(config, scua, contenders, options, warmup, naive_runs,
+                  naive_finishes);
+    std::uint64_t mismatches = 0;
+    for (std::size_t i = 0; i < naive_finishes.size(); ++i) {
+        if (naive_finishes[i] != hot_finishes[i]) ++mismatches;
+    }
+
+    const double speedup = naive.runs_per_sec() > 0.0
+                               ? hot.runs_per_sec() / naive.runs_per_sec()
+                               : 0.0;
+
+    char json[2048];
+    std::snprintf(
+        json, sizeof(json),
+        "{\n"
+        "  \"workload\": \"cacheb-vs-3x-rsk-load, ngmp_ref, 150 "
+        "iterations\",\n"
+        "  \"runs\": %llu,\n"
+        "  \"warmup_runs\": %llu,\n"
+        "  \"hot\": {\"runs_per_sec\": %.1f, \"cycles_per_sec\": %.3e, "
+        "\"allocations_per_run\": %.4f},\n"
+        "  \"naive\": {\"runs_per_sec\": %.1f, \"cycles_per_sec\": "
+        "%.3e},\n"
+        "  \"speedup_runs_per_sec\": %.2f,\n"
+        "  \"hwm_hot\": %llu,\n"
+        "  \"differential_mismatches\": %llu,\n"
+        "  \"steady_state_allocation_free\": %s\n"
+        "}\n",
+        static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(warmup), hot.runs_per_sec(),
+        hot.cycles_per_sec(), hot.allocs_per_run, naive.runs_per_sec(),
+        naive.cycles_per_sec(), speedup,
+        static_cast<unsigned long long>(hot.hwm),
+        static_cast<unsigned long long>(mismatches),
+        hot.allocs_per_run == 0.0 ? "true" : "false");
+
+    std::fputs(json, stdout);
+    if (out_path != nullptr) {
+        std::FILE* f = std::fopen(out_path, "w");
+        if (f != nullptr) {
+            std::fputs(json, f);
+            std::fclose(f);
+        }
+    }
+
+    int rc = 0;
+    if (hot.allocs_per_run != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: hot path performed %.4f heap allocations per "
+                     "run in steady state (must be 0)\n",
+                     hot.allocs_per_run);
+        rc = 1;
+    }
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu of %zu differential runs disagree between "
+                     "the hot and naive paths\n",
+                     static_cast<unsigned long long>(mismatches),
+                     naive_finishes.size());
+        rc = 1;
+    }
+    return rc;
+}

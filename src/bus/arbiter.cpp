@@ -12,8 +12,12 @@ RoundRobinArbiter::RoundRobinArbiter(CoreId num_cores)
 std::optional<CoreId> RoundRobinArbiter::pick(
     std::span<const ArbCandidate> candidates, Cycle /*now*/) {
     RRB_ENSURE(candidates.size() == num_cores_);
-    for (CoreId offset = 0; offset < num_cores_; ++offset) {
-        const CoreId core = (head_ + offset) % num_cores_;
+    // head_..end then 0..head_ — rotation priority without the
+    // per-candidate modulo (this runs once per bus grant).
+    for (CoreId core = head_; core < num_cores_; ++core) {
+        if (candidates[core].ready) return core;
+    }
+    for (CoreId core = 0; core < head_; ++core) {
         if (candidates[core].ready) return core;
     }
     return std::nullopt;
@@ -63,6 +67,17 @@ std::optional<CoreId> TdmaArbiter::pick(
 
 void TdmaArbiter::granted(CoreId core, Cycle /*now*/) {
     RRB_ENSURE(core < num_cores_);
+}
+
+bool TdmaArbiter::grants_alone(CoreId core, Cycle duration,
+                               Cycle now) const {
+    // Mirror pick(): only the slot owner may win, and only when the
+    // transaction fits in the remainder of the slot.
+    const CoreId owner =
+        static_cast<CoreId>((now / slot_cycles_) % num_cores_);
+    if (core != owner) return false;
+    const Cycle slot_end = (now / slot_cycles_ + 1) * slot_cycles_;
+    return now + duration <= slot_end;
 }
 
 WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(

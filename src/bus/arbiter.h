@@ -44,6 +44,19 @@ public:
 
     /// Resets internal state to power-on.
     virtual void reset() = 0;
+
+    /// Would pick() grant `core` when it is the only ready candidate at
+    /// `now`? True for every work-conserving policy (the scan finds the
+    /// sole candidate wherever the rotation points); TDMA overrides
+    /// with its slot-ownership check. Lets the bus grant the common
+    /// single-contender case without materializing a candidate table.
+    [[nodiscard]] virtual bool grants_alone(CoreId core, Cycle duration,
+                                            Cycle now) const {
+        (void)core;
+        (void)duration;
+        (void)now;
+        return true;
+    }
 };
 
 /// Round-robin: after core ci is granted, the priority order for the next
@@ -98,6 +111,8 @@ public:
     void granted(CoreId core, Cycle now) override;
     [[nodiscard]] std::string name() const override { return "tdma"; }
     void reset() override {}
+    [[nodiscard]] bool grants_alone(CoreId core, Cycle duration,
+                                    Cycle now) const override;
 
     [[nodiscard]] Cycle slot_cycles() const noexcept { return slot_cycles_; }
 

@@ -20,31 +20,32 @@ const char* to_string(BusOp op) noexcept {
 Bus::Bus(CoreId num_cores, std::unique_ptr<Arbiter> arbiter)
     : arbiter_(std::move(arbiter)),
       ports_(num_cores),
-      counters_(num_cores) {
+      counters_(num_cores),
+      candidates_(num_cores) {
     RRB_REQUIRE(num_cores >= 1, "need at least one core");
     RRB_REQUIRE(arbiter_ != nullptr, "arbiter required");
 }
 
-void Bus::post(const BusRequest& request, BusCompletionFn on_complete) {
+void Bus::post(const BusRequest& request) {
     RRB_REQUIRE(request.core < ports_.size(), "core id out of range");
     RRB_REQUIRE(request.duration >= 1, "zero-length transaction");
     Port& port = ports_[request.core];
-    RRB_ENSURE(!port.pending.has_value());  // one outstanding per requester
-    RRB_ENSURE(!(active_ && active_->core == request.core));
+    RRB_ENSURE(!port.has_pending);  // one outstanding per requester
+    RRB_ENSURE(!(has_active_ && active_.core == request.core));
 
-    // Confidence metric for Figure 6(a): how many *other* requesters have a
-    // transaction pending or in flight the moment this request is born.
-    std::uint64_t others = 0;
-    for (CoreId c = 0; c < ports_.size(); ++c) {
-        if (c == request.core) continue;
-        if (ports_[c].pending || (active_ && active_->core == c)) ++others;
-    }
+    // Confidence metric for Figure 6(a): how many *other* requesters have
+    // a transaction pending or in flight the moment this request is born.
+    // The poster itself can be neither (one outstanding per requester),
+    // so the maintained pending count plus the in-service transaction is
+    // exactly the old every-port scan.
+    const std::uint64_t others = pending_count_ + (has_active_ ? 1 : 0);
     BusCoreCounters& ctr = counters_[request.core];
     ctr.ready_contenders.add(others);
     ++ctr.requests;
 
     port.pending = request;
-    port.on_complete = std::move(on_complete);
+    port.has_pending = true;
+    ++pending_count_;
     if (tracer_ && tracer_->enabled()) {
         tracer_->record(request.ready, TraceKind::kRequestReady, request.core,
                         request.addr);
@@ -53,64 +54,106 @@ void Bus::post(const BusRequest& request, BusCompletionFn on_complete) {
 
 bool Bus::busy(CoreId core) const {
     RRB_REQUIRE(core < ports_.size(), "core id out of range");
-    return ports_[core].pending.has_value() ||
-           (active_ && active_->core == core);
+    return ports_[core].has_pending ||
+           (has_active_ && active_.core == core);
 }
 
 void Bus::complete_phase(Cycle now) {
-    if (!active_ || busy_until_ != now) return;
-    const BusRequest finished = *active_;
-    BusCompletionFn callback = std::move(active_on_complete_);
-    active_.reset();
-    active_on_complete_ = nullptr;
+    if (!has_active_ || busy_until_ != now) return;
+    const BusRequest finished = active_;
+    has_active_ = false;
     if (tracer_ && tracer_->enabled()) {
         tracer_->record(now - 1, TraceKind::kBusRelease, finished.core,
                         finished.addr);
     }
-    if (callback) callback(finished, now);
+    if (client_ != nullptr) client_->bus_complete(finished, now);
 }
 
 void Bus::arbitrate_phase(Cycle now) {
-    if (active_) {
+    if (has_active_) {
         RRB_ENSURE(busy_until_ > now);
         return;
     }
+    if (pending_count_ == 0) return;
 
-    std::vector<ArbCandidate> candidates(ports_.size());
+    if (pending_count_ == 1) {
+        // Sole contender: every policy either grants it or leaves the
+        // bus idle (TDMA slot timing) — no candidate table needed.
+        for (CoreId c = 0; c < ports_.size(); ++c) {
+            const Port& port = ports_[c];
+            if (!port.has_pending) continue;
+            if (port.pending.ready <= now &&
+                arbiter_->grants_alone(c, port.pending.duration, now)) {
+                grant(c, now);
+            }
+            return;
+        }
+    }
+
     bool any = false;
     for (CoreId c = 0; c < ports_.size(); ++c) {
         const Port& port = ports_[c];
-        if (port.pending && port.pending->ready <= now) {
-            candidates[c] = {true, port.pending->duration};
+        if (port.has_pending && port.pending.ready <= now) {
+            candidates_[c] = {true, port.pending.duration};
             any = true;
+        } else {
+            candidates_[c] = {};
         }
     }
     if (!any) return;
 
-    const std::optional<CoreId> winner = arbiter_->pick(candidates, now);
+    const std::optional<CoreId> winner = arbiter_->pick(candidates_, now);
     if (!winner) return;  // e.g. TDMA slot owner not ready
+    grant(*winner, now);
+}
 
-    Port& port = ports_[*winner];
-    RRB_ENSURE(port.pending.has_value());
-    active_ = *port.pending;
-    active_on_complete_ = std::move(port.on_complete);
-    port.pending.reset();
-    port.on_complete = nullptr;
+void Bus::grant(CoreId winner, Cycle now) {
+    Port& port = ports_[winner];
+    RRB_ENSURE(port.has_pending);
+    active_ = port.pending;
+    has_active_ = true;
+    port.has_pending = false;
+    --pending_count_;
 
-    arbiter_->granted(*winner, now);
-    busy_until_ = now + active_->duration;
-    total_busy_cycles_ += active_->duration;
+    arbiter_->granted(winner, now);
+    busy_until_ = now + active_.duration;
+    total_busy_cycles_ += active_.duration;
 
-    BusCoreCounters& ctr = counters_[*winner];
-    const std::uint64_t gamma = now - active_->ready;
-    ctr.busy_cycles += active_->duration;
+    BusCoreCounters& ctr = counters_[winner];
+    const std::uint64_t gamma = now - active_.ready;
+    ctr.busy_cycles += active_.duration;
     ctr.wait_cycles += gamma;
     ctr.max_wait = std::max(ctr.max_wait, gamma);
     ctr.gamma.add(gamma);
 
     if (tracer_ && tracer_->enabled()) {
-        tracer_->record(now, TraceKind::kBusGrant, *winner, gamma);
+        tracer_->record(now, TraceKind::kBusGrant, winner, gamma);
     }
+}
+
+Cycle Bus::next_event_cycle(Cycle now) const {
+    if (has_active_) return busy_until_;
+    if (pending_count_ == 0) return kNoCycle;
+    Cycle next = kNoCycle;
+    for (const Port& port : ports_) {
+        if (!port.has_pending) continue;
+        // A ready request on an idle bus survives arbitration only under
+        // a non-work-conserving policy (TDMA waiting for its slot); its
+        // grant cycle depends on slot timing, so report "this cycle" and
+        // let the machine step until the arbiter grants.
+        if (port.pending.ready <= now) return now;
+        next = std::min(next, port.pending.ready);
+    }
+    return next;
+}
+
+void Bus::reset() {
+    for (Port& port : ports_) port.has_pending = false;
+    pending_count_ = 0;
+    has_active_ = false;
+    busy_until_ = 0;
+    arbiter_->reset();
+    reset_counters();
 }
 
 const BusCoreCounters& Bus::counters(CoreId core) const {
@@ -125,7 +168,7 @@ double Bus::utilization(Cycle elapsed) const {
 }
 
 void Bus::reset_counters() {
-    for (auto& c : counters_) c = {};
+    for (BusCoreCounters& c : counters_) c.reset();
     total_busy_cycles_ = 0;
 }
 

@@ -13,11 +13,15 @@
 //
 // The bus does not know cache contents: the component that posts a request
 // has already decided its `duration` (e.g. L2 hit = transfer + hit latency
-// + handover), and registers a completion callback via BusListener.
+// + handover). Completions are delivered to a single BusClient attached
+// once, with the finished BusRequest — including its caller-defined `tag`
+// correlation id — passed back. This fixed dispatch replaces the old
+// per-request std::function callbacks: posting a request performs no
+// allocation, which is what keeps the simulator's steady-state request
+// path heap-free (see bench_hotpath).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -48,10 +52,15 @@ struct BusRequest {
     std::uint64_t tag = 0;  ///< caller-defined correlation id
 };
 
-/// Completion notification: the transaction for `request` finished; the bus
-/// is free again at cycle `completion` (= grant + duration).
-using BusCompletionFn =
-    std::function<void(const BusRequest& request, Cycle completion)>;
+/// Fixed completion sink: the transaction for `request` finished; the bus
+/// is free again at cycle `completion` (= grant + duration). One client
+/// serves every request — callers route on request.op / request.core /
+/// request.tag, so the per-request state is a POD token, not a closure.
+class BusClient {
+public:
+    virtual ~BusClient() = default;
+    virtual void bus_complete(const BusRequest& request, Cycle completion) = 0;
+};
 
 /// Per-core performance monitoring counters, mirroring the NGMP's bus
 /// utilization counters (0x17 per-core / 0x18 total in the LEON4 manual).
@@ -63,28 +72,54 @@ struct BusCoreCounters {
     Histogram gamma;                   ///< per-request contention delay
     Histogram ready_contenders;        ///< #other cores with a request
                                        ///  pending/in-service at post time
+
+    /// Zeroes the counters in place, keeping histogram storage.
+    void reset() noexcept {
+        requests = 0;
+        busy_cycles = 0;
+        wait_cycles = 0;
+        max_wait = 0;
+        gamma.clear();
+        ready_contenders.clear();
+    }
 };
 
 class Bus {
 public:
     Bus(CoreId num_cores, std::unique_ptr<Arbiter> arbiter);
 
+    /// Attaches the completion sink all requests report to.
+    void attach_client(BusClient* client) noexcept { client_ = client; }
+
     /// Posts a request. Precondition: the core has no pending request (one
     /// outstanding transaction per requester) and request.ready >= the
     /// current cycle.
-    void post(const BusRequest& request, BusCompletionFn on_complete);
+    void post(const BusRequest& request);
 
     /// True when `core` has a request waiting or in service.
     [[nodiscard]] bool busy(CoreId core) const;
 
     /// Phase 1 of a cycle: completes a transaction whose service ends at
-    /// `now` and fires its callback. Call before cores execute.
+    /// `now` and notifies the client. Call before cores execute.
     void complete_phase(Cycle now);
 
     /// Phase 2 of a cycle: arbitration among requests with ready <= now.
     /// Call after cores executed (so a request posted at `now` can be
     /// granted at `now`).
     void arbitrate_phase(Cycle now);
+
+    /// Earliest future cycle at which the bus can change state on its
+    /// own: the active transaction's completion, or the first cycle a
+    /// pending request becomes eligible. Returns `now` when something
+    /// could happen this cycle under a non-work-conserving arbiter
+    /// (pending but ungranted — slot timing decides), and kNoCycle when
+    /// the bus is provably inert until new requests arrive.
+    [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+    /// Power-on restore without reallocation: pending/active requests
+    /// dropped, counters zeroed, arbiter rotation reset. The attached
+    /// client and tracer are kept.
+    void reset();
 
     [[nodiscard]] CoreId num_cores() const noexcept {
         return static_cast<CoreId>(ports_.size());
@@ -107,18 +142,24 @@ public:
 
 private:
     struct Port {
-        std::optional<BusRequest> pending;
-        BusCompletionFn on_complete;
+        BusRequest pending;
+        bool has_pending = false;
     };
+
+    /// Performs the grant bookkeeping for `winner` at `now`.
+    void grant(CoreId winner, Cycle now);
 
     std::unique_ptr<Arbiter> arbiter_;
     std::vector<Port> ports_;
     std::vector<BusCoreCounters> counters_;
+    std::vector<ArbCandidate> candidates_;  ///< reused arbitration buffer
 
-    std::optional<BusRequest> active_;
-    BusCompletionFn active_on_complete_;
+    BusRequest active_;
+    bool has_active_ = false;
+    std::uint64_t pending_count_ = 0;  ///< ports with has_pending set
     Cycle busy_until_ = 0;  ///< bus free again at this cycle
     std::uint64_t total_busy_cycles_ = 0;
+    BusClient* client_ = nullptr;
     Tracer* tracer_ = nullptr;
 };
 

@@ -1,5 +1,7 @@
 #include "cache/cache.h"
 
+#include <bit>
+
 #include "sim/contract.h"
 
 namespace rrb {
@@ -29,9 +31,16 @@ Cache::Cache(CacheGeometry geometry, ReplacementPolicy replacement,
       replacement_(replacement),
       write_policy_(write_policy),
       alloc_policy_(alloc_policy),
+      rng_seed_(rng_seed),
       rng_(rng_seed) {
     geometry_.validate();
-    lines_.resize(geometry_.num_sets() * geometry_.ways);
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(geometry_.line_bytes)));
+    set_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(geometry_.num_sets()));
+    set_mask_ = geometry_.num_sets() - 1;
+    tags_.resize(geometry_.num_sets() * geometry_.ways);
+    meta_.resize(geometry_.num_sets() * geometry_.ways);
     if (replacement_ == ReplacementPolicy::kPlru) {
         RRB_REQUIRE(is_pow2(geometry_.ways) && geometry_.ways <= 32,
                     "tree-PLRU needs a power-of-two way count <= 32");
@@ -79,7 +88,7 @@ void Cache::plru_touch(std::uint64_t set, std::uint32_t way) {
 void Cache::touch(std::uint64_t set, std::uint32_t way) {
     switch (replacement_) {
         case ReplacementPolicy::kLru:
-            line_at(set, way).order = ++tick_;
+            meta_[line_index(set, way)].order = ++tick_;
             break;
         case ReplacementPolicy::kPlru:
             plru_touch(set, way);
@@ -90,29 +99,20 @@ void Cache::touch(std::uint64_t set, std::uint32_t way) {
     }
 }
 
-std::optional<std::uint32_t> Cache::find_way(std::uint64_t set,
-                                             std::uint64_t tag) const {
-    for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-        const Line& l = line_at(set, w);
-        if (l.valid && l.tag == tag) return w;
-    }
-    return std::nullopt;
-}
-
 std::uint32_t Cache::choose_victim(std::uint64_t set) {
     // Prefer an invalid way.
+    const TagEntry* entries = &tags_[line_index(set, 0)];
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-        if (!line_at(set, w).valid) return w;
+        if (!entry_valid(entries[w])) return w;
     }
     switch (replacement_) {
         case ReplacementPolicy::kLru:
         case ReplacementPolicy::kFifo: {
             // Smallest order = least recently used / first inserted.
+            const LineMeta* metas = &meta_[line_index(set, 0)];
             std::uint32_t victim = 0;
             for (std::uint32_t w = 1; w < geometry_.ways; ++w) {
-                if (line_at(set, w).order < line_at(set, victim).order) {
-                    victim = w;
-                }
+                if (metas[w].order < metas[victim].order) victim = w;
             }
             return victim;
         }
@@ -127,27 +127,28 @@ std::uint32_t Cache::choose_victim(std::uint64_t set) {
 CacheAccess Cache::install(std::uint64_t set, std::uint64_t tag, bool dirty) {
     CacheAccess result;
     const std::uint32_t way = choose_victim(set);
-    Line& l = line_at(set, way);
-    if (l.valid) {
+    TagEntry& e = tags_[line_index(set, way)];
+    LineMeta& m = meta_[line_index(set, way)];
+    if (entry_valid(e)) {
         ++stats_.evictions;
-        result.victim_line = l.tag * geometry_.num_sets() + set;
-        if (l.dirty) {
+        result.victim_line = (e.tag << set_shift_) + set;
+        if (m.dirty) {
             ++stats_.writebacks;
             result.dirty_eviction = true;
         }
     }
-    l.valid = true;
-    l.tag = tag;
-    l.dirty = dirty;
-    l.order = ++tick_;
+    e.valid_gen = generation_;
+    e.tag = tag;
+    m.dirty = dirty;
+    m.order = ++tick_;
     if (replacement_ == ReplacementPolicy::kPlru) plru_touch(set, way);
     result.allocated = true;
     return result;
 }
 
 CacheAccess Cache::read(Addr addr) {
-    const std::uint64_t set = geometry_.set_of(addr);
-    const std::uint64_t tag = geometry_.tag_of(addr);
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
     if (const auto way = find_way(set, tag)) {
         ++stats_.read_hits;
         touch(set, *way);
@@ -162,13 +163,14 @@ CacheAccess Cache::read(Addr addr) {
 }
 
 CacheAccess Cache::write(Addr addr) {
-    const std::uint64_t set = geometry_.set_of(addr);
-    const std::uint64_t tag = geometry_.tag_of(addr);
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
     if (const auto way = find_way(set, tag)) {
         ++stats_.write_hits;
-        Line& l = line_at(set, *way);
         touch(set, *way);
-        if (write_policy_ == WritePolicy::kWriteBack) l.dirty = true;
+        if (write_policy_ == WritePolicy::kWriteBack) {
+            meta_[line_index(set, *way)].dirty = true;
+        }
         CacheAccess result;
         result.hit = true;
         return result;
@@ -185,20 +187,36 @@ CacheAccess Cache::write(Addr addr) {
 }
 
 bool Cache::probe(Addr addr) const {
-    return find_way(geometry_.set_of(addr), geometry_.tag_of(addr))
-        .has_value();
+    return find_way(set_of(addr), tag_of(addr)).has_value();
 }
 
 void Cache::flush() {
-    for (Line& l : lines_) l = {};
+    // O(1): lines written under older generations become invalid, and
+    // choose_victim prefers invalid ways, so stale order/tag values can
+    // never influence a future access. PLRU trees carry no validity and
+    // are cleared in place.
+    ++generation_;
+    // A flush is a replacement-state change: advancing the access tick
+    // invalidates any read_repeat_hit memo a caller holds.
+    ++tick_;
     if (replacement_ == ReplacementPolicy::kPlru) {
-        plru_bits_.assign(geometry_.num_sets(), 0);
+        std::fill(plru_bits_.begin(), plru_bits_.end(), 0);
     }
 }
 
+void Cache::reset() {
+    flush();
+    // tick_ stays monotone across resets: victim choice only ever
+    // compares orders of lines installed under the current generation,
+    // so the absolute counter value is unobservable — and monotonicity
+    // keeps stale read_repeat_hit memos detectable forever.
+    rng_ = Pcg32(rng_seed_);
+    stats_ = {};
+}
+
 void Cache::warm(Addr addr) {
-    const std::uint64_t set = geometry_.set_of(addr);
-    const std::uint64_t tag = geometry_.tag_of(addr);
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
     if (find_way(set, tag)) return;
     // Install without statistics: remember, restore.
     const CacheStats saved = stats_;

@@ -92,6 +92,22 @@ public:
     /// the fill latency / bus traffic).
     CacheAccess read(Addr addr);
 
+    /// read() for callers that only need the hit/miss outcome (the L1s:
+    /// write-through, so victim information is never consumed). Same
+    /// state transitions and statistics, no access-record materialized.
+    bool read_hit(Addr addr) {
+        const std::uint64_t set = set_of(addr);
+        const std::uint64_t tag = tag_of(addr);
+        if (const auto way = find_way(set, tag)) {
+            ++stats_.read_hits;
+            touch(set, *way);
+            return true;
+        }
+        ++stats_.read_misses;
+        (void)install(set, tag, /*dirty=*/false);
+        return false;
+    }
+
     /// Performs a write. Write-through no-allocate: miss does not fill.
     /// Write-back write-allocate: miss fills and marks dirty.
     CacheAccess write(Addr addr);
@@ -99,8 +115,32 @@ public:
     /// Hit test without touching replacement state.
     [[nodiscard]] bool probe(Addr addr) const;
 
+    /// Monotone access counter: bumps on every replacement-state change
+    /// (LRU touch, install). Callers that memoize "this line hit last
+    /// time" revalidate against it — an unchanged tick proves no other
+    /// line was touched or installed since, so the memoized line is
+    /// still resident and still most-recently-used.
+    [[nodiscard]] std::uint64_t access_tick() const noexcept {
+        return tick_;
+    }
+
+    /// Fast path for re-reading the line that produced the most recent
+    /// hit, guarded by access_tick(): counts the hit and skips lookup
+    /// and replacement update. Exact: re-touching the MRU entry never
+    /// changes the relative recency order (LRU) and re-pointing PLRU
+    /// bits away from the already-protected way is idempotent, so every
+    /// later victim choice is identical to the full read() path.
+    void read_repeat_hit() noexcept { ++stats_.read_hits; }
+
     /// Drops every line (power-on state).
     void flush();
+
+    /// Full power-on restore without reallocation: every line invalid,
+    /// replacement state (LRU ticks, PLRU bits, random-victim RNG)
+    /// re-seeded to construction values, statistics zeroed. After
+    /// reset() the cache is bit-identical to a freshly constructed one
+    /// — the property Machine::reset() needs for reused machines.
+    void reset();
 
     /// Pre-loads a line without counting statistics (test setup / warmup).
     void warm(Addr addr);
@@ -112,16 +152,38 @@ public:
     }
 
 private:
-    struct Line {
+    // Structure-of-arrays line storage: the lookup path scans only the
+    // 16-byte {tag, valid_gen} entries — one host cache line covers a
+    // whole 4-way set, and a 2048-set L2 partition's tag array fits a
+    // host L1d — while replacement metadata (order, dirty) lives in a
+    // parallel array touched only on hits-with-update and installs.
+    struct TagEntry {
         std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
+        /// Valid iff equal to the cache's current generation_. flush()
+        /// bumps the generation instead of touching every line, making
+        /// the per-run cache invalidation of reused machines O(1).
+        std::uint64_t valid_gen = 0;
+    };
+    struct LineMeta {
         std::uint64_t order = 0;  ///< LRU timestamp or FIFO insertion tick
+        bool dirty = false;
     };
 
-    /// Index into the way array of the hit line, if present.
-    [[nodiscard]] std::optional<std::uint32_t> find_way(std::uint64_t set,
-                                                        std::uint64_t tag) const;
+    [[nodiscard]] bool entry_valid(const TagEntry& e) const noexcept {
+        return e.valid_gen == generation_;
+    }
+
+    /// Index into the way array of the hit line, if present. Defined in
+    /// the header so the read fast paths inline it.
+    [[nodiscard]] std::optional<std::uint32_t> find_way(
+        std::uint64_t set, std::uint64_t tag) const {
+        const TagEntry* entries = &tags_[line_index(set, 0)];
+        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+            const TagEntry& e = entries[w];
+            if (e.valid_gen == generation_ && e.tag == tag) return w;
+        }
+        return std::nullopt;
+    }
     /// Tree-PLRU helpers (policy kPlru only).
     [[nodiscard]] std::uint32_t plru_victim(std::uint64_t set) const;
     void plru_touch(std::uint64_t set, std::uint32_t way);
@@ -132,20 +194,39 @@ private:
     /// Installs a tag into a way, returning eviction info.
     CacheAccess install(std::uint64_t set, std::uint64_t tag, bool dirty);
 
-    Line& line_at(std::uint64_t set, std::uint32_t way) {
-        return lines_[set * geometry_.ways + way];
+    [[nodiscard]] std::size_t line_index(std::uint64_t set,
+                                         std::uint32_t way) const noexcept {
+        return set * geometry_.ways + way;
     }
-    const Line& line_at(std::uint64_t set, std::uint32_t way) const {
-        return lines_[set * geometry_.ways + way];
+
+    // Shift/mask forms of the geometry's line/set/tag arithmetic,
+    // precomputed once (line_bytes and num_sets are validated powers of
+    // two). The access path runs these per simulated instruction; the
+    // generic division forms in CacheGeometry cost a hardware divide
+    // each.
+    [[nodiscard]] std::uint64_t line_of(Addr addr) const noexcept {
+        return addr >> line_shift_;
+    }
+    [[nodiscard]] std::uint64_t set_of(Addr addr) const noexcept {
+        return line_of(addr) & set_mask_;
+    }
+    [[nodiscard]] std::uint64_t tag_of(Addr addr) const noexcept {
+        return line_of(addr) >> set_shift_;
     }
 
     CacheGeometry geometry_;
+    std::uint32_t line_shift_ = 0;  ///< log2(line_bytes)
+    std::uint32_t set_shift_ = 0;   ///< log2(num_sets)
+    std::uint64_t set_mask_ = 0;    ///< num_sets - 1
+    std::uint64_t generation_ = 1;  ///< lines with valid_gen == this live
     ReplacementPolicy replacement_;
     WritePolicy write_policy_;
     AllocPolicy alloc_policy_;
-    std::vector<Line> lines_;
+    std::vector<TagEntry> tags_;
+    std::vector<LineMeta> meta_;
     std::vector<std::uint32_t> plru_bits_;  ///< one tree per set (kPlru)
     std::uint64_t tick_ = 0;  ///< monotonically increasing access counter
+    std::uint64_t rng_seed_;  ///< construction seed, for reset()
     Pcg32 rng_;
     CacheStats stats_;
 };

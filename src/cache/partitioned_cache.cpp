@@ -55,6 +55,10 @@ void WayPartitionedCache::flush() {
     for (Cache& p : partitions_) p.flush();
 }
 
+void WayPartitionedCache::reset() {
+    for (Cache& p : partitions_) p.reset();
+}
+
 const CacheStats& WayPartitionedCache::stats(CoreId core) const {
     RRB_REQUIRE(core < partitions_.size(), "core id out of range");
     return partitions_[core].stats();

@@ -32,6 +32,8 @@ public:
     /// Installs a line without counting statistics (warm-up support).
     void warm(CoreId core, Addr addr);
     void flush();
+    /// Power-on restore of every partition (see Cache::reset).
+    void reset();
 
     [[nodiscard]] const CacheStats& stats(CoreId core) const;
     [[nodiscard]] CacheStats total_stats() const;

@@ -73,6 +73,10 @@ const std::vector<CommandSpec>& command_specs() {
           "--iterations", "--block-size", "--exceedance", "--shard",
           "--checkpoint-out"}},
         {"merge", {}, /*takes_files=*/true},
+        {"whitebox",
+         {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
+          "--iterations", "--shard", "--checkpoint-out"}},
+        {"merge-whitebox", {}, /*takes_files=*/true},
         {"sweep",
          {"--cores", "--lbus", "--var", "--kmax", "--iterations", "--csv"}},
         {"sweep-pwcet",
@@ -692,6 +696,116 @@ int cmd_merge(const ParsedFlags& flags, std::ostream& out) {
     return report_pwcet(merged.result, merged.meta.ubd_analytic, out);
 }
 
+/// Everything a white-box campaign report prints after its header line
+/// — shared verbatim by `whitebox` and `merge-whitebox`, so a
+/// distributed fan-in's report is byte-identical to the single-process
+/// reference from the second line on. Exit 0 = observed per-request
+/// delays bounded by the analytic ubd, 2 = a request waited longer
+/// (which falsifies Equation 1 and means a modelling bug).
+int report_whitebox(Cycle et_isolation, std::uint64_t nr,
+                    const WhiteboxAccumulator& stats, Cycle ubd,
+                    std::ostream& out) {
+    out << "et_isol = " << et_isolation << " cycles, nr = " << nr << "\n";
+    const StreamingExtremes<Cycle>& extremes = stats.extremes();
+    out << "runs = " << stats.runs() << ", hwm = "
+        << (extremes.empty() ? 0 : extremes.max()) << ", lwm = "
+        << (extremes.empty() ? 0 : extremes.min()) << "\n";
+    const bool bounded = stats.max_gamma() <= ubd;
+    out << "max gamma = " << stats.max_gamma() << " (ubd = " << ubd
+        << "), bounded: " << (bounded ? "yes" : "NO") << "\n";
+    if (!stats.gamma().empty()) {
+        out << "gamma: mean = " << stats.gamma().mean() << ", mode = "
+            << stats.gamma().mode() << " (" << stats.gamma().total()
+            << " requests)\n";
+    }
+    if (!stats.ready_contenders().empty()) {
+        out << "ready contenders: mode = " << stats.ready_contenders().mode()
+            << ", max = " << stats.ready_contenders().max() << "\n";
+    }
+    if (!stats.injection_delta().empty()) {
+        out << "injection delta: mode = " << stats.injection_delta().mode()
+            << ", min = " << stats.injection_delta().min() << "\n";
+    }
+    return bounded ? 0 : 2;
+}
+
+/// `whitebox --shard i/N --checkpoint-out FILE`: run one slice of the
+/// white-box campaign and persist its accumulator state; the merged
+/// report comes from `merge-whitebox`.
+int cmd_whitebox_checkpoint(const ParsedFlags& flags,
+                            const Scenario& scenario, std::ostream& out,
+                            std::ostream& err) {
+    RRB_REQUIRE(!flags.checkpoint_out.empty(),
+                "--shard needs --checkpoint-out to name the slice file");
+    const SliceSpec slice = flags.shard.value_or(SliceSpec{0, 1});
+
+    engine::ProgressCounter progress;
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+
+    WhiteboxCheckpoint checkpoint;
+    {
+        const ProgressReporter reporter(progress, err,
+                                        scenario.run_protocol().runs);
+        checkpoint = session.checkpoint(scenario, slice,
+                                        flags.checkpoint_out);
+    }
+
+    const CheckpointMeta& meta = checkpoint.meta;
+    out << "whitebox shard " << slice.index << "/" << slice.count
+        << ": runs [" << meta.first_run << ", " << meta.last_run << ") of "
+        << meta.total_runs << ", seed " << meta.seed << "\n";
+    out << "checkpoint written to " << flags.checkpoint_out << " ("
+        << checkpoint.shards.size() << " shard accumulators, merge with "
+        << "'rrbtool merge-whitebox')\n";
+    return 0;
+}
+
+int cmd_whitebox(const ParsedFlags& flags, std::ostream& out,
+                 std::ostream& err) {
+    RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/20);
+
+    if (flags.shard.has_value() || !flags.checkpoint_out.empty()) {
+        return cmd_whitebox_checkpoint(flags, scenario, out, err);
+    }
+
+    const std::size_t runs = scenario.run_protocol().runs;
+    const std::size_t jobs = engine::effective_jobs(
+        flags.jobs, engine::ReducePlan::for_count(runs).shards());
+
+    engine::ProgressCounter progress;
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+
+    engine::WhiteboxCampaignResult r;
+    {
+        const ProgressReporter reporter(progress, err, runs);
+        r = session.whitebox(scenario);
+    }
+
+    out << "whitebox: " << runs << " runs on " << jobs << " jobs, seed "
+        << scenario.run_protocol().seed << " ("
+        << engine::render_progress(progress) << ")\n";
+    return report_whitebox(r.et_isolation, r.nr, r.stats,
+                           scenario.config().ubd_analytic(), out);
+}
+
+int cmd_merge_whitebox(const ParsedFlags& flags, std::ostream& out) {
+    RRB_REQUIRE(!flags.inputs.empty(),
+                "merge-whitebox needs at least one checkpoint file");
+    const Session session;
+    const MergedWhiteboxCampaign merged =
+        session.merge_whitebox(flags.inputs);
+    out << "merge-whitebox: " << flags.inputs.size() << " checkpoints, "
+        << merged.stats.runs() << " runs, seed " << merged.meta.seed
+        << "\n";
+    // From here the report is byte-identical to the reference
+    // single-process `whitebox` run — including the exit-code contract.
+    return report_whitebox(merged.et_isolation, merged.nr, merged.stats,
+                           merged.meta.ubd_analytic, out);
+}
+
 int cmd_sweep_pwcet(const ParsedFlags& flags, std::ostream& out,
                     std::ostream& err) {
     RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
@@ -798,6 +912,10 @@ std::string usage() {
            "memory)\n"
            "  merge        merge pwcet checkpoint files into the full "
            "campaign\n"
+           "  whitebox     white-box campaign: per-request delay / "
+           "contender\n"
+           "               histograms vs the analytic ubd\n"
+           "  merge-whitebox  merge whitebox checkpoint files\n"
            "  sweep-pwcet  grid of MachineConfigs, one streamed pWCET\n"
            "               campaign per point on one shared pool\n"
            "  sweep        dump the dbus(k) series as CSV\n"
@@ -874,6 +992,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "campaign") return cmd_campaign(flags, out, err);
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
         if (command == "merge") return cmd_merge(flags, out);
+        if (command == "whitebox") return cmd_whitebox(flags, out, err);
+        if (command == "merge-whitebox") {
+            return cmd_merge_whitebox(flags, out);
+        }
         if (command == "sweep-pwcet") return cmd_sweep_pwcet(flags, out, err);
         if (command == "sweep") return cmd_sweep(flags, out);
     } catch (const std::invalid_argument& e) {

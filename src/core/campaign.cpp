@@ -3,20 +3,36 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "core/session.h"
+#include "engine/machine_lease.h"
 #include "engine/seed_sequence.h"
 #include "machine/machine.h"
 #include "sim/contract.h"
+#include "sim/fnv.h"
 #include "sim/rng.h"
 
 namespace rrb {
 
-namespace {
+namespace detail {
 
-/// Loads one campaign run's programs into `machine` and runs it to the
-/// scua's finish. The single setup shared by the Cycle-only and the
-/// full-Measurement campaign paths — which is what keeps their observed
-/// execution times bit-identical.
-Cycle execute_campaign_run(Machine& machine, const Program& scua,
+std::uint64_t campaign_fingerprint(const Program& scua,
+                                   const std::vector<Program>& contenders,
+                                   const HwmCampaignOptions& options) {
+    Fnv1a h;
+    h.u64(fingerprint(scua));
+    h.u64(contenders.size());
+    for (const Program& contender : contenders) {
+        h.u64(fingerprint(contender));
+    }
+    // The cycle cap re-scopes contender iteration counts at load time,
+    // so it is part of what "the same programs" means. Seed and start
+    // delays are per-run inputs and deliberately excluded.
+    h.u64(options.max_cycles_per_run);
+    const std::uint64_t value = h.value();
+    return value == 0 ? 1 : value;  // 0 is the "nothing installed" tag
+}
+
+Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
+                           const Program& scua,
                            const std::vector<Program>& contenders,
                            const HwmCampaignOptions& options,
                            std::uint64_t run_index) {
@@ -26,38 +42,52 @@ Cycle execute_campaign_run(Machine& machine, const Program& scua,
     const engine::SeedSequence seeds(options.seed);
     Pcg32 rng(seeds.seed_for(run_index), run_index);
 
+    const std::uint64_t campaign =
+        campaign_fingerprint(scua, contenders, options);
+    const bool reuse_programs = loaded_campaign == campaign;
+
     const MachineConfig& config = machine.config();
-    machine.load_program(0, scua);
+    if (reuse_programs) {
+        // The machine already hosts exactly these programs: restore
+        // power-on hardware state in place and restart the cores with
+        // this run's offsets — no Program copies, no allocation.
+        machine.reset_keep_programs();
+        machine.restart_program(0, 0);
+    } else {
+        machine.reset();
+        machine.load_program(0, scua);
+    }
     machine.warm_static_footprint(0);
     std::size_t next = 0;
     for (CoreId c = 1; c < config.num_cores; ++c) {
-        Program contender = contenders[next % contenders.size()];
-        ++next;
-        contender.iterations = options.max_cycles_per_run;
         const Cycle delay =
             options.max_start_delay == 0
                 ? 0
                 : rng.next_below(static_cast<std::uint32_t>(
                       options.max_start_delay + 1));
-        machine.load_program(c, contender, delay);
+        if (reuse_programs) {
+            machine.restart_program(c, delay);
+        } else {
+            Program contender = contenders[next % contenders.size()];
+            contender.iterations = options.max_cycles_per_run;
+            machine.load_program(c, std::move(contender), delay);
+        }
+        ++next;
         machine.warm_static_footprint(c);
     }
-    const RunResult r = machine.run_until_core(0, options.max_cycles_per_run);
-    RRB_ENSURE(!r.deadline_reached);
-    return r.finish_cycle[0];
+    loaded_campaign = campaign;
+    const Cycle finish = machine.run_core(0, options.max_cycles_per_run);
+    RRB_ENSURE(finish != kNoCycle);
+    return finish;
 }
-
-}  // namespace
-
-namespace detail {
 
 Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
                        const std::vector<Program>& contenders,
                        const HwmCampaignOptions& options,
                        std::uint64_t run_index) {
-    Machine machine(config);
-    return execute_campaign_run(machine, scua, contenders, options,
-                                run_index);
+    engine::MachineLease lease(config);
+    return execute_campaign_run(lease.machine(), lease.campaign(), scua,
+                                contenders, options, run_index);
 }
 
 Measurement hwm_campaign_measure(const MachineConfig& config,
@@ -65,10 +95,11 @@ Measurement hwm_campaign_measure(const MachineConfig& config,
                                  const std::vector<Program>& contenders,
                                  const HwmCampaignOptions& options,
                                  std::uint64_t run_index) {
-    Machine machine(config);
-    const Cycle finish = execute_campaign_run(machine, scua, contenders,
-                                              options, run_index);
-    return snapshot_measurement(machine, 0, finish,
+    engine::MachineLease lease(config);
+    const Cycle finish =
+        execute_campaign_run(lease.machine(), lease.campaign(), scua,
+                             contenders, options, run_index);
+    return snapshot_measurement(lease.machine(), 0, finish,
                                 /*deadline_reached=*/false);
 }
 

@@ -110,13 +110,39 @@ struct PwcetCampaignResult {
     }
 };
 
+class Machine;
+
 namespace detail {
 
-/// One campaign run: builds a fresh machine, loads `scua` on core 0 and
-/// the contenders (with seeded-random release offsets) on the rest, and
-/// returns the scua's finish cycle. Thread-safe: everything it touches
-/// is local. Shared by the serial and parallel campaign paths, which is
-/// what keeps them bit-identical.
+/// Identity of the program set a campaign installs on a machine: the
+/// scua, the resolved contender list and the per-run cycle cap (which
+/// re-scopes contender iteration counts). A machine whose last run used
+/// the same fingerprint can be restarted in place — no program copies —
+/// instead of reloaded; engine::MachineLease stores this tag next to
+/// each cached machine. Never zero (zero means "nothing installed").
+[[nodiscard]] std::uint64_t campaign_fingerprint(
+    const Program& scua, const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options);
+
+/// Runs run `run_index` of the campaign protocol on `machine`: resets
+/// it to power-on state, installs the programs (or restarts them in
+/// place when `loaded_campaign` already matches their fingerprint —
+/// updated on return), draws the seeded release offsets, warms the
+/// static footprints and runs to the scua's finish cycle. The single
+/// protocol body shared by the hot leased path (hwm_campaign_run /
+/// hwm_campaign_measure) and the differential tests' fresh-machine
+/// naive-stepping reference — sharing it is what makes "bit-identical"
+/// checkable rather than aspirational. Pass `loaded_campaign = 0` for a
+/// machine whose program state is unknown.
+[[nodiscard]] Cycle execute_campaign_run(
+    Machine& machine, std::uint64_t& loaded_campaign, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, std::uint64_t run_index);
+
+/// One campaign run on a per-worker leased machine (machine reuse +
+/// event-driven cycle skipping), returning the scua's finish cycle.
+/// Thread-safe: the lease cache is thread-local. Shared by the serial
+/// and parallel campaign paths, which is what keeps them bit-identical.
 [[nodiscard]] Cycle hwm_campaign_run(const MachineConfig& config,
                                      const Program& scua,
                                      const std::vector<Program>& contenders,

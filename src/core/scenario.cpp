@@ -71,99 +71,24 @@ std::vector<Program> Scenario::contender_programs() const {
     return make_rsk_contenders(config_, rsk_access_);
 }
 
-namespace {
-
-/// The content hash (sim/fnv.h) folded field by field; enums hash
-/// their underlying value widened to u64.
-class Fingerprint {
-public:
-    void u64(std::uint64_t v) { hash_.u64(v); }
-    template <typename E>
-    void enumerant(E e) {
-        u64(static_cast<std::uint64_t>(e));
-    }
-    [[nodiscard]] std::uint64_t value() const noexcept {
-        return hash_.value();
-    }
-
-private:
-    Fnv1a hash_;
-};
-
-void fold_geometry(Fingerprint& h, const CacheGeometry& g) {
-    h.u64(g.size_bytes);
-    h.u64(g.ways);
-    h.u64(g.line_bytes);
-}
-
-void fold_config(Fingerprint& h, const MachineConfig& c) {
-    h.u64(c.num_cores);
-    fold_geometry(h, c.core.il1_geometry);
-    fold_geometry(h, c.core.dl1_geometry);
-    h.enumerant(c.core.l1_replacement);
-    h.u64(c.core.dl1_latency);
-    h.u64(c.core.il1_latency);
-    h.u64(c.core.store_buffer_entries);
-    h.u64(c.core.loads_wait_store_buffer ? 1 : 0);
-    fold_geometry(h, c.l2_geometry);
-    h.enumerant(c.l2_replacement);
-    h.enumerant(c.l2_write_policy);
-    h.enumerant(c.l2_alloc_policy);
-    h.enumerant(c.arbiter);
-    h.u64(c.tdma_slot_cycles);
-    h.u64(c.wrr_weights.size());
-    for (const std::uint32_t w : c.wrr_weights) h.u64(w);
-    h.u64(c.bus_transfer_cycles);
-    h.u64(c.l2_hit_cycles);
-    h.u64(c.store_service_cycles);
-    h.u64(c.miss_request_cycles);
-    h.u64(c.fill_response_cycles);
-    h.u64(c.dram.capacity_bytes);
-    h.u64(c.dram.num_banks);
-    h.u64(c.dram.row_bytes);
-    h.u64(c.dram.access_bytes);
-    h.u64(c.dram.timing.t_rcd);
-    h.u64(c.dram.timing.t_cl);
-    h.u64(c.dram.timing.t_rp);
-    h.u64(c.dram.timing.t_burst);
-    h.u64(c.dram.timing.t_overhead);
-    h.enumerant(c.dram.scheduling);
-    h.enumerant(c.dram.page_policy);
-    h.u64(c.dram.refresh_interval);
-    h.u64(c.dram.refresh_duration);
-}
-
-void fold_program(Fingerprint& h, const Program& p) {
-    // p.name is cosmetic and deliberately excluded.
-    h.u64(p.body.size());
-    for (const Instruction& instr : p.body) {
-        h.enumerant(instr.kind);
-        h.u64(instr.latency);
-        h.enumerant(instr.addr.kind);
-        h.u64(instr.addr.base);
-        h.u64(instr.addr.stride_bytes);
-        h.u64(instr.addr.range);
-        h.u64(instr.addr.align);
-        h.u64(instr.addr.salt);
-    }
-    h.u64(p.iterations);
-    h.u64(p.code_base);
-    h.u64(p.loop_control_cycles);
-}
-
-}  // namespace
-
 std::uint64_t Scenario::fingerprint() const {
-    Fingerprint h;
-    h.u64(1);  // fingerprint schema version
-    fold_config(h, config_);
+    // Content folding delegates to the shared per-object fingerprints
+    // (MachineConfig::fingerprint, rrb::fingerprint(Program)) so the
+    // machine-lease cache and the checkpoint identity can never drift
+    // on what "the same config / program" means. `name`s are cosmetic
+    // and excluded; every timing-relevant field participates.
+    Fnv1a h;
+    h.u64(2);  // fingerprint schema version
+    h.u64(config_.fingerprint());
     h.u64(scua_.has_value() ? 1 : 0);
-    if (scua_.has_value()) fold_program(h, *scua_);
+    if (scua_.has_value()) h.u64(rrb::fingerprint(*scua_));
     // Resolved contenders, not the policy: two scenarios that produce
     // the same programs run the same campaign, however they were built.
     const std::vector<Program> contenders = contender_programs();
     h.u64(contenders.size());
-    for (const Program& contender : contenders) fold_program(h, contender);
+    for (const Program& contender : contenders) {
+        h.u64(rrb::fingerprint(contender));
+    }
     h.u64(protocol_.runs);
     h.u64(protocol_.seed);
     h.u64(protocol_.max_start_delay);

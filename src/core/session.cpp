@@ -232,6 +232,39 @@ PwcetCheckpoint Session::checkpoint(const Scenario& scenario,
     return checkpoint;
 }
 
+WhiteboxCheckpoint Session::checkpoint(const Scenario& scenario,
+                                       const SliceSpec& slice,
+                                       const std::string& path) {
+    scenario.validate();
+    const HwmCampaignOptions& options = scenario.run_protocol();
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(
+        static_cast<std::uint64_t>(options.runs));
+    const engine::ReducePlan::ShardRange range =
+        plan.slice(slice.index, slice.count);
+
+    engine::WhiteboxShardSlice run = engine::run_whitebox_campaign_shards(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), options, range,
+        engine_options(progress_));
+
+    WhiteboxCheckpoint checkpoint;
+    // The campaign identity minus the EVT half: white-box campaigns
+    // have no block size or exceedance list (encoded as 0 / empty).
+    checkpoint.meta = campaign_meta(scenario, PwcetSpec{}, plan);
+    checkpoint.meta.block_size = 0;
+    checkpoint.meta.exceedance.clear();
+    checkpoint.meta.slice_index = slice.index;
+    checkpoint.meta.slice_count = slice.count;
+    checkpoint.meta.first_run = run.first_run;
+    checkpoint.meta.last_run = run.last_run;
+    checkpoint.meta.et_isolation = run.et_isolation;
+    checkpoint.meta.nr = run.nr;
+    checkpoint.first_shard = run.first_shard;
+    checkpoint.shards = std::move(run.shards);
+    save_whitebox_checkpoint(path, checkpoint);
+    return checkpoint;
+}
+
 MergedPwcetCampaign Session::merge(
     const std::vector<std::string>& paths) const {
     RRB_REQUIRE(!paths.empty(), "merge needs at least one checkpoint file");
@@ -241,6 +274,17 @@ MergedPwcetCampaign Session::merge(
         checkpoints.push_back(load_pwcet_checkpoint(path));
     }
     return merge_pwcet_checkpoints(std::move(checkpoints), paths);
+}
+
+MergedWhiteboxCampaign Session::merge_whitebox(
+    const std::vector<std::string>& paths) const {
+    RRB_REQUIRE(!paths.empty(), "merge needs at least one checkpoint file");
+    std::vector<WhiteboxCheckpoint> checkpoints;
+    checkpoints.reserve(paths.size());
+    for (const std::string& path : paths) {
+        checkpoints.push_back(load_whitebox_checkpoint(path));
+    }
+    return merge_whitebox_checkpoints(std::move(checkpoints), paths);
 }
 
 PwcetCampaignResult Session::resume(const Scenario& scenario,

@@ -160,11 +160,26 @@ public:
                                const PwcetSpec& spec, const SliceSpec& slice,
                                const std::string& path);
 
+    /// White-box overload: runs slice `slice.index` of `slice.count` of
+    /// the scenario's *white-box* campaign (gamma / ready-contenders /
+    /// injection histograms plus the run-ordered exec-time series) and
+    /// writes the slice to `path`. Merging every slice reproduces
+    /// `whitebox(scenario)` bit-identically — the distributed form of
+    /// the validation-figure campaigns.
+    WhiteboxCheckpoint checkpoint(const Scenario& scenario,
+                                  const SliceSpec& slice,
+                                  const std::string& path);
+
     /// Loads, cross-validates and merges checkpoint files into the
     /// full-campaign result. Throws CheckpointError — naming the file —
     /// on unreadable/corrupt input, on checkpoints from different
     /// campaigns, and on duplicate or missing slices.
     [[nodiscard]] MergedPwcetCampaign merge(
+        const std::vector<std::string>& paths) const;
+
+    /// White-box counterpart of merge(); rejects pwcet checkpoints (the
+    /// file format tags its payload kind).
+    [[nodiscard]] MergedWhiteboxCampaign merge_whitebox(
         const std::vector<std::string>& paths) const;
 
     /// Completes a partially checkpointed campaign: validates every

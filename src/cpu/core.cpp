@@ -22,13 +22,20 @@ InOrderCore::InOrderCore(CoreId id, const CoreConfig& config,
            /*rng_seed=*/id * 2 + 1),
       dl1_(config.dl1_geometry, config.l1_replacement,
            WritePolicy::kWriteThrough, AllocPolicy::kNoWriteAllocate,
-           /*rng_seed=*/id * 2 + 2) {
+           /*rng_seed=*/id * 2 + 2),
+      il1_line_mask_(~static_cast<Addr>(config.il1_geometry.line_bytes - 1)),
+      dl1_line_mask_(~static_cast<Addr>(config.dl1_geometry.line_bytes - 1)),
+      store_buffer_(config.store_buffer_entries) {
     config_.validate();
 }
 
 void InOrderCore::set_program(Program program, Cycle start_delay) {
     RRB_REQUIRE(!program.body.empty(), "program body must not be empty");
     program_ = std::move(program);
+    restart(start_delay);
+}
+
+void InOrderCore::restart(Cycle start_delay) {
     iteration_ = 0;
     pc_ = 0;
     next_free_ = start_delay;
@@ -41,7 +48,15 @@ void InOrderCore::set_program(Program program, Cycle start_delay) {
     store_buffer_.clear();
     drain_in_flight_ = false;
     prev_load_completion_ = kNoCycle;
-    stats_ = {};
+    fetch_memo_line_ = kNoCycle;
+    fetch_memo_tick_ = 0;
+    stats_.reset();
+}
+
+void InOrderCore::reset() {
+    restart(0);
+    il1_.reset();
+    dl1_.reset();
 }
 
 Cycle InOrderCore::finish_cycle() const {
@@ -73,36 +88,58 @@ void InOrderCore::start_drain_if_needed(Cycle now) {
     const Addr addr = store_buffer_.front();
     // ready = now: the head entry is eligible the same cycle the previous
     // drain completed — injection time 0, the delta = 0 case of Eq. 2.
-    port_.request(BusOp::kDataStore, addr, now, [this](Cycle completion) {
-        RRB_ENSURE(drain_in_flight_ && !store_buffer_.empty());
-        store_buffer_.pop_front();
-        drain_in_flight_ = false;
-        ++stats_.store_drains;
-        (void)completion;
-    });
+    port_.request(BusOp::kDataStore, addr, now, BusSlot::kStoreDrain);
 }
 
-void InOrderCore::execute_instruction(Cycle now) {
+void InOrderCore::on_bus_complete(BusSlot slot, Cycle completion) {
+    switch (slot) {
+        case BusSlot::kIfetch:
+            waiting_ifetch_ = false;
+            fetched_ = true;
+            next_free_ = completion;
+            return;
+        case BusSlot::kLoad:
+            waiting_load_ = false;
+            next_free_ = completion;
+            prev_load_completion_ = completion;
+            // pc advances here so loop-control overhead at a body
+            // boundary is charged after the data returns.
+            advance_pc();
+            return;
+        case BusSlot::kStoreDrain:
+            RRB_ENSURE(drain_in_flight_ && !store_buffer_.empty());
+            store_buffer_.pop_front();
+            drain_in_flight_ = false;
+            ++stats_.store_drains;
+            return;
+    }
+    RRB_ENSURE(false);
+}
+
+Cycle InOrderCore::execute_instruction(Cycle now) {
     const Instruction& instr = program_.body[pc_];
 
     // Instruction fetch through IL1 (free when it hits; stalls on miss).
     if (!fetched_) {
-        const CacheAccess access = il1_.read(fetch_addr());
-        if (!access.hit) {
-            ++stats_.ifetch_requests;
-            waiting_ifetch_ = true;
-            const Addr line =
-                fetch_addr() / il1_.geometry().line_bytes *
-                il1_.geometry().line_bytes;
-            port_.request(BusOp::kInstrFetch, line, now,
-                          [this](Cycle completion) {
-                              waiting_ifetch_ = false;
-                              fetched_ = true;
-                              next_free_ = completion;
-                          });
-            return;
+        const Addr line = fetch_addr() & il1_line_mask_;
+        if (line == fetch_memo_line_ &&
+            il1_.access_tick() == fetch_memo_tick_) {
+            il1_.read_repeat_hit();
+            fetched_ = true;
+        } else {
+            const bool hit = il1_.read_hit(fetch_addr());
+            if (!hit) {
+                fetch_memo_line_ = kNoCycle;
+                ++stats_.ifetch_requests;
+                waiting_ifetch_ = true;
+                port_.request(BusOp::kInstrFetch, line, now,
+                              BusSlot::kIfetch);
+                return kNoCycle;  // the fill completion wakes us
+            }
+            fetched_ = true;
+            fetch_memo_line_ = line;
+            fetch_memo_tick_ = il1_.access_tick();
         }
-        fetched_ = true;
     }
 
     switch (instr.kind) {
@@ -111,7 +148,36 @@ void InOrderCore::execute_instruction(Cycle now) {
             if (instr.kind == OpKind::kNop) ++stats_.nops;
             next_free_ = now + instr.latency;
             advance_pc();
-            return;
+            // Batch the rest of a straight nop/alu run whose fetches are
+            // guaranteed memo hits (same warm code line, no intervening
+            // IL1 state change): pure compute touches neither memory nor
+            // the bus, so executing instruction k of the run "early"
+            // while setting next_free_ to the exact naive-stepping value
+            // leaves every scua-observable identical — the machine then
+            // skips the whole run in one jump instead of one tick per
+            // instruction. The cap bounds the lookahead a core that
+            // never finishes (an infinite-iteration contender) can have
+            // accumulated when the run is cut off by the scua finishing.
+            constexpr std::uint32_t kMaxComputeBatch = 64;
+            std::uint32_t batched = 0;
+            while (!retired_all_ && batched < kMaxComputeBatch) {
+                const Instruction& chained = program_.body[pc_];
+                if (chained.kind != OpKind::kNop &&
+                    chained.kind != OpKind::kAlu) {
+                    break;
+                }
+                const Addr chain_line = fetch_addr() & il1_line_mask_;
+                if (chain_line != fetch_memo_line_ ||
+                    il1_.access_tick() != fetch_memo_tick_) {
+                    break;
+                }
+                il1_.read_repeat_hit();
+                if (chained.kind == OpKind::kNop) ++stats_.nops;
+                next_free_ += chained.latency;
+                advance_pc();
+                ++batched;
+            }
+            return next_free_;
         }
         case OpKind::kLoad: {
             // Single AHB master port: a load miss may not overtake queued
@@ -119,15 +185,14 @@ void InOrderCore::execute_instruction(Cycle now) {
             if (config_.loads_wait_store_buffer &&
                 (drain_in_flight_ || !store_buffer_.empty())) {
                 ++stats_.load_gate_stall_cycles;
-                return;  // retry next cycle
+                return now + 1;  // retry next cycle
             }
             ++stats_.loads;
             const Addr addr = instr.addr.address(iteration_);
-            const CacheAccess access = dl1_.read(addr);
-            if (access.hit) {
+            if (dl1_.read_hit(addr)) {
                 next_free_ = now + config_.dl1_latency;
                 advance_pc();
-                return;
+                return next_free_;
             }
             ++stats_.load_miss_requests;
             const Cycle ready = now + config_.dl1_latency;
@@ -136,42 +201,32 @@ void InOrderCore::execute_instruction(Cycle now) {
                                                 prev_load_completion_);
             }
             waiting_load_ = true;
-            const Addr line = addr / dl1_.geometry().line_bytes *
-                              dl1_.geometry().line_bytes;
-            // pc advances in the callback so loop-control overhead at a
-            // body boundary is charged after the data returns.
-            port_.request(BusOp::kDataLoad, line, ready,
-                          [this](Cycle completion) {
-                              waiting_load_ = false;
-                              next_free_ = completion;
-                              prev_load_completion_ = completion;
-                              advance_pc();
-                          });
-            return;
+            const Addr line = addr & dl1_line_mask_;
+            port_.request(BusOp::kDataLoad, line, ready, BusSlot::kLoad);
+            return kNoCycle;  // the fill completion wakes us
         }
         case OpKind::kStore: {
             // The head entry stays in the buffer while its drain is in
-            // flight, so the deque size alone is the occupancy.
+            // flight, so the buffer size alone is the occupancy.
             if (store_buffer_.size() >= config_.store_buffer_entries) {
                 ++stats_.store_full_stall_cycles;
-                return;  // retry next cycle
+                return now + 1;  // retry next cycle
             }
             ++stats_.stores;
             const Addr addr = instr.addr.address(iteration_);
             dl1_.write(addr);  // write-through, no-allocate
-            const Addr line = addr / dl1_.geometry().line_bytes *
-                              dl1_.geometry().line_bytes;
+            const Addr line = addr & dl1_line_mask_;
             store_buffer_.push_back(line);
             next_free_ = now + 1;  // retires as soon as buffered
             advance_pc();
-            return;
+            return next_free_;
         }
     }
     RRB_ENSURE(false);
 }
 
-void InOrderCore::tick(Cycle now) {
-    if (done_) return;
+Cycle InOrderCore::tick(Cycle now) {
+    if (done_) return kNoCycle;
 
     start_drain_if_needed(now);
 
@@ -182,13 +237,18 @@ void InOrderCore::tick(Cycle now) {
             now >= next_free_) {
             done_ = true;
             finish_cycle_ = now;
+            return kNoCycle;
         }
-        return;
+        if (!store_buffer_.empty() || drain_in_flight_) {
+            return kNoCycle;  // the drain's bus completion wakes us
+        }
+        return next_free_;  // the done transition fires then
     }
 
-    if (waiting_ifetch_ || waiting_load_) return;
-    if (now < next_free_) return;
-    execute_instruction(now);
+    if (waiting_ifetch_ || waiting_load_) return kNoCycle;
+    if (now < next_free_) return next_free_;
+    return execute_instruction(now);
 }
+
 
 }  // namespace rrb

@@ -20,28 +20,36 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <optional>
 
 #include "bus/bus.h"
 #include "cache/cache.h"
 #include "isa/program.h"
+#include "sim/ring_buffer.h"
 #include "sim/types.h"
 #include "stats/histogram.h"
 
 namespace rrb {
 
+/// Which continuation a completed bus transaction resumes on its core —
+/// the POD completion token that replaced per-request std::function
+/// callbacks on the hot path. The token travels as BusRequest::tag /
+/// DramRequest::tag through the whole split-transaction chain and is
+/// dispatched through InOrderCore::on_bus_complete's fixed switch.
+enum class BusSlot : std::uint8_t {
+    kIfetch,      ///< IL1 miss fill: resume fetch
+    kLoad,        ///< DL1 miss fill: retire the load, advance the pc
+    kStoreDrain,  ///< store-buffer head drained into the L2
+};
+
 /// Interface the machine gives each core for memory traffic that leaves
 /// the L1s. The implementation decides L2 hit/miss, bus occupancy and
-/// split transactions; `on_complete` fires with the cycle at which the
-/// data is available (loads / fetches) or the write has been performed
-/// (stores).
+/// split transactions; when the transaction finishes — data available
+/// (loads / fetches) or write performed (stores) — the implementation
+/// calls InOrderCore::on_bus_complete(slot, completion_cycle).
 class CoreBusPort {
 public:
     virtual ~CoreBusPort() = default;
-    virtual void request(BusOp op, Addr addr, Cycle ready,
-                         std::function<void(Cycle completion)> on_complete) = 0;
+    virtual void request(BusOp op, Addr addr, Cycle ready, BusSlot slot) = 0;
 };
 
 struct CoreConfig {
@@ -76,6 +84,20 @@ struct CoreStats {
     /// Injection time between consecutive data-load bus requests:
     /// ready(r_i) - completion(r_{i-1}). This is the delta of Section 3.
     Histogram load_injection_delta;
+
+    /// Zeroes the counters in place, keeping histogram storage.
+    void reset() noexcept {
+        instructions = 0;
+        loads = 0;
+        stores = 0;
+        nops = 0;
+        load_miss_requests = 0;
+        ifetch_requests = 0;
+        store_drains = 0;
+        store_full_stall_cycles = 0;
+        load_gate_stall_cycles = 0;
+        load_injection_delta.clear();
+    }
 };
 
 class InOrderCore {
@@ -89,9 +111,34 @@ public:
     /// and its contenders.
     void set_program(Program program, Cycle start_delay = 0);
 
+    /// Resets execution state for a fresh run of the already-installed
+    /// program — set_program without the program copy. The machine-reuse
+    /// hot path restarts cores between campaign runs with this.
+    void restart(Cycle start_delay = 0);
+
+    /// Full power-on restore without reallocation: restart(0) plus L1
+    /// caches reset (Cache::reset) and statistics zeroed. After reset()
+    /// the core is bit-identical to a freshly constructed one with the
+    /// same program installed.
+    void reset();
+
     /// Advances one cycle. Call exactly once per cycle, after bus
-    /// completions have been delivered for this cycle.
-    void tick(Cycle now);
+    /// completions have been delivered for this cycle. Returns the
+    /// earliest future cycle at which this core can do observable work
+    /// again, given no bus completion arrives first: a concrete cycle
+    /// when it is idle until next_free_ (start delays, multi-cycle
+    /// nops, retired tail) or retrying a stall next cycle (stall PMCs
+    /// charge per cycle, so stalls are never skippable), and kNoCycle
+    /// when only a bus completion can unblock it (in-flight miss or
+    /// fetch, drains pending, done). The machine's cycle skipper
+    /// consumes this without a second state scan; other callers may
+    /// ignore it.
+    Cycle tick(Cycle now);
+
+    /// Completion dispatch: the bus transaction for `slot` finished at
+    /// `completion`. Called by the machine (or a test port) exactly once
+    /// per issued request, during the completing cycle's phase 1.
+    void on_bus_complete(BusSlot slot, Cycle completion);
 
     [[nodiscard]] bool done() const noexcept { return done_; }
     /// Cycle at which the program retired and the store buffer drained.
@@ -114,7 +161,9 @@ public:
 
 private:
     void start_drain_if_needed(Cycle now);
-    void execute_instruction(Cycle now);
+    /// Executes at cycle `now`, returning the core's next event cycle
+    /// (each terminal branch knows it outright).
+    Cycle execute_instruction(Cycle now);
     [[nodiscard]] Addr fetch_addr() const noexcept;
     void advance_pc();
 
@@ -124,6 +173,8 @@ private:
     Cache il1_;
     Cache dl1_;
     Program program_;
+    Addr il1_line_mask_;  ///< ~(line_bytes - 1), line rounding sans divide
+    Addr dl1_line_mask_;
 
     // Execution state.
     std::uint64_t iteration_ = 0;
@@ -136,12 +187,21 @@ private:
     bool done_ = false;
     Cycle finish_cycle_ = kNoCycle;
 
-    // Store buffer: queued line addresses not yet drained.
-    std::deque<Addr> store_buffer_;
+    // Store buffer: queued line addresses not yet drained. Sized to the
+    // configured entry count once; never reallocates.
+    RingBuffer<Addr> store_buffer_;
     bool drain_in_flight_ = false;
 
     // Injection-time bookkeeping.
     Cycle prev_load_completion_ = kNoCycle;
+
+    // Fetch memo: the IL1 line of the last instruction fetch that hit,
+    // valid while the IL1's access_tick is unchanged (no other touch or
+    // install happened). Straight-line code re-fetches the same 32-byte
+    // line for ~8 instructions; the memo turns those lookups into one
+    // compare + a hit-counter bump with bit-identical cache behavior.
+    Addr fetch_memo_line_ = kNoCycle;
+    std::uint64_t fetch_memo_tick_ = 0;
 
     CoreStats stats_;
 };

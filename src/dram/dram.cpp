@@ -1,6 +1,7 @@
 #include "dram/dram.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/contract.h"
 
@@ -44,32 +45,37 @@ std::uint64_t DramConfig::row_of(Addr addr) const noexcept {
 MemoryController::MemoryController(DramConfig config)
     : config_(config), banks_(config.num_banks) {
     config_.validate();
+    access_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config_.access_bytes)));
+    bank_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config_.num_banks)));
+    bank_mask_ = config_.num_banks - 1;
+    row_line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.row_bytes / config_.access_bytes));
 }
 
-void MemoryController::enqueue(const DramRequest& request,
-                               DramCompletionFn on_complete) {
+void MemoryController::enqueue(const DramRequest& request) {
     RRB_REQUIRE(request.addr < config_.capacity_bytes,
                 "address beyond DRAM capacity");
-    queue_.push_back({request, std::move(on_complete)});
+    queue_.push_back(request);
 }
 
 std::optional<std::size_t> MemoryController::pick(Cycle now) const {
     if (queue_.empty()) return std::nullopt;
 
-    auto issuable = [&](const Queued& q) {
-        const std::uint32_t bank = config_.bank_of(q.request.addr);
+    auto issuable = [&](const DramRequest& q) {
+        const std::uint32_t bank = bank_of(q.addr);
         return banks_[bank].ready_at <= now && data_bus_free_at_ <= now &&
-               q.request.arrival <= now;
+               q.arrival <= now;
     };
 
     if (config_.scheduling == DramScheduling::kFrFcfs) {
         // First: oldest row hit.
         for (std::size_t i = 0; i < queue_.size(); ++i) {
-            const Queued& q = queue_[i];
+            const DramRequest& q = queue_[i];
             if (!issuable(q)) continue;
-            const Bank& bank = banks_[config_.bank_of(q.request.addr)];
-            if (bank.open_row && *bank.open_row ==
-                                     config_.row_of(q.request.addr)) {
+            const Bank& bank = banks_[bank_of(q.addr)];
+            if (bank.open_row && *bank.open_row == row_of(q.addr)) {
                 return i;
             }
         }
@@ -99,11 +105,11 @@ void MemoryController::tick(Cycle now) {
     // Completions first so a dependent requester sees data this cycle.
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
         if (it->completion == now) {
-            InFlight done = std::move(*it);
+            const InFlight done = *it;
             it = in_flight_.erase(it);
             stats_.total_latency += done.completion - done.request.arrival;
             stats_.latency.add(done.completion - done.request.arrival);
-            if (done.on_complete) done.on_complete(done.request, now);
+            if (client_ != nullptr) client_->dram_complete(done.request, now);
         } else {
             ++it;
         }
@@ -112,12 +118,13 @@ void MemoryController::tick(Cycle now) {
     const std::optional<std::size_t> index = pick(now);
     if (!index) return;
 
-    Queued chosen = std::move(queue_[*index]);
+    const DramRequest chosen = queue_[*index];
     queue_.erase(queue_.begin() +
-                 static_cast<std::deque<Queued>::difference_type>(*index));
+                 static_cast<std::vector<DramRequest>::difference_type>(
+                     *index));
 
-    const std::uint32_t bank_id = config_.bank_of(chosen.request.addr);
-    const std::uint64_t row = config_.row_of(chosen.request.addr);
+    const std::uint32_t bank_id = bank_of(chosen.addr);
+    const std::uint64_t row = row_of(chosen.addr);
     Bank& bank = banks_[bank_id];
     const DramTiming& t = config_.timing;
 
@@ -128,15 +135,14 @@ void MemoryController::tick(Cycle now) {
         ++stats_.row_misses;
         latency += t.t_rcd;  // ACT then column command
         if (tracer_ && tracer_->enabled()) {
-            tracer_->record(now, TraceKind::kDramActivate, chosen.request.core,
-                            row);
+            tracer_->record(now, TraceKind::kDramActivate, chosen.core, row);
         }
     } else {
         ++stats_.row_conflicts;
         latency += t.t_rp + t.t_rcd;  // PRE, ACT, column command
         if (tracer_ && tracer_->enabled()) {
-            tracer_->record(now, TraceKind::kDramPrecharge,
-                            chosen.request.core, *bank.open_row);
+            tracer_->record(now, TraceKind::kDramPrecharge, chosen.core,
+                            *bank.open_row);
         }
     }
     latency += t.t_cl + t.t_burst;
@@ -152,18 +158,53 @@ void MemoryController::tick(Cycle now) {
     }
     data_bus_free_at_ = now + latency;  // burst tail occupies the data bus
 
-    if (chosen.request.is_write) {
+    if (chosen.is_write) {
         ++stats_.writes;
     } else {
         ++stats_.reads;
     }
     if (tracer_ && tracer_->enabled()) {
-        tracer_->record(now, TraceKind::kDramAccess, chosen.request.core,
-                        chosen.request.addr);
+        tracer_->record(now, TraceKind::kDramAccess, chosen.core,
+                        chosen.addr);
     }
 
-    in_flight_.push_back(
-        {chosen.request, std::move(chosen.on_complete), now + latency});
+    in_flight_.push_back({chosen, now + latency});
+}
+
+Cycle MemoryController::next_event_cycle(Cycle now) const {
+    Cycle next = kNoCycle;
+    // Refresh fires at every tREFI boundary whether or not traffic is
+    // queued — a skipped boundary would drop a refresh (and its bank
+    // blocking) that the naive stepper performs.
+    if (config_.refresh_interval > 0) {
+        const Cycle boundary =
+            (now > 0 && now % config_.refresh_interval == 0)
+                ? now
+                : (now / config_.refresh_interval + 1) *
+                      config_.refresh_interval;
+        next = std::min(next, boundary);
+    }
+    for (const InFlight& f : in_flight_) next = std::min(next, f.completion);
+    for (const DramRequest& q : queue_) {
+        // Earliest cycle this request passes pick()'s issuable() check.
+        const Bank& bank = banks_[bank_of(q.addr)];
+        Cycle at = q.arrival;
+        at = std::max(at, bank.ready_at);
+        at = std::max(at, data_bus_free_at_);
+        next = std::min(next, std::max(at, now));
+    }
+    return next;
+}
+
+void MemoryController::reset() {
+    for (Bank& bank : banks_) {
+        bank.open_row.reset();
+        bank.ready_at = 0;
+    }
+    queue_.clear();
+    in_flight_.clear();
+    data_bus_free_at_ = 0;
+    stats_.reset();
 }
 
 }  // namespace rrb

@@ -16,8 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -82,8 +80,16 @@ struct DramRequest {
     std::uint64_t tag = 0;
 };
 
-using DramCompletionFn =
-    std::function<void(const DramRequest& request, Cycle completion)>;
+/// Fixed completion sink, one per controller (see BusClient for the
+/// rationale): every finished request is reported with its original
+/// DramRequest — including the caller-defined `tag` — so per-request
+/// state is a POD token and enqueueing never allocates.
+class DramClient {
+public:
+    virtual ~DramClient() = default;
+    virtual void dram_complete(const DramRequest& request,
+                               Cycle completion) = 0;
+};
 
 struct DramStats {
     std::uint64_t reads = 0;
@@ -108,19 +114,46 @@ struct DramStats {
                                : static_cast<double>(total_latency) /
                                      static_cast<double>(accesses());
     }
+
+    /// Zeroes the counters in place, keeping histogram storage.
+    void reset() noexcept {
+        reads = 0;
+        writes = 0;
+        refreshes = 0;
+        row_hits = 0;
+        row_misses = 0;
+        row_conflicts = 0;
+        total_latency = 0;
+        latency.clear();
+    }
 };
 
 class MemoryController {
 public:
     explicit MemoryController(DramConfig config);
 
-    /// Queues a request; `on_complete` fires during the tick in which the
-    /// burst finishes.
-    void enqueue(const DramRequest& request, DramCompletionFn on_complete);
+    /// Attaches the completion sink all requests report to.
+    void attach_client(DramClient* client) noexcept { client_ = client; }
+
+    /// Queues a request; the client is notified during the tick in which
+    /// the burst finishes.
+    void enqueue(const DramRequest& request);
 
     /// Advances the controller to cycle `now` (call once per cycle,
     /// monotonically).
     void tick(Cycle now);
+
+    /// Earliest future cycle at which tick() would change state: the
+    /// next in-flight completion, the first cycle a queued request
+    /// becomes issuable (bank ready, data bus free, request arrived),
+    /// or the next refresh boundary. kNoCycle when the controller is
+    /// provably inert until new requests arrive.
+    [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+    /// Power-on restore without reallocation: queue and in-flight
+    /// requests dropped, banks closed and ready, statistics zeroed.
+    /// The attached client and tracer are kept.
+    void reset();
 
     [[nodiscard]] bool idle() const noexcept {
         return queue_.empty() && in_flight_.empty();
@@ -130,7 +163,7 @@ public:
     }
     [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
     [[nodiscard]] const DramConfig& config() const noexcept { return config_; }
-    void reset_stats() noexcept { stats_ = {}; }
+    void reset_stats() noexcept { stats_.reset(); }
 
     void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
@@ -141,23 +174,38 @@ private:
     };
     struct InFlight {
         DramRequest request;
-        DramCompletionFn on_complete;
         Cycle completion = 0;
     };
 
     /// Picks the queue index to issue next under the configured policy.
     [[nodiscard]] std::optional<std::size_t> pick(Cycle now) const;
 
+    // Shift/mask forms of DramConfig::bank_of / row_of, precomputed once
+    // (access_bytes, num_banks and row_bytes are validated powers of
+    // two): the scheduler evaluates these per queued request per cycle.
+    [[nodiscard]] std::uint32_t bank_of(Addr addr) const noexcept {
+        return static_cast<std::uint32_t>((addr >> access_shift_) &
+                                          bank_mask_);
+    }
+    [[nodiscard]] std::uint64_t row_of(Addr addr) const noexcept {
+        return (addr >> access_shift_) >> (bank_shift_ + row_line_shift_);
+    }
+
     DramConfig config_;
+    std::uint32_t access_shift_ = 0;    ///< log2(access_bytes)
+    std::uint32_t bank_shift_ = 0;      ///< log2(num_banks)
+    std::uint64_t bank_mask_ = 0;       ///< num_banks - 1
+    std::uint32_t row_line_shift_ = 0;  ///< log2(row_bytes / access_bytes)
     std::vector<Bank> banks_;
-    struct Queued {
-        DramRequest request;
-        DramCompletionFn on_complete;
-    };
-    std::deque<Queued> queue_;
+    // Arrival-ordered queue. A vector, not a deque: erases shift (the
+    // queue is at most a few entries — one outstanding miss per core
+    // plus victim writebacks) and the capacity is retained across
+    // reset(), so the steady-state request path never allocates.
+    std::vector<DramRequest> queue_;
     std::vector<InFlight> in_flight_;
     Cycle data_bus_free_at_ = 0;
     DramStats stats_;
+    DramClient* client_ = nullptr;
     Tracer* tracer_ = nullptr;
 };
 

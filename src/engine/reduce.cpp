@@ -87,17 +87,57 @@ WhiteboxCampaignResult run_whitebox_campaign(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options, const EngineOptions& engine) {
+    // The monolithic campaign is the full-range slice (the same
+    // construction run_pwcet_campaign uses), so checkpointed slices can
+    // never drift from it.
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(options.runs));
+    WhiteboxShardSlice slice = run_whitebox_campaign_shards(
+        config, scua, contenders, options, {0, plan.shards()}, engine);
+
     WhiteboxCampaignResult result;
+    result.et_isolation = slice.et_isolation;
+    result.nr = slice.nr;
+    result.stats = std::move(slice.shards[0]);
+    for (std::size_t s = 1; s < slice.shards.size(); ++s) {
+        result.stats.merge(slice.shards[s]);
+    }
+    return result;
+}
+
+WhiteboxShardSlice run_whitebox_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, ReducePlan::ShardRange range,
+    const EngineOptions& engine) {
+    RRB_REQUIRE(options.runs >= 1, "need at least one run");
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+
+    WhiteboxShardSlice slice;
     {
         const Measurement isol =
             run_isolation(config, scua, 0, options.max_cycles_per_run);
         RRB_ENSURE(!isol.deadline_reached);
-        result.et_isolation = isol.exec_time;
-        result.nr = isol.bus_requests;
+        slice.et_isolation = isol.exec_time;
+        slice.nr = isol.bus_requests;
     }
-    result.stats = run_campaign_reduce(config, scua, contenders, options,
-                                       WhiteboxAccumulator{}, engine);
-    return result;
+
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(options.runs));
+    slice.first_shard = range.first;
+    if (range.size() > 0) {
+        slice.first_run = plan.shard_begin(range.first);
+        slice.last_run = plan.shard_end(range.last - 1);
+    }
+    slice.shards = reduce_indexed_shards(
+        plan, range,
+        [&](WhiteboxAccumulator& acc, std::uint64_t run) {
+            acc.add(run, detail::hwm_campaign_measure(config, scua,
+                                                      contenders, options,
+                                                      run));
+        },
+        WhiteboxAccumulator{}, engine);
+    return slice;
 }
 
 }  // namespace rrb::engine

@@ -255,4 +255,24 @@ struct WhiteboxCampaignResult {
     const HwmCampaignOptions& options = {},
     const EngineOptions& engine = {});
 
+/// One checkpointable slice of a white-box campaign — the
+/// WhiteboxAccumulator counterpart of PwcetShardSlice, on the same
+/// contract: per-plan-shard accumulators, isolation re-measured per
+/// slice, merging every slice's shards in shard-index order is
+/// bit-identical to the monolithic run_whitebox_campaign.
+struct WhiteboxShardSlice {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;  ///< scua bus requests (PMC)
+    std::size_t first_shard = 0;
+    std::uint64_t first_run = 0;  ///< run range [first_run, last_run)
+    std::uint64_t last_run = 0;
+    std::vector<WhiteboxAccumulator> shards;  ///< in shard order
+};
+
+[[nodiscard]] WhiteboxShardSlice run_whitebox_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, ReducePlan::ShardRange range,
+    const EngineOptions& engine = {});
+
 }  // namespace rrb::engine

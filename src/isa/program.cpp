@@ -6,6 +6,37 @@
 
 namespace rrb {
 
+std::uint64_t fingerprint(const Program& program) {
+    // splitmix64-chained content hash. The campaign hot path evaluates
+    // this per run to decide whether a leased machine's programs can be
+    // reused in place; the byte-at-a-time FNV fold costs ~64 dependent
+    // multiply-xors per field, the splitmix chain 5 — same collision
+    // quality for a same-build, in-memory identity.
+    std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, nothing-up-my-sleeve
+    const auto fold = [&h](std::uint64_t v) {
+        h += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = h ^ v;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+    };
+    fold(program.body.size());
+    for (const Instruction& instr : program.body) {
+        fold(static_cast<std::uint64_t>(instr.kind) |
+             static_cast<std::uint64_t>(instr.latency) << 8 |
+             static_cast<std::uint64_t>(instr.addr.kind) << 40);
+        fold(instr.addr.base);
+        fold(instr.addr.stride_bytes);
+        fold(instr.addr.range);
+        fold(instr.addr.align);
+        fold(instr.addr.salt);
+    }
+    fold(program.iterations);
+    fold(program.code_base);
+    fold(program.loop_control_cycles);
+    return h;
+}
+
 namespace {
 
 /// splitmix64: a high-quality stateless mixer; address randomization must be
@@ -62,14 +93,21 @@ AddrPattern AddrPattern::random(Addr base, std::uint64_t range,
 }
 
 Addr AddrPattern::address(std::uint64_t iteration) const {
+    // This runs once per simulated load/store; footprints are usually
+    // powers of two, where the reduction is a mask instead of a 64-bit
+    // hardware divide.
+    const auto reduce = [](std::uint64_t v, std::uint64_t m) {
+        return (m & (m - 1)) == 0 ? v & (m - 1) : v % m;
+    };
     switch (kind) {
         case Kind::kFixed:
             return base;
         case Kind::kStride:
-            return base + (iteration * stride_bytes) % range;
+            return base + reduce(iteration * stride_bytes, range);
         case Kind::kRandom: {
             const std::uint64_t slots = range / align;
-            const std::uint64_t slot = mix64(iteration ^ (salt * 0x9e3779b9ULL)) % slots;
+            const std::uint64_t slot =
+                reduce(mix64(iteration ^ (salt * 0x9e3779b9ULL)), slots);
             return base + slot * align;
         }
     }

@@ -84,6 +84,14 @@ struct Program {
     [[nodiscard]] std::uint64_t count(OpKind kind) const noexcept;
 };
 
+/// Content hash of everything that determines a program's timing: the
+/// body (kinds, latencies, address patterns), iteration count, code
+/// base and loop-control cost. `name` is cosmetic and excluded. Used by
+/// Scenario::fingerprint and by the campaign machine cache
+/// (engine::MachineLease) to decide whether a reused machine already
+/// hosts the right programs.
+[[nodiscard]] std::uint64_t fingerprint(const Program& program);
+
 /// One entry of an explicit memory trace (see make_trace_program).
 struct TraceOp {
     OpKind kind = OpKind::kNop;     ///< kLoad, kStore or kNop/kAlu

@@ -4,6 +4,73 @@
 
 namespace rrb {
 
+namespace {
+
+/// splitmix64-chained u64 folder (see rrb::fingerprint(Program) for the
+/// rationale): the machine-lease cache hashes the config once per
+/// campaign run, so the byte-at-a-time FNV chain is too slow here.
+class FastHash {
+public:
+    void u64(std::uint64_t v) noexcept {
+        h_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = h_ ^ v;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h_ = z ^ (z >> 31);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = 0x13198a2e03707344ULL;
+};
+
+void fold_geometry(FastHash& h, const CacheGeometry& g) {
+    h.u64(g.size_bytes);
+    h.u64(g.ways);
+    h.u64(g.line_bytes);
+}
+
+}  // namespace
+
+std::uint64_t MachineConfig::fingerprint() const {
+    FastHash h;
+    h.u64(num_cores);
+    fold_geometry(h, core.il1_geometry);
+    fold_geometry(h, core.dl1_geometry);
+    h.u64(static_cast<std::uint64_t>(core.l1_replacement));
+    h.u64(core.dl1_latency);
+    h.u64(core.il1_latency);
+    h.u64(core.store_buffer_entries);
+    h.u64(core.loads_wait_store_buffer ? 1 : 0);
+    fold_geometry(h, l2_geometry);
+    h.u64(static_cast<std::uint64_t>(l2_replacement));
+    h.u64(static_cast<std::uint64_t>(l2_write_policy));
+    h.u64(static_cast<std::uint64_t>(l2_alloc_policy));
+    h.u64(static_cast<std::uint64_t>(arbiter));
+    h.u64(tdma_slot_cycles);
+    h.u64(wrr_weights.size());
+    for (const std::uint32_t w : wrr_weights) h.u64(w);
+    h.u64(bus_transfer_cycles);
+    h.u64(l2_hit_cycles);
+    h.u64(store_service_cycles);
+    h.u64(miss_request_cycles);
+    h.u64(fill_response_cycles);
+    h.u64(dram.capacity_bytes);
+    h.u64(dram.num_banks);
+    h.u64(dram.row_bytes);
+    h.u64(dram.access_bytes);
+    h.u64(dram.timing.t_rcd);
+    h.u64(dram.timing.t_cl);
+    h.u64(dram.timing.t_rp);
+    h.u64(dram.timing.t_burst);
+    h.u64(dram.timing.t_overhead);
+    h.u64(static_cast<std::uint64_t>(dram.scheduling));
+    h.u64(static_cast<std::uint64_t>(dram.page_policy));
+    h.u64(dram.refresh_interval);
+    h.u64(dram.refresh_duration);
+    return h.value();
+}
+
 void MachineConfig::validate() const {
     RRB_REQUIRE(num_cores >= 1, "need at least one core");
     core.validate();

@@ -58,6 +58,12 @@ struct MachineConfig {
         return (num_cores - 1) * load_hit_service();
     }
 
+    /// Content hash over every timing-relevant field. Two configs with
+    /// equal fingerprints build behaviorally identical Machines; the
+    /// per-worker machine cache (engine::MachineLease) keys on it, and
+    /// Scenario::fingerprint folds it in.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
     /// The paper's reference NGMP model: 4 cores, DL1 latency 1 (so the
     /// rsk injection time delta_rsk = 1), lbus = 9, ubd = 27.
     [[nodiscard]] static MachineConfig ngmp_ref();

@@ -6,6 +6,18 @@
 
 namespace rrb {
 
+namespace {
+
+std::uint64_t slot_tag(BusSlot slot) noexcept {
+    return static_cast<std::uint64_t>(slot);
+}
+
+BusSlot tag_slot(std::uint64_t tag) noexcept {
+    return static_cast<BusSlot>(tag);
+}
+
+}  // namespace
+
 Machine::Machine(MachineConfig config)
     : config_(config),
       l2_(config.l2_geometry, config.num_cores, config.l2_replacement,
@@ -17,16 +29,21 @@ Machine::Machine(MachineConfig config)
         make_arbiter(config_.arbiter, config_.num_cores,
                      config_.tdma_slot_cycles, config_.wrr_weights));
     bus_->attach_tracer(&tracer_);
+    bus_->attach_client(this);
     dram_.attach_tracer(&tracer_);
+    dram_.attach_client(this);
 
     ports_.reserve(config_.num_cores);
     cores_.reserve(config_.num_cores);
+    has_program_.reserve(config_.num_cores);
     for (CoreId c = 0; c < config_.num_cores; ++c) {
         ports_.push_back(std::make_unique<Port>(*this, c));
         cores_.push_back(
             std::make_unique<InOrderCore>(c, config_.core, *ports_[c]));
     }
     has_program_.assign(config_.num_cores, false);
+    core_next_.assign(config_.num_cores, kNoCycle);
+    dram_refresh_ = config_.dram.refresh_interval > 0;
 }
 
 InOrderCore& Machine::core(CoreId id) {
@@ -44,6 +61,14 @@ void Machine::load_program(CoreId core, Program program,
     RRB_REQUIRE(core < cores_.size(), "core id out of range");
     cores_[core]->set_program(std::move(program), start_delay);
     has_program_[core] = true;
+    core_next_[core] = 0;
+}
+
+void Machine::restart_program(CoreId core, Cycle start_delay) {
+    RRB_REQUIRE(core < cores_.size(), "core id out of range");
+    RRB_REQUIRE(has_program_[core], "core has no program");
+    cores_[core]->restart(start_delay);
+    core_next_[core] = 0;
 }
 
 void Machine::warm_static_footprint(CoreId core_id) {
@@ -65,39 +90,58 @@ void Machine::warm_static_footprint(CoreId core_id) {
     }
 }
 
-void Machine::Port::request(BusOp op, Addr addr, Cycle ready,
-                            std::function<void(Cycle)> on_complete) {
-    queue_.push_back({op, addr, ready, std::move(on_complete)});
-    try_issue(machine_.now_);
+void Machine::reset_keep_programs() {
+    now_ = 0;
+    bus_->reset();
+    dram_.reset();
+    l2_.reset();
+    tracer_.clear();
+    for (std::unique_ptr<Port>& port : ports_) {
+        port->busy_ = false;
+        port->queue_.clear();
+    }
+    for (std::unique_ptr<InOrderCore>& core : cores_) core->reset();
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        core_next_[c] = has_program_[c] ? 0 : kNoCycle;
+    }
+}
+
+void Machine::reset() {
+    reset_keep_programs();
+    std::fill(has_program_.begin(), has_program_.end(), false);
+    std::fill(core_next_.begin(), core_next_.end(), kNoCycle);
+}
+
+void Machine::Port::request(BusOp op, Addr addr, Cycle ready, BusSlot slot) {
+    if (!busy_ && queue_.empty()) {
+        // Idle port: issue directly, skipping the queue round-trip (the
+        // ready re-base below is a no-op for a fresh request, whose
+        // ready is always >= now).
+        busy_ = true;
+        machine_.issue(core_, op, addr, std::max(ready, machine_.now_),
+                       slot);
+        return;
+    }
+    queue_.push_back({op, addr, ready, slot});
 }
 
 void Machine::Port::try_issue(Cycle now) {
     if (busy_ || queue_.empty()) return;
-    Queued next = std::move(queue_.front());
+    const Queued next = queue_.front();
     queue_.pop_front();
     busy_ = true;
     // Waiting behind our own earlier transaction is core-local, not bus
     // contention: re-base the ready cycle to when the port became free.
     const Cycle ready = std::max(next.ready, now);
-    machine_.issue(core_, next.op, next.addr, ready,
-                   std::move(next.on_complete));
+    machine_.issue(core_, next.op, next.addr, ready, next.slot);
 }
 
 void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
-                    std::function<void(Cycle)> on_complete) {
-    Port& port = *ports_[core];
-
+                    BusSlot slot) {
     switch (op) {
         case BusOp::kDataStore: {
-            BusRequest req{core, op, addr, ready, config_.store_service_cycles,
-                           0};
-            bus_->post(req, [this, &port, cb = std::move(on_complete)](
-                                const BusRequest& r, Cycle completion) {
-                l2_.write(r.core, r.addr);  // write-through into the L2
-                port.busy_ = false;
-                if (cb) cb(completion);
-                port.try_issue(completion);
-            });
+            bus_->post({core, op, addr, ready, config_.store_service_cycles,
+                        slot_tag(slot)});
             return;
         }
         case BusOp::kDataLoad:
@@ -106,44 +150,20 @@ void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
             // transaction (hit: bus held until the L2 answers; miss: split).
             const CacheAccess l2_access = l2_.read(core, addr);
             if (l2_access.hit) {
-                BusRequest req{core, op, addr, ready,
-                               config_.load_hit_service(), 0};
-                bus_->post(req, [this, &port, cb = std::move(on_complete)](
-                                    const BusRequest& r, Cycle completion) {
-                    (void)r;
-                    port.busy_ = false;
-                    if (cb) cb(completion);
-                    port.try_issue(completion);
-                });
+                bus_->post({core, op, addr, ready,
+                            config_.load_hit_service(), slot_tag(slot)});
                 return;
             }
             // Split transaction: address phase, DRAM access, fill response.
             if (l2_access.dirty_eviction && l2_access.victim_line) {
                 const Addr victim_addr =
                     *l2_access.victim_line * config_.l2_geometry.line_bytes;
-                dram_.enqueue({core, victim_addr % config_.dram.capacity_bytes,
-                               /*is_write=*/true, now_, 0},
-                              nullptr);
+                dram_.enqueue({core,
+                               victim_addr % config_.dram.capacity_bytes,
+                               /*is_write=*/true, now_, 0});
             }
-            BusRequest miss_req{core, BusOp::kMissRequest, addr, ready,
-                                config_.miss_request_cycles, 0};
-            bus_->post(miss_req, [this, &port, cb = std::move(on_complete)](
-                                     const BusRequest& r, Cycle completion) {
-                dram_.enqueue(
-                    {r.core, r.addr % config_.dram.capacity_bytes,
-                     /*is_write=*/false, completion, 0},
-                    [this, &port, cb](const DramRequest& d, Cycle dram_done) {
-                        BusRequest fill{d.core, BusOp::kFillResponse, d.addr,
-                                        dram_done,
-                                        config_.fill_response_cycles, 0};
-                        bus_->post(fill, [&port, cb](const BusRequest&,
-                                                     Cycle fill_done) {
-                            port.busy_ = false;
-                            if (cb) cb(fill_done);
-                            port.try_issue(fill_done);
-                        });
-                    });
-            });
+            bus_->post({core, BusOp::kMissRequest, addr, ready,
+                        config_.miss_request_cycles, slot_tag(slot)});
             return;
         }
         case BusOp::kMissRequest:
@@ -153,25 +173,107 @@ void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
     RRB_ENSURE(false);
 }
 
-void Machine::step() {
-    bus_->complete_phase(now_);
-    dram_.tick(now_);
+void Machine::finish_transaction(CoreId core, BusSlot slot,
+                                 Cycle completion) {
+    Port& port = *ports_[core];
+    port.busy_ = false;
+    cores_[core]->on_bus_complete(slot, completion);
+    port.try_issue(completion);
+    core_next_[core] = 0;  // completion may unblock the core: re-tick
+}
+
+void Machine::bus_complete(const BusRequest& request, Cycle completion) {
+    switch (request.op) {
+        case BusOp::kDataStore:
+            l2_.write(request.core, request.addr);  // write-through into L2
+            finish_transaction(request.core, tag_slot(request.tag),
+                               completion);
+            return;
+        case BusOp::kDataLoad:
+        case BusOp::kInstrFetch:
+            // An L2-hit transaction: data arrives with the bus release.
+            finish_transaction(request.core, tag_slot(request.tag),
+                               completion);
+            return;
+        case BusOp::kMissRequest:
+            // Address phase done; the line is fetched from DRAM and comes
+            // back as a fill response carrying the same continuation tag.
+            dram_.enqueue({request.core,
+                           request.addr % config_.dram.capacity_bytes,
+                           /*is_write=*/false, completion, request.tag});
+            return;
+        case BusOp::kFillResponse:
+            finish_transaction(request.core, tag_slot(request.tag),
+                               completion);
+            return;
+    }
+    RRB_ENSURE(false);
+}
+
+void Machine::dram_complete(const DramRequest& request, Cycle completion) {
+    if (request.is_write) return;  // victim writeback: nobody waits
+    bus_->post({request.core, BusOp::kFillResponse, request.addr, completion,
+                config_.fill_response_cycles, request.tag});
+}
+
+Cycle Machine::step() {
+    bus_->complete_phase(now_);  // may rewind core_next_ entries to 0
+    // The memory controller only acts when it holds work or refresh is
+    // configured; requests enqueued during the completion phase above
+    // are visible to this check, so the gate is exact.
+    const bool dram_active = dram_refresh_ || !dram_.idle();
+    if (dram_active) dram_.tick(now_);
+    const Cycle after = now_ + 1;
+    Cycle next = kNoCycle;
     for (CoreId c = 0; c < cores_.size(); ++c) {
-        if (has_program_[c]) cores_[c]->tick(now_);
+        // Programless cores hold kNoCycle permanently, so this one gate
+        // covers both "no program" and "provably inert this cycle".
+        if (core_next_[c] > now_) {
+            next = std::min(next, core_next_[c]);
+            continue;
+        }
+        // A core's state is final for this cycle once it ticked (bus
+        // completions land in the next stepped cycle's phase 1), so
+        // tick hands back the next event it just computed in-branch.
+        Cycle core_next = cores_[c]->tick(now_);
+        if (core_next < after) core_next = after;
+        core_next_[c] = core_next;
+        next = std::min(next, core_next);
     }
     bus_->arbitrate_phase(now_);
     ++now_;
+    next = std::min(next, bus_->next_event_cycle(now_));
+    // Core ticks may have enqueued victim writebacks: re-check activity.
+    if (dram_refresh_ || !dram_.idle()) {
+        next = std::min(next, dram_.next_event_cycle(now_));
+    }
+    return next;
+}
+
+Cycle Machine::step_or_skip(Cycle next_hint, Cycle limit) {
+    if (cycle_skipping_ && next_hint > now_) {
+        // No component does observable work before the hint (kNoCycle =
+        // never, i.e. only the deadline stops the run): fast-forward.
+        const Cycle target = std::min(next_hint, limit);
+        now_ = target;
+        if (now_ >= limit) return now_;  // deadline hit mid-skip
+    }
+    return step();
 }
 
 RunResult Machine::run(Cycle max_cycles) {
     const Cycle start = now_;
+    const Cycle limit = start + max_cycles;
     auto all_done = [&] {
         for (CoreId c = 0; c < cores_.size(); ++c) {
             if (has_program_[c] && !cores_[c]->done()) return false;
         }
         return true;
     };
-    while (!all_done() && now_ - start < max_cycles) step();
+    Cycle next_hint = now_;
+    while (!all_done() && now_ < limit) {
+        next_hint = step_or_skip(next_hint, limit);
+    }
 
     RunResult result;
     result.cycles = now_ - start;
@@ -185,15 +287,26 @@ RunResult Machine::run(Cycle max_cycles) {
     return result;
 }
 
-RunResult Machine::run_until_core(CoreId core_id, Cycle max_cycles) {
+Cycle Machine::run_core(CoreId core_id, Cycle max_cycles) {
     RRB_REQUIRE(core_id < cores_.size(), "core id out of range");
     RRB_REQUIRE(has_program_[core_id], "core has no program");
     const Cycle start = now_;
-    while (!cores_[core_id]->done() && now_ - start < max_cycles) step();
+    const Cycle limit = start + max_cycles;
+    const InOrderCore& target = *cores_[core_id];
+    Cycle next_hint = now_;
+    while (!target.done() && now_ < limit) {
+        next_hint = step_or_skip(next_hint, limit);
+    }
+    return target.done() ? target.finish_cycle() : kNoCycle;
+}
+
+RunResult Machine::run_until_core(CoreId core_id, Cycle max_cycles) {
+    const Cycle start = now_;
+    const Cycle finish = run_core(core_id, max_cycles);
 
     RunResult result;
     result.cycles = now_ - start;
-    result.deadline_reached = !cores_[core_id]->done();
+    result.deadline_reached = finish == kNoCycle;
     result.finish_cycle.resize(cores_.size(), kNoCycle);
     for (CoreId c = 0; c < cores_.size(); ++c) {
         if (has_program_[c] && cores_[c]->done()) {

@@ -8,10 +8,18 @@
 //   2. the memory controller advances (may ready fill responses);
 //   3. every core executes its cycle (may post requests ready this cycle);
 //   4. bus arbitration grants among requests with ready <= now.
+//
+// Hot-path design (PR 5): the machine is the single BusClient/DramClient
+// — completions dispatch through a fixed switch on (op, tag) instead of
+// per-request closures; per-port queues are reusable rings; reset() /
+// reset_keep_programs() restore power-on state without reallocating, so
+// one machine serves a whole campaign (engine::MachineLease); and run()
+// fast-forwards over provably idle cycles via the components'
+// next_event_cycle() — all while staying bit-identical to naive
+// stepping on a fresh machine (tests/test_hotpath.cpp is the proof).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "dram/dram.h"
 #include "isa/program.h"
 #include "machine/config.h"
+#include "sim/ring_buffer.h"
 #include "sim/trace.h"
 #include "sim/types.h"
 
@@ -32,7 +41,7 @@ struct RunResult {
     std::vector<Cycle> finish_cycle;  ///< per core; kNoCycle if unfinished
 };
 
-class Machine {
+class Machine final : private BusClient, private DramClient {
 public:
     explicit Machine(MachineConfig config);
 
@@ -44,6 +53,12 @@ public:
     /// randomization for measurement campaigns).
     void load_program(CoreId core, Program program, Cycle start_delay = 0);
 
+    /// Resets the core's execution state for a fresh run of its
+    /// already-installed program, with a new start delay — the per-run
+    /// path of a reused machine, skipping the Program copy that
+    /// load_program performs. Precondition: the core has a program.
+    void restart_program(CoreId core, Cycle start_delay = 0);
+
     /// Pre-warms the core's caches with the program's *static* footprint:
     /// every code line into the IL1 and every fixed-address data line into
     /// the core's L2 partition. Models the standard measurement practice
@@ -52,6 +67,19 @@ public:
     /// periodicity. Data/strided/random footprints are left cold.
     void warm_static_footprint(CoreId core);
 
+    /// Restores construction state without reallocation: caches
+    /// invalidated (replacement state re-seeded), bus/DRAM queues and
+    /// counters cleared, tracer emptied, now() back to 0, programs
+    /// forgotten. A reset machine is bit-identical to a freshly
+    /// constructed Machine(config()).
+    void reset();
+
+    /// reset() except the cores keep their installed programs (and the
+    /// machine keeps knowing which cores have one): the campaign hot
+    /// path restarts runs with restart_program + warm_static_footprint
+    /// instead of re-copying program bodies every run.
+    void reset_keep_programs();
+
     /// Runs until every core with a program finishes, or max_cycles.
     RunResult run(Cycle max_cycles = 1'000'000'000);
 
@@ -59,6 +87,23 @@ public:
     /// the paper's measurement discipline: "rsk must not complete
     /// execution before the scua"), or max_cycles.
     RunResult run_until_core(CoreId core, Cycle max_cycles = 1'000'000'000);
+
+    /// Allocation-free form of run_until_core for the campaign hot
+    /// path: returns the core's finish cycle, or kNoCycle when the run
+    /// hit max_cycles first.
+    Cycle run_core(CoreId core, Cycle max_cycles = 1'000'000'000);
+
+    /// Event-driven cycle skipping (default on): run() advances now()
+    /// directly to the next component event when no component has work
+    /// this cycle. Disabling forces naive cycle-by-cycle stepping — the
+    /// reference the differential tests compare against; results are
+    /// bit-identical either way.
+    void set_cycle_skipping(bool enabled) noexcept {
+        cycle_skipping_ = enabled;
+    }
+    [[nodiscard]] bool cycle_skipping() const noexcept {
+        return cycle_skipping_;
+    }
 
     [[nodiscard]] const MachineConfig& config() const noexcept {
         return config_;
@@ -78,28 +123,48 @@ private:
     /// a queued request's ready cycle is re-based when it is issued).
     class Port final : public CoreBusPort {
     public:
-        Port(Machine& machine, CoreId core) : machine_(machine), core_(core) {}
+        Port(Machine& machine, CoreId core)
+            : machine_(machine), core_(core), queue_(4) {}
         void request(BusOp op, Addr addr, Cycle ready,
-                     std::function<void(Cycle)> on_complete) override;
+                     BusSlot slot) override;
         void try_issue(Cycle now);
 
     private:
+        /// POD queue entry — the whole continuation is the BusSlot tag.
         struct Queued {
-            BusOp op;
-            Addr addr;
-            Cycle ready;
-            std::function<void(Cycle)> on_complete;
+            BusOp op = BusOp::kDataLoad;
+            Addr addr = 0;
+            Cycle ready = 0;
+            BusSlot slot = BusSlot::kLoad;
         };
         friend class Machine;
         Machine& machine_;
         CoreId core_;
         bool busy_ = false;
-        std::deque<Queued> queue_;
+        RingBuffer<Queued> queue_;
     };
 
-    void issue(CoreId core, BusOp op, Addr addr, Cycle ready,
-               std::function<void(Cycle)> on_complete);
-    void step();  ///< simulate cycle now_, then ++now_
+    void issue(CoreId core, BusOp op, Addr addr, Cycle ready, BusSlot slot);
+    /// Completion fan-in from the bus / memory controller: the fixed
+    /// dispatch table that replaced the per-request closures. `tag`
+    /// carries the BusSlot through the whole split-transaction chain.
+    void bus_complete(const BusRequest& request, Cycle completion) override;
+    void dram_complete(const DramRequest& request,
+                       Cycle completion) override;
+    /// Frees the port, resumes the core's continuation, issues the next
+    /// queued request — the shared tail of every transaction.
+    void finish_transaction(CoreId core, BusSlot slot, Cycle completion);
+
+    /// Simulates cycle now_, then ++now_. Returns the earliest cycle at
+    /// which any component does work again — computed in the same pass
+    /// as the ticks, so the skipper costs one fused scan, not two.
+    Cycle step();
+    /// One loop iteration of run(): either fast-forwards now_ to the
+    /// earliest component event (never beyond `limit`) or simulates one
+    /// cycle. `next_hint` is the previous step's return value (pass
+    /// now() initially). Stall PMCs of skipped cycles are charged in
+    /// bulk so both modes report identical statistics.
+    Cycle step_or_skip(Cycle next_hint, Cycle limit);
 
     MachineConfig config_;
     std::unique_ptr<Bus> bus_;
@@ -110,7 +175,15 @@ private:
     std::vector<std::unique_ptr<Port>> ports_;
     std::vector<std::unique_ptr<InOrderCore>> cores_;
     std::vector<bool> has_program_;
+    /// Per-core next-event cache: a core whose entry is beyond now_
+    /// provably cannot act this cycle (cores are pure reactors to time
+    /// and to bus completions, and finish_transaction rewinds the entry
+    /// on completion), so step() skips its tick entirely. Entry 0 =
+    /// unknown, always tick; programless cores hold kNoCycle.
+    std::vector<Cycle> core_next_;
     Cycle now_ = 0;
+    bool cycle_skipping_ = true;
+    bool dram_refresh_ = false;  ///< config.dram.refresh_interval > 0
 };
 
 }  // namespace rrb

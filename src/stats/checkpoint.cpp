@@ -16,8 +16,23 @@ namespace {
 // 8-byte magic + format version. Bump the version on ANY layout change:
 // an old reader must reject a new file (and vice versa) rather than
 // misinterpret bytes into plausible-looking statistics.
+// v2: a payload-kind byte follows the version (pwcet vs whitebox
+// campaign slices share one container format).
 constexpr std::uint8_t kMagic[8] = {'R', 'R', 'B', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
+
+enum PayloadKind : std::uint8_t {
+    kPayloadPwcet = 1,
+    kPayloadWhitebox = 2,
+};
+
+const char* payload_name(std::uint8_t kind) {
+    switch (kind) {
+        case kPayloadPwcet: return "pwcet";
+        case kPayloadWhitebox: return "whitebox";
+    }
+    return "unknown";
+}
 
 /// The trailer checksum over a byte range.
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
@@ -297,7 +312,7 @@ void encode_meta(CheckpointWriter& w, const CheckpointMeta& meta) {
     for (const double e : meta.exceedance) w.f64(e);
 }
 
-CheckpointMeta decode_meta(CheckpointReader& r) {
+CheckpointMeta decode_meta(CheckpointReader& r, PayloadKind kind) {
     CheckpointMeta meta;
     meta.scenario_fingerprint = r.u64();
     meta.seed = r.u64();
@@ -317,7 +332,13 @@ CheckpointMeta decode_meta(CheckpointReader& r) {
     for (std::uint64_t i = 0; i < n; ++i) {
         meta.exceedance.push_back(r.f64());
     }
-    if (meta.block_size == 0) corrupt("block size 0");
+    if (kind == kPayloadPwcet && meta.block_size == 0) {
+        corrupt("block size 0");
+    }
+    if (kind == kPayloadWhitebox &&
+        (meta.block_size != 0 || !meta.exceedance.empty())) {
+        corrupt("whitebox checkpoint carrying EVT parameters");
+    }
     if (meta.shard_size == 0 || meta.plan_shards == 0) {
         corrupt("empty shard plan");
     }
@@ -337,17 +358,18 @@ CheckpointMeta decode_meta(CheckpointReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_pwcet_checkpoint(
-    const PwcetCheckpoint& checkpoint) {
-    CheckpointWriter w;
+namespace {
+
+/// Shared container prolog: magic + version + payload kind byte, with
+/// the whole file (checksum, payload) still to be read by the caller.
+void encode_header(CheckpointWriter& w, PayloadKind kind) {
     for (const std::uint8_t b : kMagic) w.u8(b);
     w.u32(kFormatVersion);
-    encode_meta(w, checkpoint.meta);
-    w.u64(checkpoint.first_shard);
-    w.u64(checkpoint.shards.size());
-    for (const PwcetAccumulator& shard : checkpoint.shards) {
-        CheckpointCodec::save(w, shard);
-    }
+    w.u8(kind);
+}
+
+/// Appends the trailer checksum over everything written so far.
+std::vector<std::uint8_t> seal(const CheckpointWriter& w) {
     std::vector<std::uint8_t> bytes = w.bytes();
     const std::uint64_t checksum = fnv1a(bytes);
     CheckpointWriter trailer;
@@ -357,14 +379,16 @@ std::vector<std::uint8_t> encode_pwcet_checkpoint(
     return bytes;
 }
 
-PwcetCheckpoint decode_pwcet_checkpoint(std::span<const std::uint8_t> bytes) {
-    if (bytes.size() < sizeof(kMagic) + 4 + 8) {
+/// Verifies magic, checksum, version and payload kind; returns a reader
+/// positioned at the metadata.
+CheckpointReader open_checkpoint(std::span<const std::uint8_t> bytes,
+                                 PayloadKind expected_kind) {
+    if (bytes.size() < sizeof(kMagic) + 4 + 1 + 8) {
         corrupt("too short to hold a header");
     }
     for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
         if (bytes[i] != kMagic[i]) {
-            throw CheckpointError(
-                "not a pwcet checkpoint (bad magic bytes)");
+            throw CheckpointError("not a checkpoint (bad magic bytes)");
         }
     }
     // Verify the trailer checksum before trusting any field beyond the
@@ -385,8 +409,35 @@ PwcetCheckpoint decode_pwcet_checkpoint(std::span<const std::uint8_t> bytes) {
             std::to_string(version) + " (this build reads version " +
             std::to_string(kFormatVersion) + ")");
     }
+    const std::uint8_t kind = r.u8();
+    if (kind != expected_kind) {
+        throw CheckpointError(
+            std::string("checkpoint holds a ") + payload_name(kind) +
+            " campaign, not a " + payload_name(expected_kind) +
+            " one — refusing to merge across campaign kinds");
+    }
+    return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pwcet_checkpoint(
+    const PwcetCheckpoint& checkpoint) {
+    CheckpointWriter w;
+    encode_header(w, kPayloadPwcet);
+    encode_meta(w, checkpoint.meta);
+    w.u64(checkpoint.first_shard);
+    w.u64(checkpoint.shards.size());
+    for (const PwcetAccumulator& shard : checkpoint.shards) {
+        CheckpointCodec::save(w, shard);
+    }
+    return seal(w);
+}
+
+PwcetCheckpoint decode_pwcet_checkpoint(std::span<const std::uint8_t> bytes) {
+    CheckpointReader r = open_checkpoint(bytes, kPayloadPwcet);
     PwcetCheckpoint checkpoint;
-    checkpoint.meta = decode_meta(r);
+    checkpoint.meta = decode_meta(r, kPayloadPwcet);
     checkpoint.first_shard = r.u64();
     const std::uint64_t n_shards = r.u64();
     // Overflow-proof range check: `first_shard + n_shards` could wrap
@@ -412,20 +463,46 @@ PwcetCheckpoint decode_pwcet_checkpoint(std::span<const std::uint8_t> bytes) {
     return checkpoint;
 }
 
-void save_pwcet_checkpoint(const std::string& path,
-                           const PwcetCheckpoint& checkpoint) {
-    const std::vector<std::uint8_t> bytes =
-        encode_pwcet_checkpoint(checkpoint);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-        throw CheckpointError("could not write checkpoint file " + path);
+std::vector<std::uint8_t> encode_whitebox_checkpoint(
+    const WhiteboxCheckpoint& checkpoint) {
+    CheckpointWriter w;
+    encode_header(w, kPayloadWhitebox);
+    encode_meta(w, checkpoint.meta);
+    w.u64(checkpoint.first_shard);
+    w.u64(checkpoint.shards.size());
+    for (const WhiteboxAccumulator& shard : checkpoint.shards) {
+        CheckpointCodec::save(w, shard);
     }
+    return seal(w);
 }
 
-PwcetCheckpoint load_pwcet_checkpoint(const std::string& path) {
+WhiteboxCheckpoint decode_whitebox_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+    CheckpointReader r = open_checkpoint(bytes, kPayloadWhitebox);
+    WhiteboxCheckpoint checkpoint;
+    checkpoint.meta = decode_meta(r, kPayloadWhitebox);
+    checkpoint.first_shard = r.u64();
+    const std::uint64_t n_shards = r.u64();
+    if (checkpoint.first_shard > checkpoint.meta.plan_shards ||
+        n_shards > checkpoint.meta.plan_shards - checkpoint.first_shard) {
+        corrupt("shard range outside the plan");
+    }
+    std::uint64_t folded = 0;
+    for (std::uint64_t i = 0; i < n_shards; ++i) {
+        WhiteboxAccumulator shard = CheckpointCodec::load_whitebox(r);
+        folded += shard.runs();
+        checkpoint.shards.push_back(std::move(shard));
+    }
+    if (folded != checkpoint.meta.last_run - checkpoint.meta.first_run) {
+        corrupt("shard observation counts do not cover the run range");
+    }
+    if (r.remaining() != 0) corrupt("trailing bytes after the payload");
+    return checkpoint;
+}
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         throw CheckpointError("could not open checkpoint file " + path);
@@ -436,8 +513,43 @@ PwcetCheckpoint load_pwcet_checkpoint(const std::string& path) {
     if (in.bad()) {
         throw CheckpointError("could not read checkpoint file " + path);
     }
+    return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+        throw CheckpointError("could not write checkpoint file " + path);
+    }
+}
+
+}  // namespace
+
+void save_pwcet_checkpoint(const std::string& path,
+                           const PwcetCheckpoint& checkpoint) {
+    write_file(path, encode_pwcet_checkpoint(checkpoint));
+}
+
+PwcetCheckpoint load_pwcet_checkpoint(const std::string& path) {
     try {
-        return decode_pwcet_checkpoint(bytes);
+        return decode_pwcet_checkpoint(read_file(path));
+    } catch (const CheckpointError& e) {
+        throw CheckpointError(path + ": " + e.what());
+    }
+}
+
+void save_whitebox_checkpoint(const std::string& path,
+                              const WhiteboxCheckpoint& checkpoint) {
+    write_file(path, encode_whitebox_checkpoint(checkpoint));
+}
+
+WhiteboxCheckpoint load_whitebox_checkpoint(const std::string& path) {
+    try {
+        return decode_whitebox_checkpoint(read_file(path));
     } catch (const CheckpointError& e) {
         throw CheckpointError(path + ": " + e.what());
     }
@@ -567,6 +679,65 @@ MergedPwcetCampaign merge_pwcet_checkpoints(
     merged.meta = reference;
     merged.result = finalize_pwcet_campaign(
         acc, reference.et_isolation, reference.nr, reference.exceedance);
+    return merged;
+}
+
+MergedWhiteboxCampaign merge_whitebox_checkpoints(
+    std::vector<WhiteboxCheckpoint> checkpoints,
+    const std::vector<std::string>& sources) {
+    if (checkpoints.empty()) {
+        throw CheckpointError("merge needs at least one checkpoint");
+    }
+    const auto source = [&](std::size_t i) {
+        return i < sources.size() ? sources[i]
+                                  : "checkpoint #" + std::to_string(i + 1);
+    };
+
+    const CheckpointMeta& reference = checkpoints.front().meta;
+    for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+        require_same_campaign(checkpoints[i].meta, reference, source(i),
+                              source(0));
+    }
+
+    // Coverage: every plan shard exactly once, as in the pwcet fan-in.
+    constexpr std::size_t kNobody = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> owner(
+        static_cast<std::size_t>(reference.plan_shards), kNobody);
+    std::vector<const WhiteboxAccumulator*> by_shard(owner.size(), nullptr);
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        const WhiteboxCheckpoint& checkpoint = checkpoints[i];
+        for (std::size_t s = 0; s < checkpoint.shards.size(); ++s) {
+            const std::size_t index =
+                static_cast<std::size_t>(checkpoint.first_shard) + s;
+            if (owner[index] != kNobody) {
+                throw CheckpointError(
+                    "duplicate slice: shard " + std::to_string(index) +
+                    " appears in both " + source(owner[index]) + " and " +
+                    source(i));
+            }
+            owner[index] = i;
+            by_shard[index] = &checkpoint.shards[s];
+        }
+    }
+    for (std::size_t index = 0; index < owner.size(); ++index) {
+        if (owner[index] == kNobody) {
+            throw CheckpointError(
+                "incomplete campaign: shard " + std::to_string(index) +
+                " of " + std::to_string(owner.size()) +
+                " is covered by no checkpoint");
+        }
+    }
+
+    // The monolithic merge sequence: left-fold in shard-index order, so
+    // the exec-time series comes out in run order.
+    MergedWhiteboxCampaign merged;
+    merged.meta = reference;
+    merged.et_isolation = reference.et_isolation;
+    merged.nr = reference.nr;
+    merged.stats = *by_shard[0];
+    for (std::size_t index = 1; index < by_shard.size(); ++index) {
+        merged.stats.merge(*by_shard[index]);
+    }
     return merged;
 }
 

@@ -168,9 +168,27 @@ struct PwcetCheckpoint {
     std::vector<PwcetAccumulator> shards;
 };
 
+/// A white-box campaign slice on disk — the WhiteboxAccumulator
+/// counterpart of PwcetCheckpoint, for distributing validation-figure
+/// campaigns (gamma / ready-contenders / injection histograms plus the
+/// run-ordered exec-time series). The file format tags its payload
+/// kind, so a pwcet checkpoint can never be merged as a white-box one
+/// or vice versa. Whitebox metadata carries block_size 0 and an empty
+/// exceedance list (no EVT half exists).
+struct WhiteboxCheckpoint {
+    CheckpointMeta meta;
+    std::uint64_t first_shard = 0;
+    std::vector<WhiteboxAccumulator> shards;
+};
+
 [[nodiscard]] std::vector<std::uint8_t> encode_pwcet_checkpoint(
     const PwcetCheckpoint& checkpoint);
 [[nodiscard]] PwcetCheckpoint decode_pwcet_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_whitebox_checkpoint(
+    const WhiteboxCheckpoint& checkpoint);
+[[nodiscard]] WhiteboxCheckpoint decode_whitebox_checkpoint(
     std::span<const std::uint8_t> bytes);
 
 /// File forms; load throws CheckpointError naming the path on any I/O
@@ -178,6 +196,10 @@ struct PwcetCheckpoint {
 void save_pwcet_checkpoint(const std::string& path,
                            const PwcetCheckpoint& checkpoint);
 [[nodiscard]] PwcetCheckpoint load_pwcet_checkpoint(const std::string& path);
+void save_whitebox_checkpoint(const std::string& path,
+                              const WhiteboxCheckpoint& checkpoint);
+[[nodiscard]] WhiteboxCheckpoint load_whitebox_checkpoint(
+    const std::string& path);
 
 /// The accumulator-to-result step shared by the monolithic campaign
 /// (engine/reduce.cpp) and the checkpoint merge: one implementation, so
@@ -212,6 +234,21 @@ struct MergedPwcetCampaign {
 /// {} to report by slice position instead.
 [[nodiscard]] MergedPwcetCampaign merge_pwcet_checkpoints(
     std::vector<PwcetCheckpoint> checkpoints,
+    const std::vector<std::string>& sources = {});
+
+/// White-box fan-in on the same validation + merge-order contract; the
+/// merged accumulator is bit-identical to the monolithic
+/// engine::run_whitebox_campaign's (histograms are exact integer adds,
+/// and shard-order series merge reconstructs run order).
+struct MergedWhiteboxCampaign {
+    CheckpointMeta meta;  ///< the shared campaign identity
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;
+    WhiteboxAccumulator stats;
+};
+
+[[nodiscard]] MergedWhiteboxCampaign merge_whitebox_checkpoints(
+    std::vector<WhiteboxCheckpoint> checkpoints,
     const std::vector<std::string>& sources = {});
 
 }  // namespace rrb

@@ -1,20 +1,39 @@
 #include "stats/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/contract.h"
 
 namespace rrb {
 
-void Histogram::add(std::uint64_t value, std::uint64_t count) {
+void Histogram::add_slow(std::uint64_t value, std::uint64_t count) {
     if (count == 0) return;
-    counts_[value] += count;
+    if (value < kDenseLimit) {
+        if (value >= dense_.size()) {
+            dense_.resize(static_cast<std::size_t>(value) + 1, 0);
+        }
+        dense_[static_cast<std::size_t>(value)] += count;
+    } else {
+        overflow_[value] += count;
+    }
     total_ += count;
 }
 
+void Histogram::clear() noexcept {
+    std::fill(dense_.begin(), dense_.end(), 0);
+    overflow_.clear();
+    total_ = 0;
+}
+
 std::uint64_t Histogram::count(std::uint64_t value) const {
-    const auto it = counts_.find(value);
-    return it == counts_.end() ? 0 : it->second;
+    if (value < kDenseLimit) {
+        return value < dense_.size()
+                   ? dense_[static_cast<std::size_t>(value)]
+                   : 0;
+    }
+    const auto it = overflow_.find(value);
+    return it == overflow_.end() ? 0 : it->second;
 }
 
 double Histogram::fraction(std::uint64_t value) const {
@@ -24,18 +43,30 @@ double Histogram::fraction(std::uint64_t value) const {
 
 std::uint64_t Histogram::min() const {
     RRB_REQUIRE(!empty(), "histogram is empty");
-    return counts_.begin()->first;
+    for (std::size_t v = 0; v < dense_.size(); ++v) {
+        if (dense_[v] != 0) return v;
+    }
+    return overflow_.begin()->first;
 }
 
 std::uint64_t Histogram::max() const {
     RRB_REQUIRE(!empty(), "histogram is empty");
-    return counts_.rbegin()->first;
+    if (!overflow_.empty()) return overflow_.rbegin()->first;
+    for (std::size_t v = dense_.size(); v-- > 0;) {
+        if (dense_[v] != 0) return v;
+    }
+    RRB_ENSURE(false);  // total_ > 0 guarantees an observed value exists
 }
 
 double Histogram::mean() const {
     if (total_ == 0) return 0.0;
     double acc = 0.0;
-    for (const auto& [value, count] : counts_) {
+    for (std::size_t v = 0; v < dense_.size(); ++v) {
+        if (dense_[v] != 0) {
+            acc += static_cast<double>(v) * static_cast<double>(dense_[v]);
+        }
+    }
+    for (const auto& [value, count] : overflow_) {
         acc += static_cast<double>(value) * static_cast<double>(count);
     }
     return acc / static_cast<double>(total_);
@@ -45,7 +76,14 @@ std::uint64_t Histogram::mode() const {
     RRB_REQUIRE(!empty(), "histogram is empty");
     std::uint64_t best_value = 0;
     std::uint64_t best_count = 0;
-    for (const auto& [value, count] : counts_) {
+    // Increasing value order, strict improvement: smallest value wins ties.
+    for (std::size_t v = 0; v < dense_.size(); ++v) {
+        if (dense_[v] > best_count) {
+            best_count = dense_[v];
+            best_value = v;
+        }
+    }
+    for (const auto& [value, count] : overflow_) {
         if (count > best_count) {
             best_count = count;
             best_value = value;
@@ -68,20 +106,32 @@ std::uint64_t Histogram::quantile(double q) const {
         std::ceil(q * static_cast<double>(total_)));
     const std::uint64_t target = rank == 0 ? 1 : rank;
     std::uint64_t cumulative = 0;
-    for (const auto& [value, count] : counts_) {
+    for (std::size_t v = 0; v < dense_.size(); ++v) {
+        cumulative += dense_[v];
+        if (dense_[v] != 0 && cumulative >= target) return v;
+    }
+    for (const auto& [value, count] : overflow_) {
         cumulative += count;
         if (cumulative >= target) return value;
     }
-    return counts_.rbegin()->first;
+    return max();
 }
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::buckets()
     const {
-    return {counts_.begin(), counts_.end()};
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> result;
+    for (std::size_t v = 0; v < dense_.size(); ++v) {
+        if (dense_[v] != 0) result.emplace_back(v, dense_[v]);
+    }
+    result.insert(result.end(), overflow_.begin(), overflow_.end());
+    return result;
 }
 
 void Histogram::merge(const Histogram& other) {
-    for (const auto& [value, count] : other.counts_) add(value, count);
+    for (std::size_t v = 0; v < other.dense_.size(); ++v) {
+        if (other.dense_[v] != 0) add(v, other.dense_[v]);
+    }
+    for (const auto& [value, count] : other.overflow_) add(value, count);
 }
 
 }  // namespace rrb

@@ -14,8 +14,24 @@ namespace rrb {
 
 class Histogram {
 public:
-    /// Adds one observation of `value`.
-    void add(std::uint64_t value, std::uint64_t count = 1);
+    /// Adds one observation of `value`. Inline fast path: a value the
+    /// dense table already spans (every steady-state PMC update — the
+    /// simulator calls this several times per bus transaction) is two
+    /// additions; growth and large values take the out-of-line path.
+    void add(std::uint64_t value, std::uint64_t count = 1) {
+        if (value < dense_.size() && count != 0) {
+            dense_[static_cast<std::size_t>(value)] += count;
+            total_ += count;
+            return;
+        }
+        add_slow(value, count);
+    }
+
+    /// Forgets every observation but keeps the dense storage, so a
+    /// cleared histogram refills without allocating — the contract the
+    /// reused-machine hot path (Machine::reset) relies on for its
+    /// zero-steady-state-allocation guarantee.
+    void clear() noexcept;
 
     /// Total number of observations.
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
@@ -53,7 +69,18 @@ public:
     void merge(const Histogram& other);
 
 private:
-    std::map<std::uint64_t, std::uint64_t> counts_;
+    void add_slow(std::uint64_t value, std::uint64_t count);
+
+    /// Values below kDenseLimit live in a flat table indexed by value;
+    /// anything larger spills into the ordered overflow map. The
+    /// simulator's histograms (per-request gamma <= ubd, contender
+    /// counts <= Nc, injection deltas, DRAM latencies) are small-valued,
+    /// so the request path stays on the dense side — O(1) adds with no
+    /// node allocation — while arbitrary values remain exact.
+    static constexpr std::uint64_t kDenseLimit = 4096;
+
+    std::vector<std::uint64_t> dense_;  ///< count of value v at index v
+    std::map<std::uint64_t, std::uint64_t> overflow_;  ///< v >= kDenseLimit
     std::uint64_t total_ = 0;
 };
 

@@ -8,12 +8,19 @@
 namespace rrb {
 namespace {
 
-class BusTest : public ::testing::Test {
+class BusTest : public ::testing::Test, protected BusClient {
 protected:
     static constexpr CoreId kCores = 4;
     static constexpr Cycle kLbus = 2;
 
-    BusTest() : bus_(kCores, std::make_unique<RoundRobinArbiter>(kCores)) {}
+    BusTest() : bus_(kCores, std::make_unique<RoundRobinArbiter>(kCores)) {
+        bus_.attach_client(this);
+    }
+
+    /// The one completion sink: records (core, completion) pairs.
+    void bus_complete(const BusRequest& request, Cycle completion) override {
+        completions_.push_back({request.core, completion});
+    }
 
     /// Runs both phases for a window of cycles.
     void run_cycles(Cycle from, Cycle to) {
@@ -24,11 +31,8 @@ protected:
     }
 
     void post(CoreId core, Cycle ready, Cycle duration = kLbus) {
-        BusRequest req{core, BusOp::kDataLoad, 0x100u * core, ready, duration,
-                       0};
-        bus_.post(req, [this, core](const BusRequest&, Cycle completion) {
-            completions_.push_back({core, completion});
-        });
+        bus_.post({core, BusOp::kDataLoad, 0x100u * core, ready, duration,
+                   0});
     }
 
     Bus bus_;
@@ -157,21 +161,45 @@ TEST_F(BusTest, ResetCountersClears) {
 
 TEST_F(BusTest, ZeroDurationRejected) {
     BusRequest req{0, BusOp::kDataLoad, 0, 0, 0, 0};
-    EXPECT_THROW(bus_.post(req, nullptr), std::invalid_argument);
+    EXPECT_THROW(bus_.post(req), std::invalid_argument);
 }
+
+/// Minimal standalone client for tests outside the fixture.
+struct RecordingClient final : BusClient {
+    std::vector<std::pair<CoreId, Cycle>> completions;
+    void bus_complete(const BusRequest& request, Cycle c) override {
+        completions.push_back({request.core, c});
+    }
+};
 
 TEST(BusTdma, SlotOwnershipDelaysGrant) {
     Bus bus(2, std::make_unique<TdmaArbiter>(2, 10));
-    std::vector<Cycle> completions;
-    BusRequest req{1, BusOp::kDataLoad, 0, 0, 2, 0};
-    bus.post(req, [&](const BusRequest&, Cycle c) { completions.push_back(c); });
+    RecordingClient client;
+    bus.attach_client(&client);
+    bus.post({1, BusOp::kDataLoad, 0, 0, 2, 0});
     for (Cycle now = 0; now <= 20; ++now) {
         bus.complete_phase(now);
         bus.arbitrate_phase(now);
     }
     // Core 1 owns [10,20): granted at 10, completes at 12.
-    ASSERT_EQ(completions.size(), 1u);
-    EXPECT_EQ(completions[0], 12u);
+    ASSERT_EQ(client.completions.size(), 1u);
+    EXPECT_EQ(client.completions[0].second, 12u);
+}
+
+TEST(BusTdma, SoleContenderStillWaitsForItsSlot) {
+    // The single-pending arbitration fast path must respect slot
+    // ownership: core 0 owns [0,10) but its 8-cycle transaction posted
+    // at cycle 5 no longer fits, so the grant slips to its next slot.
+    Bus bus(2, std::make_unique<TdmaArbiter>(2, 10));
+    RecordingClient client;
+    bus.attach_client(&client);
+    bus.post({0, BusOp::kDataLoad, 0, 5, 8, 0});
+    for (Cycle now = 0; now <= 40; ++now) {
+        bus.complete_phase(now);
+        bus.arbitrate_phase(now);
+    }
+    ASSERT_EQ(client.completions.size(), 1u);
+    EXPECT_EQ(client.completions[0].second, 28u);  // granted at 20
 }
 
 }  // namespace

@@ -39,10 +39,21 @@ TEST_P(BusFuzz, InvariantsHoldUnderRandomTraffic) {
         Cycle duration;
         Cycle completion;
     };
-    std::vector<Completion> completions;
+    // The fixed client sees each finished request with its original
+    // fields, which carry everything the invariants need.
+    struct Client final : BusClient {
+        std::vector<Completion> completions;
+        std::vector<bool> pending;
+        std::uint64_t completed = 0;
+        void bus_complete(const BusRequest& r, Cycle completion) override {
+            completions.push_back({r.ready, r.duration, completion});
+            pending[r.core] = false;
+            ++completed;
+        }
+    } client;
+    client.pending.assign(params.cores, false);
+    bus.attach_client(&client);
     std::uint64_t posted = 0;
-    std::uint64_t completed = 0;
-    std::vector<bool> pending(params.cores, false);
     std::uint64_t expected_busy = 0;
 
     const Cycle horizon = 20000;
@@ -51,26 +62,21 @@ TEST_P(BusFuzz, InvariantsHoldUnderRandomTraffic) {
         // Randomly post new requests on idle cores (leave tail room so
         // everything drains before the horizon).
         for (CoreId c = 0; c < params.cores; ++c) {
-            if (pending[c] || now > horizon - 400) continue;
+            if (client.pending[c] || now > horizon - 400) continue;
             if (!rng.next_bool(0.3)) continue;
             const Cycle duration =
                 1 + rng.next_below(
                         static_cast<std::uint32_t>(params.max_duration));
             const Cycle ready = now + rng.next_below(4);
-            BusRequest req{c, BusOp::kDataLoad, 0x40u * c, ready, duration,
-                           0};
             ++posted;
             expected_busy += duration;
-            pending[c] = true;
-            bus.post(req, [&, c, ready, duration](const BusRequest&,
-                                                  Cycle completion) {
-                completions.push_back({ready, duration, completion});
-                pending[c] = false;
-                ++completed;
-            });
+            client.pending[c] = true;
+            bus.post({c, BusOp::kDataLoad, 0x40u * c, ready, duration, 0});
         }
         bus.arbitrate_phase(now);
     }
+    const std::vector<Completion>& completions = client.completions;
+    const std::uint64_t completed = client.completed;
 
     ASSERT_GT(posted, 100u);
     EXPECT_EQ(completed, posted);  // nothing lost, nothing duplicated
@@ -101,29 +107,31 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BusFuzzFifoOrder, PerCoreCompletionsAreFifo) {
     // A single core's requests must complete in post order (one
-    // outstanding at a time enforces this structurally; the callback
-    // order must agree).
+    // outstanding at a time enforces this structurally; the delivery
+    // order must agree). Tags ride BusRequest::tag.
     Bus bus(2, std::make_unique<RoundRobinArbiter>(2));
+    struct Client final : BusClient {
+        std::vector<std::uint64_t> order;
+        bool busy = false;
+        void bus_complete(const BusRequest& r, Cycle) override {
+            order.push_back(r.tag);
+            busy = false;
+        }
+    } client;
+    bus.attach_client(&client);
     Pcg32 rng(99);
-    std::vector<int> order;
-    int next_tag = 0;
-    bool busy = false;
+    std::uint64_t next_tag = 0;
     for (Cycle now = 0; now < 2000; ++now) {
         bus.complete_phase(now);
-        if (!busy && rng.next_bool(0.5)) {
-            const int tag = next_tag++;
-            BusRequest req{0, BusOp::kDataLoad, 0, now,
-                           1 + rng.next_below(5), 0};
-            busy = true;
-            bus.post(req, [&order, &busy, tag](const BusRequest&, Cycle) {
-                order.push_back(tag);
-                busy = false;
-            });
+        if (!client.busy && rng.next_bool(0.5)) {
+            client.busy = true;
+            bus.post({0, BusOp::kDataLoad, 0, now, 1 + rng.next_below(5),
+                      next_tag++});
         }
         bus.arbitrate_phase(now);
     }
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        EXPECT_EQ(order[i], static_cast<int>(i));
+    for (std::size_t i = 0; i < client.order.size(); ++i) {
+        EXPECT_EQ(client.order[i], i);
     }
 }
 
@@ -132,30 +140,34 @@ TEST(BusFuzzStarvation, RoundRobinServesEveryoneUnderSaturation) {
     // grants, every core is served at least once.
     constexpr CoreId kCores = 4;
     Bus bus(kCores, std::make_unique<RoundRobinArbiter>(kCores));
-    std::vector<std::uint64_t> grants(kCores, 0);
-    std::vector<bool> pending(kCores, false);
+    struct Client final : BusClient {
+        std::vector<std::uint64_t> grants;
+        std::vector<bool> pending;
+        void bus_complete(const BusRequest& r, Cycle) override {
+            ++grants[r.core];
+            pending[r.core] = false;
+        }
+    } client;
+    client.grants.assign(kCores, 0);
+    client.pending.assign(kCores, false);
+    bus.attach_client(&client);
 
     auto repost = [&](CoreId c, Cycle ready) {
-        BusRequest req{c, BusOp::kDataLoad, 0, ready, 3, 0};
-        pending[c] = true;
-        bus.post(req, [&, c](const BusRequest&, Cycle completion) {
-            ++grants[c];
-            pending[c] = false;
-            (void)completion;
-        });
+        client.pending[c] = true;
+        bus.post({c, BusOp::kDataLoad, 0, ready, 3, 0});
     };
     for (CoreId c = 0; c < kCores; ++c) repost(c, 0);
     for (Cycle now = 0; now < 6000; ++now) {
         bus.complete_phase(now);
         for (CoreId c = 0; c < kCores; ++c) {
-            if (!pending[c] && now < 5500) repost(c, now);
+            if (!client.pending[c] && now < 5500) repost(c, now);
         }
         bus.arbitrate_phase(now);
     }
     const std::uint64_t min_grants =
-        *std::min_element(grants.begin(), grants.end());
+        *std::min_element(client.grants.begin(), client.grants.end());
     const std::uint64_t max_grants =
-        *std::max_element(grants.begin(), grants.end());
+        *std::max_element(client.grants.begin(), client.grants.end());
     EXPECT_GT(min_grants, 100u);
     EXPECT_LE(max_grants - min_grants, 2u);  // near-perfect fairness
 }

@@ -451,5 +451,140 @@ TEST(SessionResume, CompletesAPartiallyCheckpointedCampaign) {
     std::remove(other.c_str());
 }
 
+// ------------------------------------------------- whitebox checkpoints
+
+void expect_same_whitebox(const WhiteboxAccumulator& a,
+                          const WhiteboxAccumulator& b,
+                          const std::string& label) {
+    EXPECT_EQ(a.runs(), b.runs()) << label;
+    EXPECT_EQ(a.max_gamma(), b.max_gamma()) << label;
+    EXPECT_EQ(a.gamma().buckets(), b.gamma().buckets()) << label;
+    EXPECT_EQ(a.ready_contenders().buckets(),
+              b.ready_contenders().buckets())
+        << label;
+    EXPECT_EQ(a.injection_delta().buckets(), b.injection_delta().buckets())
+        << label;
+    // Run-ordered series, element for element (exact doubles).
+    EXPECT_EQ(a.exec_times().values(), b.exec_times().values()) << label;
+    EXPECT_EQ(a.extremes().count(), b.extremes().count()) << label;
+    if (!a.extremes().empty() && !b.extremes().empty()) {
+        EXPECT_EQ(a.extremes().max(), b.extremes().max()) << label;
+        EXPECT_EQ(a.extremes().min(), b.extremes().min()) << label;
+    }
+}
+
+TEST(WhiteboxCheckpointFile, EncodeDecodeRoundTripsBitExactly) {
+    Session session;
+    session.jobs(2);
+    const WhiteboxCheckpoint a = session.checkpoint(
+        small_scenario(), SliceSpec{0, 1}, temp_path("wb_roundtrip"));
+    const std::vector<std::uint8_t> first = encode_whitebox_checkpoint(a);
+    const WhiteboxCheckpoint b = decode_whitebox_checkpoint(first);
+    EXPECT_EQ(encode_whitebox_checkpoint(b), first);
+    EXPECT_EQ(b.meta.scenario_fingerprint, a.meta.scenario_fingerprint);
+    EXPECT_EQ(b.meta.block_size, 0u);  // no EVT half on whitebox slices
+    EXPECT_TRUE(b.meta.exceedance.empty());
+    EXPECT_EQ(b.shards.size(), a.shards.size());
+    std::remove(temp_path("wb_roundtrip").c_str());
+}
+
+TEST(WhiteboxCheckpointFile, PayloadKindsDoNotCrossMerge) {
+    // A pwcet checkpoint must never decode as a whitebox one (or vice
+    // versa) — same container, tagged payloads.
+    const std::vector<std::uint8_t> pwcet_bytes =
+        encode_pwcet_checkpoint(make_checkpoint());
+    EXPECT_THROW((void)decode_whitebox_checkpoint(pwcet_bytes),
+                 CheckpointError);
+
+    Session session;
+    const WhiteboxCheckpoint whitebox = session.checkpoint(
+        small_scenario(), SliceSpec{0, 1}, temp_path("wb_kind"));
+    const std::vector<std::uint8_t> whitebox_bytes =
+        encode_whitebox_checkpoint(whitebox);
+    EXPECT_THROW((void)decode_pwcet_checkpoint(whitebox_bytes),
+                 CheckpointError);
+    std::remove(temp_path("wb_kind").c_str());
+}
+
+TEST(MergeWhitebox, SliceThenMergeIsBitIdenticalToMonolithic) {
+    for (const std::uint64_t seed : {7ull, 23ull}) {
+        const Scenario scenario = small_scenario(seed);
+
+        Session monolithic;
+        monolithic.jobs(1);
+        const engine::WhiteboxCampaignResult reference =
+            monolithic.whitebox(scenario);
+
+        for (const std::size_t slices : {1u, 3u}) {
+            for (const std::size_t jobs : {1u, 4u}) {
+                std::vector<std::string> paths;
+                Session worker;
+                worker.jobs(jobs);
+                for (std::size_t i = 0; i < slices; ++i) {
+                    const std::string path = temp_path(
+                        "wbslice_" + std::to_string(seed) + "_" +
+                        std::to_string(slices) + "_" +
+                        std::to_string(jobs) + "_" + std::to_string(i));
+                    (void)worker.checkpoint(scenario, {i, slices}, path);
+                    paths.push_back(path);
+                }
+                Session merger;
+                const MergedWhiteboxCampaign merged =
+                    merger.merge_whitebox(paths);
+                const std::string label =
+                    "seed " + std::to_string(seed) + " slices " +
+                    std::to_string(slices) + " jobs " +
+                    std::to_string(jobs);
+                EXPECT_EQ(merged.et_isolation, reference.et_isolation)
+                    << label;
+                EXPECT_EQ(merged.nr, reference.nr) << label;
+                expect_same_whitebox(merged.stats, reference.stats, label);
+                for (const std::string& path : paths) {
+                    std::remove(path.c_str());
+                }
+            }
+        }
+    }
+}
+
+TEST(MergeWhitebox, RejectsMismatchedAndIncompleteSlices) {
+    Session session;
+    session.jobs(2);
+    const std::string p0 = temp_path("wb_rej_0");
+    const std::string p1 = temp_path("wb_rej_1");
+    (void)session.checkpoint(small_scenario(7), SliceSpec{0, 2}, p0);
+    (void)session.checkpoint(small_scenario(7), SliceSpec{1, 2}, p1);
+
+    // Missing slice.
+    Session incomplete;
+    EXPECT_THROW((void)incomplete.merge_whitebox({p0}), CheckpointError);
+    // Duplicate slice.
+    Session duplicated;
+    EXPECT_THROW((void)duplicated.merge_whitebox({p0, p0, p1}),
+                 CheckpointError);
+    // Another campaign's slice.
+    const std::string other = temp_path("wb_rej_other");
+    Session other_session;
+    (void)other_session.checkpoint(small_scenario(99), SliceSpec{1, 2},
+                                   other);
+    Session mismatched;
+    EXPECT_THROW((void)mismatched.merge_whitebox({p0, other}),
+                 CheckpointError);
+    // A pwcet file in a whitebox merge is rejected by payload kind.
+    const std::string pwcet_path = temp_path("wb_rej_pwcet");
+    Session pwcet_session;
+    pwcet_session.jobs(2);
+    (void)pwcet_session.checkpoint(small_scenario(7), small_spec(),
+                                   SliceSpec{1, 2}, pwcet_path);
+    Session cross;
+    EXPECT_THROW((void)cross.merge_whitebox({p0, pwcet_path}),
+                 CheckpointError);
+
+    std::remove(p0.c_str());
+    std::remove(p1.c_str());
+    std::remove(other.c_str());
+    std::remove(pwcet_path.c_str());
+}
+
 }  // namespace
 }  // namespace rrb

@@ -315,6 +315,78 @@ TEST(Cli, MergeValidation) {
     std::remove(path.c_str());
 }
 
+TEST(Cli, WhiteboxReportsDelayHistogramsVsUbd) {
+    const CliResult r = invoke({"whitebox", "--runs", "6", "--jobs", "2",
+                                "--iterations", "15"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("whitebox: 6 runs"), std::string::npos);
+    EXPECT_NE(r.out.find("max gamma ="), std::string::npos);
+    EXPECT_NE(r.out.find("bounded: yes"), std::string::npos);
+    EXPECT_NE(r.out.find("ready contenders:"), std::string::npos);
+}
+
+TEST(Cli, WhiteboxShardAndMergeWhiteboxReproduceTheReference) {
+    const std::string dir = testing::TempDir();
+    const CliResult reference =
+        invoke({"whitebox", "--runs", "24", "--jobs", "2", "--iterations",
+                "15", "--seed", "9"});
+    EXPECT_EQ(reference.code, 0);
+
+    std::vector<std::string> merge_args = {"merge-whitebox"};
+    for (const char* shard : {"0/3", "1/3", "2/3"}) {
+        const std::string path =
+            dir + "rrb_cli_wb_shard_" + std::string(1, shard[0]) + ".ckpt";
+        const CliResult r =
+            invoke({"whitebox", "--runs", "24", "--jobs", "2",
+                    "--iterations", "15", "--seed", "9", "--shard", shard,
+                    "--checkpoint-out", path});
+        EXPECT_EQ(r.code, 0) << r.err;
+        EXPECT_NE(r.out.find("checkpoint written to " + path),
+                  std::string::npos);
+        merge_args.push_back(path);
+    }
+
+    const CliResult merged = invoke(merge_args);
+    EXPECT_EQ(merged.code, 0) << merged.err;
+    EXPECT_NE(merged.out.find("merge-whitebox: 3 checkpoints, 24 runs"),
+              std::string::npos);
+    // Byte-identical from line 2: the distributed fan-in reproduces the
+    // single-process report exactly.
+    EXPECT_EQ(merged.out.substr(merged.out.find('\n')),
+              reference.out.substr(reference.out.find('\n')));
+
+    for (std::size_t i = 1; i < merge_args.size(); ++i) {
+        std::remove(merge_args[i].c_str());
+    }
+}
+
+TEST(Cli, MergeWhiteboxRejectsPwcetCheckpoints) {
+    const std::string dir = testing::TempDir();
+    const std::string path = dir + "rrb_cli_wb_cross.ckpt";
+    const CliResult made =
+        invoke({"pwcet", "--runs", "16", "--block-size", "4", "--jobs",
+                "2", "--iterations", "15", "--shard", "0/1",
+                "--checkpoint-out", path});
+    ASSERT_EQ(made.code, 0) << made.err;
+    const CliResult crossed = invoke({"merge-whitebox", path});
+    EXPECT_EQ(crossed.code, 1);
+    EXPECT_NE(crossed.err.find("pwcet"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, WhiteboxValidatesFlags) {
+    // pwcet-only flags do not leak into whitebox.
+    EXPECT_EQ(invoke({"whitebox", "--block-size", "8"}).code, 1);
+    EXPECT_EQ(invoke({"whitebox", "--exceedance", "1e-6"}).code, 1);
+    // Shard spec validation matches pwcet's.
+    const CliResult bad = invoke({"whitebox", "--shard", "3/2",
+                                  "--checkpoint-out", "/tmp/x.ckpt"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("--shard"), std::string::npos);
+    // merge-whitebox needs files.
+    EXPECT_EQ(invoke({"merge-whitebox"}).code, 1);
+}
+
 TEST(Cli, PositionalArgumentsAreRejectedOutsideMerge) {
     const CliResult r = invoke({"pwcet", "stray.ckpt"});
     EXPECT_EQ(r.code, 1);

@@ -9,23 +9,26 @@ namespace {
 
 /// A scripted bus: serves every request after a fixed latency, recording
 /// (op, addr, ready) tuples. Lets us test core timing in isolation.
+/// attach() the core after construction — completions dispatch through
+/// the production on_bus_complete entry point, POD slots and all.
 class FakePort final : public CoreBusPort {
 public:
     explicit FakePort(Cycle service_latency) : latency_(service_latency) {}
 
-    void request(BusOp op, Addr addr, Cycle ready,
-                 std::function<void(Cycle)> on_complete) override {
+    void attach(InOrderCore* core) { core_ = core; }
+
+    void request(BusOp op, Addr addr, Cycle ready, BusSlot slot) override {
         log.push_back({op, addr, ready});
-        pending_.push_back({ready + latency_, std::move(on_complete)});
+        pending_.push_back({ready + latency_, slot});
     }
 
     /// Delivers completions due at `now` (call before core.tick(now)).
     void tick(Cycle now) {
         for (auto it = pending_.begin(); it != pending_.end();) {
             if (it->first <= now) {
-                auto cb = std::move(it->second);
+                const BusSlot slot = it->second;
                 it = pending_.erase(it);
-                cb(now);
+                core_->on_bus_complete(slot, now);
             } else {
                 ++it;
             }
@@ -41,7 +44,8 @@ public:
 
 private:
     Cycle latency_;
-    std::vector<std::pair<Cycle, std::function<void(Cycle)>>> pending_;
+    InOrderCore* core_ = nullptr;
+    std::vector<std::pair<Cycle, BusSlot>> pending_;
 };
 
 CoreConfig test_config() {
@@ -65,6 +69,7 @@ TEST(InOrderCore, NopKernelTiming) {
     FakePort port(5);
     CoreConfig cfg = test_config();
     InOrderCore core(0, cfg, port);
+    port.attach(&core);
     Program p = ProgramBuilder("nops").nop(10).iterations(3)
                     .loop_control(2).build();
     core.set_program(p);
@@ -82,6 +87,7 @@ TEST(InOrderCore, NopKernelTiming) {
 TEST(InOrderCore, AluLatencyCharged) {
     FakePort port(5);
     InOrderCore core(0, test_config(), port);
+    port.attach(&core);
     core.set_program(
         ProgramBuilder("alu").alu(4, 3).iterations(1).loop_control(0).build());
     core.il1().warm(0);
@@ -94,6 +100,7 @@ TEST(InOrderCore, Dl1HitLoadCostsDl1Latency) {
     CoreConfig cfg = test_config();
     cfg.dl1_latency = 1;
     InOrderCore core(0, cfg, port);
+    port.attach(&core);
     Program p = ProgramBuilder("ld")
                     .load(AddrPattern::fixed(0x1000))
                     .iterations(4)
@@ -113,6 +120,7 @@ TEST(InOrderCore, Dl1MissIssuesRequestAfterLookup) {
     CoreConfig cfg = test_config();
     cfg.dl1_latency = 1;
     InOrderCore core(0, cfg, port);
+    port.attach(&core);
     Program p = ProgramBuilder("ld")
                     .load(AddrPattern::fixed(0x2000))
                     .iterations(1)
@@ -134,6 +142,7 @@ TEST(InOrderCore, InjectionTimeIsDl1LatencyForBackToBackLoads) {
         CoreConfig cfg = test_config();
         cfg.dl1_latency = dl1_lat;
         InOrderCore core(0, cfg, port);
+        port.attach(&core);
         // Two distinct lines mapping to different sets, never cached (cold
         // each iteration? no — use 5 same-set lines like rsk).
         const CacheGeometry g = cfg.dl1_geometry;
@@ -158,6 +167,7 @@ TEST(InOrderCore, NopsStretchInjectionTime) {
     CoreConfig cfg = test_config();
     cfg.dl1_latency = 1;
     InOrderCore core(0, cfg, port);
+    port.attach(&core);
     const CacheGeometry g = cfg.dl1_geometry;
     const std::uint32_t k = 6;
     ProgramBuilder b("rsk-nop");
@@ -173,6 +183,7 @@ TEST(InOrderCore, NopsStretchInjectionTime) {
 TEST(InOrderCore, StoreRetiresInOneCycleWhenBufferHasSpace) {
     FakePort port(50);
     InOrderCore core(0, test_config(), port);  // 2-entry buffer
+    port.attach(&core);
     Program p = ProgramBuilder("st")
                     .store(AddrPattern::fixed(0x3000))
                     .nop(3)
@@ -194,6 +205,7 @@ TEST(InOrderCore, StoreRetiresInOneCycleWhenBufferHasSpace) {
 TEST(InOrderCore, FullStoreBufferStalls) {
     FakePort port(100);  // very slow drains
     InOrderCore core(0, test_config(), port);  // 2 entries
+    port.attach(&core);
     Program p = ProgramBuilder("st4")
                     .store(AddrPattern::fixed(0x3000))
                     .store(AddrPattern::fixed(0x3040))
@@ -215,6 +227,7 @@ TEST(InOrderCore, FullStoreBufferStalls) {
 TEST(InOrderCore, DoneWaitsForStoreBufferDrain) {
     FakePort port(20);
     InOrderCore core(0, test_config(), port);
+    port.attach(&core);
     Program p = ProgramBuilder("st")
                     .store(AddrPattern::fixed(0x3000))
                     .iterations(1)
@@ -232,6 +245,7 @@ TEST(InOrderCore, LoadWaitsForStoreBufferWhenConfigured) {
     CoreConfig cfg = test_config();
     cfg.loads_wait_store_buffer = true;
     InOrderCore core(0, cfg, port);
+    port.attach(&core);
     Program p = ProgramBuilder("st-ld")
                     .store(AddrPattern::fixed(0x3000))
                     .load(AddrPattern::fixed(0x5000))
@@ -252,6 +266,7 @@ TEST(InOrderCore, LoadWaitsForStoreBufferWhenConfigured) {
 TEST(InOrderCore, IfetchMissOnColdCode) {
     FakePort port(9);
     InOrderCore core(0, test_config(), port);
+    port.attach(&core);
     // 16 instructions = 2 IL1 lines -> 2 ifetch requests, cold.
     Program p = ProgramBuilder("nops").nop(16).iterations(2)
                     .code_base(0x9000).loop_control(0).build();
@@ -265,6 +280,7 @@ TEST(InOrderCore, StoreDrainsHaveZeroInjectionTime) {
     // previous drain's completion (Section 5.3's delta = 0 property).
     FakePort port(7);
     InOrderCore core(0, test_config(), port);
+    port.attach(&core);
     ProgramBuilder b("sts");
     for (int i = 0; i < 6; ++i) {
         b.store(AddrPattern::fixed(0x3000 + 64u * static_cast<Addr>(i)));
@@ -283,6 +299,7 @@ TEST(InOrderCore, StoreDrainsHaveZeroInjectionTime) {
 TEST(InOrderCore, FinishCycleRequiresDone) {
     FakePort port(5);
     InOrderCore core(0, test_config(), port);
+    port.attach(&core);
     core.set_program(ProgramBuilder("n").nop(100).build());
     EXPECT_THROW((void)core.finish_cycle(), std::invalid_argument);
 }

@@ -13,19 +13,20 @@ DramConfig small_config() {
     return cfg;
 }
 
-class DramTest : public ::testing::Test {
+class DramTest : public ::testing::Test, protected DramClient {
 protected:
-    DramTest() : mc_(small_config()) {}
+    DramTest() : mc_(small_config()) { mc_.attach_client(this); }
+
+    void dram_complete(const DramRequest& r, Cycle done) override {
+        completions_.push_back({r.addr, done});
+    }
 
     void run_to(Cycle end) {
         for (; now_ <= end; ++now_) mc_.tick(now_);
     }
 
     void enqueue(Addr addr, Cycle arrival, bool write = false, CoreId core = 0) {
-        mc_.enqueue({core, addr, write, arrival, 0},
-                    [this](const DramRequest& r, Cycle done) {
-                        completions_.push_back({r.addr, done});
-                    });
+        mc_.enqueue({core, addr, write, arrival, 0});
     }
 
     MemoryController mc_;
@@ -95,18 +96,20 @@ TEST_F(DramTest, FcfsKeepsArrivalOrder) {
     DramConfig cfg = small_config();
     cfg.scheduling = DramScheduling::kFcfs;
     MemoryController mc(cfg);
-    std::vector<Addr> order;
-    auto push = [&](Addr addr, Cycle arrival) {
-        mc.enqueue({0, addr, false, arrival, 0},
-                   [&](const DramRequest& r, Cycle) { order.push_back(r.addr); });
-    };
-    push(0x0, 0);
+    struct Client final : DramClient {
+        std::vector<Addr> order;
+        void dram_complete(const DramRequest& r, Cycle) override {
+            order.push_back(r.addr);
+        }
+    } client;
+    mc.attach_client(&client);
+    mc.enqueue({0, 0x0, false, 0, 0});
     const Addr conflict = cfg.row_bytes * cfg.num_banks;
-    push(conflict, 0);
-    push(32 * 4, 0);  // row hit for row 0, but arrived later
+    mc.enqueue({0, conflict, false, 0, 0});
+    mc.enqueue({0, 32 * 4, false, 0, 0});  // row 0 hit, arrived later
     for (Cycle now = 0; now <= 120; ++now) mc.tick(now);
-    ASSERT_EQ(order.size(), 3u);
-    EXPECT_EQ(order[1], conflict);
+    ASSERT_EQ(client.order.size(), 3u);
+    EXPECT_EQ(client.order[1], conflict);
 }
 
 TEST_F(DramTest, BankParallelismOverlapsButDataBusSerializes) {

@@ -8,6 +8,16 @@
 namespace rrb {
 namespace {
 
+/// Minimal completion recorder for the controller-direct tests.
+struct RecordingClient final : DramClient {
+    std::vector<Cycle> completions;
+    int done = 0;
+    void dram_complete(const DramRequest&, Cycle c) override {
+        completions.push_back(c);
+        ++done;
+    }
+};
+
 DramConfig base_config() {
     DramConfig cfg;
     cfg.capacity_bytes = 1 << 20;
@@ -30,15 +40,14 @@ TEST(DramRefresh, BlocksBanksDuringRefresh) {
     cfg.refresh_interval = 100;
     cfg.refresh_duration = 30;
     MemoryController mc(cfg);
+    RecordingClient client;
+    mc.attach_client(&client);
 
-    std::vector<Cycle> completions;
     // Request arriving exactly at the refresh boundary waits out tRFC.
-    mc.enqueue({0, 0x0, false, 100, 0},
-               [&](const DramRequest&, Cycle done) {
-                   completions.push_back(done);
-               });
+    mc.enqueue({0, 0x0, false, 100, 0});
     for (Cycle now = 0; now <= 200; ++now) mc.tick(now);
 
+    const std::vector<Cycle>& completions = client.completions;
     ASSERT_EQ(completions.size(), 1u);
     const DramTiming t;
     // Issue at 130 (refresh end), row closed by refresh -> ACT path.
@@ -54,10 +63,10 @@ TEST(DramRefresh, ClosesOpenRows) {
     MemoryController mc(cfg);
     int row_hits_after = -1;
 
-    mc.enqueue({0, 0x0, false, 0, 0}, nullptr);  // opens row 0
+    mc.enqueue({0, 0x0, false, 0, 0});  // opens row 0
     for (Cycle now = 0; now <= 999; ++now) mc.tick(now);
     // Same row again, but after the refresh at 1000 it must be a miss.
-    mc.enqueue({0, 0x0, false, 1001, 0}, nullptr);
+    mc.enqueue({0, 0x0, false, 1001, 0});
     for (Cycle now = 1000; now <= 1100; ++now) mc.tick(now);
     row_hits_after = static_cast<int>(mc.stats().row_hits);
     EXPECT_EQ(row_hits_after, 0);
@@ -68,15 +77,14 @@ TEST(DramClosedPage, EveryAccessPaysActivation) {
     DramConfig cfg = base_config();
     cfg.page_policy = PagePolicy::kClosedPage;
     MemoryController mc(cfg);
-    std::vector<Cycle> completions;
-    auto cb = [&](const DramRequest&, Cycle done) {
-        completions.push_back(done);
-    };
-    mc.enqueue({0, 0x0, false, 0, 0}, cb);
+    RecordingClient client;
+    mc.attach_client(&client);
+    mc.enqueue({0, 0x0, false, 0, 0});
     for (Cycle now = 0; now <= 40; ++now) mc.tick(now);
-    mc.enqueue({0, 0x0 + 32 * 4, false, 41, 0}, cb);  // same row!
+    mc.enqueue({0, 0x0 + 32 * 4, false, 41, 0});  // same row!
     for (Cycle now = 41; now <= 90; ++now) mc.tick(now);
 
+    const std::vector<Cycle>& completions = client.completions;
     ASSERT_EQ(completions.size(), 2u);
     const DramTiming t;
     const Cycle flat = t.t_overhead + t.t_rcd + t.t_cl + t.t_burst;
@@ -90,16 +98,15 @@ TEST(DramClosedPage, BankBusyIncludesPrecharge) {
     DramConfig cfg = base_config();
     cfg.page_policy = PagePolicy::kClosedPage;
     MemoryController mc(cfg);
-    std::vector<Cycle> completions;
-    auto cb = [&](const DramRequest&, Cycle done) {
-        completions.push_back(done);
-    };
+    RecordingClient client;
+    mc.attach_client(&client);
     // Two back-to-back accesses to the SAME bank: the second waits the
     // auto-precharge tRP on top of the first access.
-    mc.enqueue({0, 0x0, false, 0, 0}, cb);
-    mc.enqueue({0, 0x0 + 32 * 4, false, 0, 0}, cb);
+    mc.enqueue({0, 0x0, false, 0, 0});
+    mc.enqueue({0, 0x0 + 32 * 4, false, 0, 0});
     for (Cycle now = 0; now <= 80; ++now) mc.tick(now);
 
+    const std::vector<Cycle>& completions = client.completions;
     ASSERT_EQ(completions.size(), 2u);
     const DramTiming t;
     const Cycle flat = t.t_overhead + t.t_rcd + t.t_cl + t.t_burst;
@@ -113,14 +120,14 @@ TEST(DramClosedPage, NoRefreshInteractionCrash) {
     cfg.refresh_interval = 50;
     cfg.refresh_duration = 10;
     MemoryController mc(cfg);
-    int done = 0;
+    RecordingClient client;
+    mc.attach_client(&client);
     for (int i = 0; i < 10; ++i) {
         mc.enqueue({0, static_cast<Addr>(i) * 32, false,
-                    static_cast<Cycle>(i) * 7, 0},
-                   [&](const DramRequest&, Cycle) { ++done; });
+                    static_cast<Cycle>(i) * 7, 0});
     }
     for (Cycle now = 0; now <= 2000; ++now) mc.tick(now);
-    EXPECT_EQ(done, 10);
+    EXPECT_EQ(client.done, 10);
     EXPECT_GT(mc.stats().refreshes, 10u);
 }
 
