@@ -33,6 +33,8 @@
 #include "kernels/autobench.h"
 #include "machine/config.h"
 #include "machine/machine.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
 
 // ------------------------------------------------ allocation interposer
 
@@ -146,6 +148,28 @@ std::uint64_t env_runs(const char* name, std::uint64_t fallback) {
     return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
 }
 
+/// The committed reference's hot runs/sec, for the CI regression gate:
+/// finds the "hot" object in a previous BENCH_hotpath.json and reads
+/// its runs_per_sec. Returns 0 when the file or field is missing (the
+/// gate then reports and skips rather than failing on a fresh repo).
+double baseline_hot_runs_per_sec(const char* path) {
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) return 0.0;
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        text.append(buf, got);
+    }
+    std::fclose(f);
+    const std::size_t hot = text.find("\"hot\"");
+    if (hot == std::string::npos) return 0.0;
+    const std::string key = "\"runs_per_sec\": ";
+    const std::size_t at = text.find(key, hot);
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
 /// The naive reference: fresh machine, naive stepping, per-run program
 /// loads — semantically the pre-PR execution path. Runs the run indices
 /// [first, first + runs) so its finishes are comparable one-to-one with
@@ -211,9 +235,21 @@ PathResult run_hot(const MachineConfig& config, const Program& scua,
 
 int main(int argc, char** argv) {
     const char* out_path = nullptr;
+    const char* telemetry_path = nullptr;
+    const char* baseline_path = nullptr;
+    double max_regression_pct = -1.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            telemetry_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-regression-pct") == 0 &&
+                   i + 1 < argc) {
+            max_regression_pct = std::strtod(argv[++i], nullptr);
         }
     }
 
@@ -251,9 +287,42 @@ int main(int argc, char** argv) {
                                ? hot.runs_per_sec() / naive.runs_per_sec()
                                : 0.0;
 
-    char json[2048];
+    // Telemetry pass: the identical hot workload with the registry
+    // armed. Shares run_hot's steady-state allocation audit — an armed
+    // counter hook that allocated per run would fail the bench — and
+    // its finishes double as a live bit-identity check (telemetry on vs
+    // off). The runs/sec ratio against the unarmed pass is the overhead
+    // number BENCH_hotpath.json tracks (target: under 2%).
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::instance();
+    registry.reset();
+    registry.enable();
+    const std::uint64_t allocs_before_telemetry = allocations_now();
+    std::vector<Cycle> telemetry_finishes;
+    telemetry_finishes.reserve(static_cast<std::size_t>(runs));
+    const PathResult hot_telemetry = run_hot(
+        config, scua, contenders, options, runs, warmup,
+        telemetry_finishes);
+    // Bridge the interposer into the telemetry schema: the steady-state
+    // allocation count travels as the heap_allocations counter.
+    obs::count(obs::kHeapAllocations,
+               allocations_now() - allocs_before_telemetry);
+    const obs::CounterSnapshot telemetry_counters = registry.counters();
+    registry.disable();
+    std::uint64_t telemetry_mismatches = 0;
+    for (std::size_t i = 0; i < telemetry_finishes.size(); ++i) {
+        if (telemetry_finishes[i] != hot_finishes[i]) {
+            ++telemetry_mismatches;
+        }
+    }
+    const double telemetry_overhead_pct =
+        hot.runs_per_sec() > 0.0
+            ? 100.0 * (1.0 - hot_telemetry.runs_per_sec() /
+                                 hot.runs_per_sec())
+            : 0.0;
+
+    char head[2048];
     std::snprintf(
-        json, sizeof(json),
+        head, sizeof(head),
         "{\n"
         "  \"workload\": \"cacheb-vs-3x-rsk-load, ngmp_ref, 150 "
         "iterations\",\n"
@@ -266,22 +335,49 @@ int main(int argc, char** argv) {
         "  \"speedup_runs_per_sec\": %.2f,\n"
         "  \"hwm_hot\": %llu,\n"
         "  \"differential_mismatches\": %llu,\n"
-        "  \"steady_state_allocation_free\": %s\n"
-        "}\n",
+        "  \"steady_state_allocation_free\": %s,\n"
+        "  \"telemetry\": {\n"
+        "    \"runs_per_sec\": %.1f,\n"
+        "    \"overhead_pct\": %.2f,\n"
+        "    \"mismatches_vs_untelemetered\": %llu,\n"
+        "    \"counters\": ",
         static_cast<unsigned long long>(runs),
         static_cast<unsigned long long>(warmup), hot.runs_per_sec(),
         hot.cycles_per_sec(), hot.allocs_per_run, naive.runs_per_sec(),
         naive.cycles_per_sec(), speedup,
         static_cast<unsigned long long>(hot.hwm),
         static_cast<unsigned long long>(mismatches),
-        hot.allocs_per_run == 0.0 ? "true" : "false");
+        hot.allocs_per_run == 0.0 ? "true" : "false",
+        hot_telemetry.runs_per_sec(), telemetry_overhead_pct,
+        static_cast<unsigned long long>(telemetry_mismatches));
+    std::string json = head;
+    json += obs::render_counters_json(telemetry_counters, "    ");
+    json += "\n  }\n}\n";
 
-    std::fputs(json, stdout);
+    std::fputs(json.c_str(), stdout);
     if (out_path != nullptr) {
         std::FILE* f = std::fopen(out_path, "w");
         if (f != nullptr) {
-            std::fputs(json, f);
+            std::fputs(json.c_str(), f);
             std::fclose(f);
+        }
+    }
+    if (telemetry_path != nullptr) {
+        obs::RunReportInfo info;
+        info.command = "bench_hotpath";
+        info.campaign.seed = 0;
+        info.campaign.total_runs = runs;
+        info.campaign.first_run = warmup;
+        info.campaign.last_run = warmup + runs;
+        info.jobs = 1;
+        info.wall_ns = static_cast<std::uint64_t>(
+            hot_telemetry.seconds * 1e9);
+        if (!obs::write_run_report(telemetry_path, info,
+                                   telemetry_counters, {})) {
+            std::fprintf(stderr,
+                         "warning: could not write telemetry report "
+                         "to %s\n",
+                         telemetry_path);
         }
     }
 
@@ -293,6 +389,14 @@ int main(int argc, char** argv) {
                      hot.allocs_per_run);
         rc = 1;
     }
+    if (hot_telemetry.allocs_per_run != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: hot path with telemetry armed performed %.4f "
+                     "heap allocations per run in steady state (must "
+                     "be 0)\n",
+                     hot_telemetry.allocs_per_run);
+        rc = 1;
+    }
     if (mismatches != 0) {
         std::fprintf(stderr,
                      "FAIL: %llu of %zu differential runs disagree between "
@@ -300,6 +404,39 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(mismatches),
                      naive_finishes.size());
         rc = 1;
+    }
+    if (telemetry_mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu runs changed result when telemetry was "
+                     "enabled (must be bit-identical)\n",
+                     static_cast<unsigned long long>(telemetry_mismatches));
+        rc = 1;
+    }
+    if (baseline_path != nullptr && max_regression_pct >= 0.0) {
+        const double reference = baseline_hot_runs_per_sec(baseline_path);
+        if (reference <= 0.0) {
+            std::fprintf(stderr,
+                         "note: no hot runs_per_sec baseline in %s — "
+                         "regression gate skipped\n",
+                         baseline_path);
+        } else {
+            const double floor =
+                reference * (1.0 - max_regression_pct / 100.0);
+            if (hot.runs_per_sec() < floor) {
+                std::fprintf(stderr,
+                             "FAIL: hot path at %.1f runs/s is more than "
+                             "%.0f%% below the committed baseline "
+                             "%.1f runs/s\n",
+                             hot.runs_per_sec(), max_regression_pct,
+                             reference);
+                rc = 1;
+            } else {
+                std::fprintf(stderr,
+                             "perf gate: %.1f runs/s vs baseline %.1f "
+                             "(floor %.1f) — ok\n",
+                             hot.runs_per_sec(), reference, floor);
+            }
+        }
     }
     return rc;
 }

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "core/rrb.h"
+#include "obs/heartbeat.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 
 namespace rrb::cli {
@@ -40,6 +43,8 @@ struct ParsedFlags {
     std::vector<ArbiterKind> arbiter_axis;
     std::optional<SliceSpec> shard;  ///< --shard i/N
     std::string checkpoint_out;
+    std::string telemetry_out;      ///< --telemetry: JSON run report path
+    std::uint64_t heartbeat = 0;    ///< --heartbeat: seconds, 0 = off
     std::vector<std::string> inputs;  ///< positional args (merge files)
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
@@ -67,22 +72,23 @@ const std::vector<CommandSpec>& command_specs() {
         {"baseline", {"--cores", "--lbus", "--var", "--iterations"}},
         {"campaign",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
-          "--iterations"}},
+          "--iterations", "--telemetry", "--heartbeat"}},
         {"pwcet",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
           "--iterations", "--block-size", "--exceedance", "--shard",
-          "--checkpoint-out"}},
-        {"merge", {}, /*takes_files=*/true},
+          "--checkpoint-out", "--telemetry", "--heartbeat"}},
+        {"merge", {"--telemetry"}, /*takes_files=*/true},
         {"whitebox",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
-          "--iterations", "--shard", "--checkpoint-out"}},
-        {"merge-whitebox", {}, /*takes_files=*/true},
+          "--iterations", "--shard", "--checkpoint-out", "--telemetry",
+          "--heartbeat"}},
+        {"merge-whitebox", {"--telemetry"}, /*takes_files=*/true},
         {"sweep",
          {"--cores", "--lbus", "--var", "--kmax", "--iterations", "--csv"}},
         {"sweep-pwcet",
          {"--var", "--cores-axis", "--lbus-axis", "--arbiter-axis",
           "--runs", "--seed", "--jobs", "--iterations", "--block-size",
-          "--exceedance"}},
+          "--exceedance", "--telemetry", "--heartbeat"}},
     };
     return specs;
 }
@@ -320,6 +326,21 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             } else {
                 flags.checkpoint_out = args[++i];
             }
+        } else if (arg == "--telemetry") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--telemetry needs a path";
+            } else {
+                flags.telemetry_out = args[++i];
+            }
+        } else if (arg == "--heartbeat") {
+            if (const auto v = next_number("--heartbeat")) {
+                if (*v == 0) {
+                    flags.error =
+                        "--heartbeat needs at least 1 (seconds)";
+                } else {
+                    flags.heartbeat = *v;
+                }
+            }
         } else if (arg == "--exceedance") {
             if (i + 1 >= args.size()) {
                 flags.error = "--exceedance needs a value";
@@ -379,33 +400,52 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
 }
 
 /// Live progress for long campaigns: a background thread polls the
-/// ProgressCounter and prints a "completed/total (pp%)" line to `err`
-/// twice a second until destruction. Short campaigns stay silent so
-/// command output — which the determinism tests diff — is
-/// deterministic.
+/// ProgressCounter and prints a status line to `err` until destruction.
+/// Two modes: by default one line per 5 percentage points (long
+/// campaigns only — short ones stay silent so command output, which the
+/// determinism tests diff, is deterministic); with `--heartbeat S` one
+/// line every S seconds regardless of campaign length. Both render
+/// through obs::HeartbeatMeter, so every line carries runs/sec and an
+/// ETA, plus worker utilization when telemetry is enabled.
 class ProgressReporter {
 public:
     /// Campaigns below this many runs finish faster than a human can
-    /// read a progress line; don't emit any.
+    /// read a progress line; don't emit any (heartbeat mode excepted —
+    /// the user explicitly asked for a pulse).
     static constexpr std::size_t kMinRuns = 10'000;
 
     ProgressReporter(const engine::ProgressCounter& progress,
-                     std::ostream& err, std::size_t total_runs) {
-        if (total_runs < kMinRuns) return;
-        thread_ = std::thread([this, &progress, &err] {
-            // One line per 5 percentage points (<= 20 lines however long
-            // the campaign runs), and quiet until the campaign announces
-            // its batch — the zero-initialized counter would render
-            // "0/0 (100%)" during the isolation run.
+                     std::ostream& err, std::size_t total_runs,
+                     std::uint64_t heartbeat_sec = 0,
+                     std::size_t workers = 0) {
+        if (heartbeat_sec == 0 && total_runs < kMinRuns) return;
+        thread_ = std::thread([this, &progress, &err, heartbeat_sec,
+                               workers] {
+            // Threshold mode prints one line per 5 percentage points
+            // (<= 20 lines however long the campaign runs), and is
+            // quiet until the campaign announces its batch — the
+            // zero-initialized counter would render "0/0 (100%)" during
+            // the isolation run. The meter is primed on every poll so
+            // its rate window spans polls, not prints.
+            obs::HeartbeatMeter meter(workers);
             std::size_t next_percent = 5;
+            const auto interval =
+                heartbeat_sec > 0
+                    ? std::chrono::milliseconds(1000 * heartbeat_sec)
+                    : std::chrono::milliseconds(500);
             std::unique_lock<std::mutex> lock(mutex_);
-            while (!done_cv_.wait_for(lock, std::chrono::milliseconds(500),
+            while (!done_cv_.wait_for(lock, interval,
                                       [this] { return stopping_; })) {
                 if (progress.total() == 0) continue;
+                const std::string line = meter.sample(progress);
+                if (heartbeat_sec > 0) {
+                    err << line << "\n";
+                    continue;
+                }
                 const std::size_t percent = static_cast<std::size_t>(
                     100.0 * progress.fraction());
                 if (percent >= next_percent) {
-                    err << engine::render_progress(progress) << "\n";
+                    err << line << "\n";
                     next_percent = percent + 5;
                 }
             }
@@ -429,6 +469,70 @@ private:
     std::condition_variable done_cv_;
     bool stopping_ = false;
     std::thread thread_;
+};
+
+/// Arms the telemetry registry for one campaign command when
+/// --telemetry or --heartbeat asked for it, and writes the JSON run
+/// report at the end. Strictly out-of-band: nothing here touches the
+/// command's stdout, so reports stay byte-identical with telemetry on
+/// or off. The registry is reset on arm (each command's report covers
+/// exactly that command) and disabled on finish (embedding callers —
+/// the CLI tests run many commands in-process — never leak state).
+class TelemetrySession {
+public:
+    TelemetrySession(const ParsedFlags& flags, std::string command)
+        : path_(flags.telemetry_out),
+          active_(!flags.telemetry_out.empty() || flags.heartbeat > 0),
+          command_(std::move(command)) {
+        if (!active_) return;
+        obs::TelemetryRegistry& registry =
+            obs::TelemetryRegistry::instance();
+        registry.reset();
+        registry.enable();
+        begin_ns_ = registry.now_ns();
+    }
+
+    ~TelemetrySession() {
+        // A command that threw past finish() must not leave the
+        // registry armed for the next in-process command.
+        if (active_) obs::TelemetryRegistry::instance().disable();
+    }
+
+    TelemetrySession(const TelemetrySession&) = delete;
+    TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+    void campaign(const obs::CampaignInfo& info) { info_ = info; }
+
+    /// Snapshots counters and spans, disables the registry, and — when
+    /// --telemetry named a file — writes the run report. A failed write
+    /// warns on `err` but does not change the command's exit code: the
+    /// campaign itself succeeded.
+    void finish(std::uint64_t jobs, std::ostream& err) {
+        if (!active_) return;
+        obs::TelemetryRegistry& registry =
+            obs::TelemetryRegistry::instance();
+        obs::RunReportInfo report;
+        report.command = command_;
+        report.campaign = info_;
+        report.jobs = jobs;
+        report.wall_ns = registry.now_ns() - begin_ns_;
+        const obs::CounterSnapshot counters = registry.counters();
+        const std::vector<obs::SpanRecord> spans = registry.spans();
+        registry.disable();
+        active_ = false;
+        if (path_.empty()) return;
+        if (!obs::write_run_report(path_, report, counters, spans)) {
+            err << "warning: could not write telemetry report to "
+                << path_ << "\n";
+        }
+    }
+
+private:
+    std::string path_;
+    bool active_ = false;
+    std::string command_;
+    obs::CampaignInfo info_;
+    std::uint64_t begin_ns_ = 0;
 };
 
 MachineConfig build_config(const ParsedFlags& flags) {
@@ -460,6 +564,25 @@ Scenario build_scenario(const ParsedFlags& flags,
         .rsk_contenders(OpKind::kLoad)
         .runs(flags.runs.value_or(default_runs))
         .seed(flags.seed);
+}
+
+/// Campaign identity for a whole (unsliced) campaign's run report:
+/// the same plan the reduce engine will derive, pinned alongside the
+/// scenario fingerprint and seed.
+obs::CampaignInfo whole_campaign_info(const Scenario& scenario,
+                                      std::uint64_t block_size) {
+    const std::size_t runs = scenario.run_protocol().runs;
+    const engine::ReducePlan plan = engine::ReducePlan::for_count(runs);
+    obs::CampaignInfo info;
+    info.scenario_fingerprint = scenario.fingerprint();
+    info.seed = scenario.run_protocol().seed;
+    info.total_runs = runs;
+    info.block_size = block_size;
+    info.shard_size = plan.shard_size;
+    info.plan_shards = plan.shards();
+    info.first_run = 0;
+    info.last_run = runs;
+    return info;
 }
 
 int cmd_estimate(const ParsedFlags& flags, std::ostream& out) {
@@ -545,11 +668,15 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
     Session session;
     session.jobs(flags.jobs).progress(&progress);
 
+    TelemetrySession telemetry(flags, "campaign");
     HwmCampaignResult hwm;
     {
-        const ProgressReporter reporter(progress, err, runs);
+        const ProgressReporter reporter(progress, err, runs,
+                                        flags.heartbeat, jobs);
         hwm = session.hwm(scenario);
     }
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.finish(jobs, err);
 
     const Cycle ubd = scenario.config().ubd_analytic();
     const Cycle etb = hwm.et_isolation + hwm.nr * ubd;
@@ -623,13 +750,21 @@ int cmd_pwcet_checkpoint(const ParsedFlags& flags, const Scenario& scenario,
     Session session;
     session.jobs(flags.jobs).progress(&progress);
 
+    TelemetrySession telemetry(flags, "pwcet");
     PwcetCheckpoint checkpoint;
     {
         const ProgressReporter reporter(progress, err,
-                                        scenario.run_protocol().runs);
+                                        scenario.run_protocol().runs,
+                                        flags.heartbeat,
+                                        session.worker_budget());
         checkpoint = session.checkpoint(scenario, spec, slice,
                                         flags.checkpoint_out);
     }
+    // The shard report carries the slice's run range and plan from the
+    // checkpoint metadata: collecting every shard's report reconstructs
+    // the distributed campaign's timeline.
+    telemetry.campaign(telemetry_info(checkpoint.meta));
+    telemetry.finish(session.worker_budget(), err);
 
     const CheckpointMeta& meta = checkpoint.meta;
     out << "pwcet shard " << slice.index << "/" << slice.count << ": runs ["
@@ -669,11 +804,15 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     Session session;
     session.jobs(flags.jobs).progress(&progress);
 
+    TelemetrySession telemetry(flags, "pwcet");
     PwcetCampaignResult r;
     {
-        const ProgressReporter reporter(progress, err, runs);
+        const ProgressReporter reporter(progress, err, runs,
+                                        flags.heartbeat, jobs);
         r = session.pwcet(scenario, spec);
     }
+    telemetry.campaign(whole_campaign_info(scenario, spec.block_size));
+    telemetry.finish(jobs, err);
 
     out << "pwcet: " << r.runs << " runs in blocks of " << spec.block_size
         << " on " << jobs << " jobs, seed " << scenario.run_protocol().seed
@@ -683,11 +822,15 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     return report_pwcet(r, scenario.config().ubd_analytic(), out);
 }
 
-int cmd_merge(const ParsedFlags& flags, std::ostream& out) {
+int cmd_merge(const ParsedFlags& flags, std::ostream& out,
+              std::ostream& err) {
     RRB_REQUIRE(!flags.inputs.empty(),
                 "merge needs at least one checkpoint file");
+    TelemetrySession telemetry(flags, "merge");
     const Session session;
     const MergedPwcetCampaign merged = session.merge(flags.inputs);
+    telemetry.campaign(telemetry_info(merged.meta));
+    telemetry.finish(/*jobs=*/1, err);
     out << "merge: " << flags.inputs.size() << " checkpoints, "
         << merged.result.runs << " runs in blocks of "
         << merged.meta.block_size << ", seed " << merged.meta.seed << "\n";
@@ -743,13 +886,18 @@ int cmd_whitebox_checkpoint(const ParsedFlags& flags,
     Session session;
     session.jobs(flags.jobs).progress(&progress);
 
+    TelemetrySession telemetry(flags, "whitebox");
     WhiteboxCheckpoint checkpoint;
     {
         const ProgressReporter reporter(progress, err,
-                                        scenario.run_protocol().runs);
+                                        scenario.run_protocol().runs,
+                                        flags.heartbeat,
+                                        session.worker_budget());
         checkpoint = session.checkpoint(scenario, slice,
                                         flags.checkpoint_out);
     }
+    telemetry.campaign(telemetry_info(checkpoint.meta));
+    telemetry.finish(session.worker_budget(), err);
 
     const CheckpointMeta& meta = checkpoint.meta;
     out << "whitebox shard " << slice.index << "/" << slice.count
@@ -778,11 +926,15 @@ int cmd_whitebox(const ParsedFlags& flags, std::ostream& out,
     Session session;
     session.jobs(flags.jobs).progress(&progress);
 
+    TelemetrySession telemetry(flags, "whitebox");
     engine::WhiteboxCampaignResult r;
     {
-        const ProgressReporter reporter(progress, err, runs);
+        const ProgressReporter reporter(progress, err, runs,
+                                        flags.heartbeat, jobs);
         r = session.whitebox(scenario);
     }
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.finish(jobs, err);
 
     out << "whitebox: " << runs << " runs on " << jobs << " jobs, seed "
         << scenario.run_protocol().seed << " ("
@@ -791,12 +943,16 @@ int cmd_whitebox(const ParsedFlags& flags, std::ostream& out,
                            scenario.config().ubd_analytic(), out);
 }
 
-int cmd_merge_whitebox(const ParsedFlags& flags, std::ostream& out) {
+int cmd_merge_whitebox(const ParsedFlags& flags, std::ostream& out,
+                       std::ostream& err) {
     RRB_REQUIRE(!flags.inputs.empty(),
                 "merge-whitebox needs at least one checkpoint file");
+    TelemetrySession telemetry(flags, "merge-whitebox");
     const Session session;
     const MergedWhiteboxCampaign merged =
         session.merge_whitebox(flags.inputs);
+    telemetry.campaign(telemetry_info(merged.meta));
+    telemetry.finish(/*jobs=*/1, err);
     out << "merge-whitebox: " << flags.inputs.size() << " checkpoints, "
         << merged.stats.runs() << " runs, seed " << merged.meta.seed
         << "\n";
@@ -827,14 +983,27 @@ int cmd_sweep_pwcet(const ParsedFlags& flags, std::ostream& out,
     session.jobs(flags.jobs).progress(&progress);
     const std::size_t jobs = session.worker_budget();
 
+    TelemetrySession telemetry(flags, "sweep-pwcet");
     SweepResult sweep;
     {
         // Point campaigns are silent; report over the whole run volume
         // only when it is genuinely long.
         const ProgressReporter reporter(progress, err,
-                                        axes.points() * runs);
+                                        axes.points() * runs,
+                                        flags.heartbeat, jobs);
         sweep = session.sweep(scenario, axes, spec);
     }
+    {
+        // One report for the whole grid: the base scenario's identity
+        // with the run volume scaled by the point count (each point's
+        // own timings live in the span timeline).
+        obs::CampaignInfo info =
+            whole_campaign_info(scenario, spec.block_size);
+        info.total_runs = axes.points() * runs;
+        info.last_run = info.total_runs;
+        telemetry.campaign(info);
+    }
+    telemetry.finish(jobs, err);
 
     out << "sweep-pwcet: " << sweep.points.size() << " configs x " << runs
         << " runs in blocks of " << spec.block_size << " on " << jobs
@@ -943,6 +1112,13 @@ std::string usage() {
            "  --jobs N             parallel jobs; 0 = hardware "
            "concurrency\n"
            "                       (results are identical for every N)\n"
+           "  --telemetry F        write a JSON telemetry run report "
+           "to F\n"
+           "                       (schema 'rrb-telemetry'; also on "
+           "merge)\n"
+           "  --heartbeat S        print a live status line (runs/s, "
+           "eta,\n"
+           "                       worker %) to stderr every S seconds\n"
            "\n"
            "pwcet flags (plus the campaign flags above):\n"
            "  --block-size B       runs per EVT block (default 50)\n"
@@ -991,10 +1167,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "baseline") return cmd_baseline(flags, out);
         if (command == "campaign") return cmd_campaign(flags, out, err);
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
-        if (command == "merge") return cmd_merge(flags, out);
+        if (command == "merge") return cmd_merge(flags, out, err);
         if (command == "whitebox") return cmd_whitebox(flags, out, err);
         if (command == "merge-whitebox") {
-            return cmd_merge_whitebox(flags, out);
+            return cmd_merge_whitebox(flags, out, err);
         }
         if (command == "sweep-pwcet") return cmd_sweep_pwcet(flags, out, err);
         if (command == "sweep") return cmd_sweep(flags, out);

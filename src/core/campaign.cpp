@@ -6,6 +6,7 @@
 #include "engine/machine_lease.h"
 #include "engine/seed_sequence.h"
 #include "machine/machine.h"
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 #include "sim/fnv.h"
 #include "sim/rng.h"
@@ -78,6 +79,13 @@ Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
     loaded_campaign = campaign;
     const Cycle finish = machine.run_core(0, options.max_cycles_per_run);
     RRB_ENSURE(finish != kNoCycle);
+    // Out-of-band telemetry: the machine's skip statistics were reset
+    // with the run, so they are exactly this run's. Counting here (once
+    // per run, after the fact) keeps every hook off the cycle loop.
+    obs::count(obs::kRunsCompleted);
+    obs::count(obs::kCyclesSimulated, finish);
+    obs::count(obs::kEventsSkipped, machine.events_skipped());
+    obs::count(obs::kCyclesSkipped, machine.cycles_skipped());
     return finish;
 }
 

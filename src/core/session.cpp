@@ -9,6 +9,7 @@
 #include "engine/campaign_engine.h"
 #include "engine/progress.h"
 #include "engine/thread_pool.h"
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 
 namespace rrb {
@@ -131,6 +132,8 @@ SlowdownResult Session::slowdown(const Scenario& scenario) const {
 
 HwmCampaignResult Session::hwm(const Scenario& scenario) {
     scenario.validate();
+    const obs::Span span("session.hwm", 0,
+                         scenario.run_protocol().runs);
     return engine::run_hwm_campaign_parallel(
         scenario.config(), scenario.scua_program(),
         scenario.contender_programs(), scenario.run_protocol(),
@@ -140,6 +143,8 @@ HwmCampaignResult Session::hwm(const Scenario& scenario) {
 PwcetCampaignResult Session::pwcet(const Scenario& scenario,
                                    const PwcetSpec& spec) {
     scenario.validate();
+    const obs::Span span("session.pwcet", 0,
+                         scenario.run_protocol().runs);
     return engine::run_pwcet_campaign(
         scenario.config(), scenario.scua_program(),
         scenario.contender_programs(), to_campaign_options(scenario, spec),
@@ -148,6 +153,8 @@ PwcetCampaignResult Session::pwcet(const Scenario& scenario,
 
 engine::WhiteboxCampaignResult Session::whitebox(const Scenario& scenario) {
     scenario.validate();
+    const obs::Span span("session.whitebox", 0,
+                         scenario.run_protocol().runs);
     return engine::run_whitebox_campaign(
         scenario.config(), scenario.scua_program(),
         scenario.contender_programs(), scenario.run_protocol(),
@@ -178,6 +185,9 @@ SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
 
     if (progress_ != nullptr) progress_->begin(axes.points());
 
+    const obs::Span sweep_span(
+        "session.sweep", 0,
+        axes.points() * scenario.run_protocol().runs);
     SweepResult result;
     result.points.reserve(axes.points());
     for (const std::optional<CoreId>& c : cores) {
@@ -193,6 +203,9 @@ SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
                 // the session's jobs budget covers both nesting levels.
                 // Per-run progress stays off here — the sweep reports
                 // per point.
+                const obs::Span point_span(
+                    "grid-point", result.points.size(),
+                    scenario.run_protocol().runs);
                 point.result = pwcet_on_pool(point.config, scenario, spec);
                 result.points.push_back(std::move(point));
                 if (progress_ != nullptr) progress_->tick();
@@ -213,6 +226,7 @@ PwcetCheckpoint Session::checkpoint(const Scenario& scenario,
     const engine::ReducePlan::ShardRange range =
         plan.slice(slice.index, slice.count);
 
+    const obs::Span span("session.checkpoint", slice.index, range.size());
     engine::PwcetShardSlice run = engine::run_pwcet_campaign_shards(
         scenario.config(), scenario.scua_program(),
         scenario.contender_programs(), options, range,
@@ -242,6 +256,7 @@ WhiteboxCheckpoint Session::checkpoint(const Scenario& scenario,
     const engine::ReducePlan::ShardRange range =
         plan.slice(slice.index, slice.count);
 
+    const obs::Span span("session.checkpoint", slice.index, range.size());
     engine::WhiteboxShardSlice run = engine::run_whitebox_campaign_shards(
         scenario.config(), scenario.scua_program(),
         scenario.contender_programs(), options, range,
@@ -291,6 +306,8 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
                                     const PwcetSpec& spec,
                                     const std::vector<std::string>& paths) {
     scenario.validate();
+    const obs::Span span("session.resume", 0,
+                         scenario.run_protocol().runs);
     const PwcetCampaignOptions options = to_campaign_options(scenario, spec);
     const engine::ReducePlan plan = engine::ReducePlan::for_count(
         static_cast<std::uint64_t>(options.protocol.runs));

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace rrb::engine {
 
 struct MachineLease::Entry {
@@ -35,6 +37,7 @@ void MachineLease::evict_down_to_cap() {
                                        cache.size() > kMaxCachedMachines;) {
         if (cache[i]->pins == 0) {
             cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(i));
+            obs::count(obs::kLeaseEvictions);
         }
     }
 }
@@ -51,8 +54,10 @@ MachineLease::MachineLease(const MachineConfig& config) {
         }
         entry_ = cache.front().get();
         ++entry_->pins;
+        obs::count(obs::kLeaseHits);
         return;
     }
+    obs::count(obs::kLeaseMisses);
     auto entry = std::make_unique<Entry>();
     entry->config_fingerprint = fingerprint;
     entry->machine = std::make_unique<Machine>(config);

@@ -13,10 +13,19 @@ double ProgressCounter::fraction() const noexcept {
 
 std::string render_progress(const ProgressCounter& progress) {
     const std::size_t t = progress.total();
+    // Read completed once and clamp both the count and the percentage
+    // against the announced total: when a sweep point re-begins the
+    // counter mid-campaign, stray ticks from the previous batch can
+    // overshoot the new total, and a "12/10 (120%)" line — or a 100%+
+    // percentage computed from a second, larger read — must never
+    // render.
     const std::size_t c = std::min(progress.completed(), t);
-    const int percent = static_cast<int>(100.0 * progress.fraction());
+    const int percent =
+        t == 0 ? 100
+               : static_cast<int>(100.0 * static_cast<double>(c) /
+                                  static_cast<double>(t));
     return std::to_string(c) + "/" + std::to_string(t) + " (" +
-           std::to_string(percent) + "%)";
+           std::to_string(std::min(percent, 100)) + "%)";
 }
 
 }  // namespace rrb::engine

@@ -34,6 +34,7 @@
 #include "engine/thread_pool.h"
 #include "isa/program.h"
 #include "machine/config.h"
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 #include "stats/streaming.h"
 
@@ -140,15 +141,35 @@ template <typename Accumulator, typename Fold>
             engine.pool != nullptr
                 ? *engine.pool
                 : local.emplace(effective_jobs(engine.jobs, range.size()));
+        // The shard spans' parent is whatever span is open on the
+        // *submitting* thread (the campaign/grid-point span) — captured
+        // here because the workers' own span stacks are unrelated.
+        const std::uint64_t parent_span = obs::current_span();
         for (std::size_t s = 0; s < range.size(); ++s) {
-            pool.submit([&slots, &plan, &range, &fold, &engine, &init, s] {
+            pool.submit([&slots, &plan, &range, &fold, &engine, &init,
+                         parent_span, s] {
+                const std::size_t shard = range.first + s;
+                const std::uint64_t first = plan.shard_begin(shard);
+                const std::uint64_t last = plan.shard_end(shard);
+                const std::uint64_t begin_ns =
+                    obs::enabled()
+                        ? obs::TelemetryRegistry::instance().now_ns()
+                        : 0;
+                const obs::Span span("shard", parent_span, shard,
+                                     last - first);
                 Accumulator acc = init;  // carries configuration state
-                for (std::uint64_t i = plan.shard_begin(range.first + s);
-                     i < plan.shard_end(range.first + s); ++i) {
+                for (std::uint64_t i = first; i < last; ++i) {
                     fold(acc, i);
                     if (engine.progress != nullptr) engine.progress->tick();
                 }
                 slots[s].emplace(std::move(acc));
+                obs::count(obs::kShardsCompleted);
+                if (obs::enabled()) {
+                    obs::count(
+                        obs::kShardWallNs,
+                        obs::TelemetryRegistry::instance().now_ns() -
+                            begin_ns);
+                }
             });
         }
         pool.wait_idle();  // rethrows the first shard failure

@@ -1,8 +1,10 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 
 namespace rrb::engine {
@@ -27,6 +29,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
     RRB_REQUIRE(job != nullptr, "cannot submit an empty job");
+    // Telemetry: live queue depth for the heartbeat is the difference
+    // between submitted and executed jobs — no pool state is exposed.
+    obs::count(obs::kJobsSubmitted);
     {
         std::unique_lock<std::mutex> lock(mutex_);
         queue_changed_.wait(lock,
@@ -66,7 +71,24 @@ void ThreadPool::worker_loop() {
         }
         queue_changed_.notify_one();
         try {
-            job();
+            if (obs::enabled()) {
+                // Busy-ns powers the heartbeat's worker-utilization
+                // field. Jobs are shard-sized (milliseconds), so two
+                // clock reads per job cost nothing; with telemetry off
+                // not even those happen.
+                const auto begin = std::chrono::steady_clock::now();
+                job();
+                obs::count(
+                    obs::kWorkerBusyNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count()));
+            } else {
+                job();
+            }
+            obs::count(obs::kJobsExecuted);
         } catch (...) {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!first_error_) first_error_ = std::current_exception();

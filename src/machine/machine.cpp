@@ -92,6 +92,8 @@ void Machine::warm_static_footprint(CoreId core_id) {
 
 void Machine::reset_keep_programs() {
     now_ = 0;
+    events_skipped_ = 0;
+    cycles_skipped_ = 0;
     bus_->reset();
     dram_.reset();
     l2_.reset();
@@ -255,6 +257,8 @@ Cycle Machine::step_or_skip(Cycle next_hint, Cycle limit) {
         // No component does observable work before the hint (kNoCycle =
         // never, i.e. only the deadline stops the run): fast-forward.
         const Cycle target = std::min(next_hint, limit);
+        ++events_skipped_;
+        cycles_skipped_ += target - now_;
         now_ = target;
         if (now_ >= limit) return now_;  // deadline hit mid-skip
     }

@@ -105,6 +105,17 @@ public:
         return cycle_skipping_;
     }
 
+    /// Skip statistics since the last reset: fast-forwards taken and
+    /// cycles jumped over. Pure observability — deterministic for a
+    /// given run, never fed back into timing — surfaced per run by the
+    /// campaign hot path through obs::TelemetryRegistry.
+    [[nodiscard]] std::uint64_t events_skipped() const noexcept {
+        return events_skipped_;
+    }
+    [[nodiscard]] std::uint64_t cycles_skipped() const noexcept {
+        return cycles_skipped_;
+    }
+
     [[nodiscard]] const MachineConfig& config() const noexcept {
         return config_;
     }
@@ -182,6 +193,8 @@ private:
     /// unknown, always tick; programless cores hold kNoCycle.
     std::vector<Cycle> core_next_;
     Cycle now_ = 0;
+    std::uint64_t events_skipped_ = 0;  ///< fast-forwards since reset
+    std::uint64_t cycles_skipped_ = 0;  ///< cycles jumped since reset
     bool cycle_skipping_ = true;
     bool dram_refresh_ = false;  ///< config.dram.refresh_interval > 0
 };

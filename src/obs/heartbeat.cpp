@@ -1,0 +1,73 @@
+#include "obs/heartbeat.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rrb::obs {
+
+HeartbeatMeter::HeartbeatMeter(std::size_t workers) : workers_(workers) {
+    // Prime the window at construction so the very first sample
+    // measures from meter birth (campaign start) instead of reporting
+    // a rate of zero.
+    TelemetryRegistry& registry = TelemetryRegistry::instance();
+    primed_ = true;
+    last_ns_ = registry.now_ns();
+    last_busy_ns_ = enabled() ? registry.counters()[kWorkerBusyNs] : 0;
+}
+
+std::string HeartbeatMeter::sample(
+    const engine::ProgressCounter& progress) {
+    TelemetryRegistry& registry = TelemetryRegistry::instance();
+    const std::uint64_t now = registry.now_ns();
+    const std::size_t completed = progress.completed();
+    const std::size_t total = progress.total();
+    const std::uint64_t busy =
+        enabled() ? registry.counters()[kWorkerBusyNs] : 0;
+
+    double rate = last_rate_;
+    double utilization = -1.0;
+    if (primed_ && now > last_ns_) {
+        const double window_sec =
+            static_cast<double>(now - last_ns_) / 1e9;
+        // A sweep's counter re-begins per grid point, so completed can
+        // step backwards between samples; only a forward delta is a
+        // rate observation.
+        if (completed >= last_completed_) {
+            rate = static_cast<double>(completed - last_completed_) /
+                   window_sec;
+        }
+        if (workers_ > 0 && enabled() && busy >= last_busy_ns_) {
+            utilization = std::min(
+                1.0, static_cast<double>(busy - last_busy_ns_) /
+                         (static_cast<double>(now - last_ns_) *
+                          static_cast<double>(workers_)));
+        }
+    }
+    primed_ = true;
+    last_ns_ = now;
+    last_completed_ = completed;
+    last_busy_ns_ = busy;
+    last_rate_ = rate;
+
+    std::string line = engine::render_progress(progress);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " | %.0f runs/s", rate);
+    line += buf;
+    if (rate > 0.0 && total > completed) {
+        const double eta_sec =
+            static_cast<double>(total - completed) / rate;
+        std::snprintf(buf, sizeof(buf), " | eta %.0fs", eta_sec);
+        line += buf;
+    } else {
+        // Overshoot or done: remaining work is zero, never negative.
+        line += " | eta 0s";
+    }
+    if (utilization >= 0.0) {
+        std::snprintf(buf, sizeof(buf), " | workers %.0f%%",
+                      100.0 * utilization);
+        line += buf;
+    }
+    return line;
+}
+
+}  // namespace rrb::obs

@@ -1,0 +1,46 @@
+// Live campaign heartbeat: the human-facing telemetry sink.
+//
+// A HeartbeatMeter samples a ProgressCounter plus the telemetry
+// counters and renders one status line — completed/total, runs/sec over
+// the sampling window, ETA, worker utilization — for the CLI to print
+// on stderr at `--heartbeat <sec>` intervals. Rates come from deltas
+// between consecutive samples, so a long campaign's line tracks the
+// *current* throughput, not the lifetime average; the first sample
+// establishes the baseline window.
+//
+// The meter also powers the default progress line's ETA / runs-per-sec
+// suffix: engine::render_progress stays the deterministic
+// "completed/total (pp%)" core, and the meter appends the live half.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "engine/progress.h"
+#include "obs/telemetry.h"
+
+namespace rrb::obs {
+
+class HeartbeatMeter {
+public:
+    /// `workers` scales the utilization denominator (the resolved jobs
+    /// budget); 0 suppresses the utilization field.
+    explicit HeartbeatMeter(std::size_t workers = 0);
+
+    /// One sample: "c/t (pp%) | R runs/s | eta Ss[ | workers UU%]".
+    /// Percentage and ETA clamp sanely when completed overshoots the
+    /// announced total (sweep points re-begin the counter mid-batch).
+    [[nodiscard]] std::string sample(
+        const engine::ProgressCounter& progress);
+
+private:
+    std::size_t workers_;
+    bool primed_ = false;
+    std::uint64_t last_ns_ = 0;
+    std::size_t last_completed_ = 0;
+    std::uint64_t last_busy_ns_ = 0;
+    double last_rate_ = 0.0;  ///< carried over empty windows
+};
+
+}  // namespace rrb::obs

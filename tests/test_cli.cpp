@@ -67,6 +67,39 @@ TEST(Cli, FlagsFromOtherCommandsAreRejectedNotIgnored) {
     EXPECT_EQ(invoke({"sweep-pwcet", "--cores", "4"}).code, 1);
 }
 
+TEST(Cli, TelemetryFlagsOnlyApplyToCampaignCommands) {
+    // --telemetry / --heartbeat describe a running campaign; on a
+    // non-campaign command they would silently observe nothing.
+    const CliResult r =
+        invoke({"estimate", "--telemetry", "out.json"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--telemetry"), std::string::npos);
+    EXPECT_NE(r.err.find("estimate"), std::string::npos);
+    EXPECT_EQ(invoke({"calibrate", "--heartbeat", "2"}).code, 1);
+    EXPECT_EQ(invoke({"baseline", "--telemetry", "t.json"}).code, 1);
+    EXPECT_EQ(invoke({"sweep", "--telemetry", "t.json"}).code, 1);
+    EXPECT_EQ(invoke({"sweep", "--heartbeat", "1"}).code, 1);
+    // merge writes a report but has no live campaign to pulse.
+    EXPECT_EQ(invoke({"merge", "--heartbeat", "1"}).code, 1);
+    EXPECT_EQ(invoke({"merge-whitebox", "--heartbeat", "1"}).code, 1);
+}
+
+TEST(Cli, TelemetryFlagValueValidation) {
+    EXPECT_EQ(invoke({"pwcet", "--telemetry"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--heartbeat"}).code, 1);
+    EXPECT_EQ(invoke({"pwcet", "--heartbeat", "abc"}).code, 1);
+    const CliResult zero = invoke({"pwcet", "--heartbeat", "0"});
+    EXPECT_EQ(zero.code, 1);
+    EXPECT_NE(zero.err.find("--heartbeat"), std::string::npos);
+}
+
+TEST(Cli, HelpListsTelemetryFlags) {
+    const CliResult r = invoke({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("--telemetry"), std::string::npos);
+    EXPECT_NE(r.out.find("--heartbeat"), std::string::npos);
+}
+
 TEST(Cli, FlagValueValidation) {
     EXPECT_EQ(invoke({"estimate", "--cores"}).code, 1);
     EXPECT_EQ(invoke({"estimate", "--cores", "abc"}).code, 1);
