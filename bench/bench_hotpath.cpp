@@ -13,12 +13,15 @@
 // heap allocations per run) and FAILS (exit 1) when the hot path's
 // steady state performs any heap allocation per run — the allocation
 // counter is a global operator new/delete interposer, so nothing can
-// hide. CI runs this as the perf-smoke stage; the numbers live in
+// hide. All rates are best-sustained-window estimates (see ChunkTimer)
+// so bursty co-tenant load on shared CI hosts does not poison the
+// telemetry/attribution overhead ratios. CI runs this as the perf-smoke stage; the numbers live in
 // BENCH_hotpath.json.
 //
 // Deliberately not a google-benchmark binary: the allocation interposer
 // must own global new/delete without fighting the framework, and CI
 // needs this to build even where google-benchmark is absent.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +38,7 @@
 #include "machine/machine.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
+#include "stats/attribution.h"
 
 // ------------------------------------------------ allocation interposer
 
@@ -133,13 +137,68 @@ struct PathResult {
     std::uint64_t cycles = 0;  ///< sum of simulated finish cycles
     std::uint64_t hwm = 0;     ///< campaign HWM — the bit-identity witness
     double allocs_per_run = 0.0;
+    /// Best (shortest) wall time over any kChunkRuns-long window, and
+    /// the window size. CI hosts are shared and bursty; the best
+    /// sustained window is the robust rate estimator (min-time, as in
+    /// timeit), applied identically to every pass so overhead ratios
+    /// compare like with like. Zero when the pass was too short to
+    /// complete one window — rates then fall back to the whole pass.
+    double chunk_seconds_best = 0.0;
+    std::uint64_t chunk_runs = 0;
 
     [[nodiscard]] double runs_per_sec() const {
+        if (chunk_runs > 0) {
+            return static_cast<double>(chunk_runs) / chunk_seconds_best;
+        }
         return static_cast<double>(runs) / seconds;
     }
     [[nodiscard]] double cycles_per_sec() const {
-        return static_cast<double>(cycles) / seconds;
+        return runs_per_sec() * static_cast<double>(cycles) /
+               static_cast<double>(runs);
     }
+};
+
+constexpr std::uint64_t kChunkRuns = 50;
+
+/// Folds one rotation's pass into the best-so-far for that mode: rates
+/// take the fastest sustained window seen across rotations, while the
+/// allocation audit keeps the WORST rotation — one allocating rotation
+/// anywhere must still fail the bench.
+void fold_best(PathResult& best, const PathResult& sample) {
+    if (best.runs == 0) {
+        best = sample;
+        return;
+    }
+    best.allocs_per_run =
+        std::max(best.allocs_per_run, sample.allocs_per_run);
+    best.seconds = std::min(best.seconds, sample.seconds);
+    if (sample.chunk_runs > 0 &&
+        (best.chunk_runs == 0 ||
+         sample.chunk_seconds_best < best.chunk_seconds_best)) {
+        best.chunk_seconds_best = sample.chunk_seconds_best;
+        best.chunk_runs = sample.chunk_runs;
+    }
+}
+
+/// Tracks the best kChunkRuns-long window of a timed loop. now() is
+/// allocation-free, so this is safe inside the counting scope.
+class ChunkTimer {
+public:
+    void tick(PathResult& result) {
+        if (++in_chunk_ < kChunkRuns) return;
+        const double s =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        if (result.chunk_runs == 0 || s < result.chunk_seconds_best) {
+            result.chunk_seconds_best = s;
+            result.chunk_runs = kChunkRuns;
+        }
+        in_chunk_ = 0;
+        start_ = Clock::now();
+    }
+
+private:
+    Clock::time_point start_ = Clock::now();
+    std::uint64_t in_chunk_ = 0;
 };
 
 std::uint64_t env_runs(const char* name, std::uint64_t fallback) {
@@ -148,11 +207,12 @@ std::uint64_t env_runs(const char* name, std::uint64_t fallback) {
     return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
 }
 
-/// The committed reference's hot runs/sec, for the CI regression gate:
-/// finds the "hot" object in a previous BENCH_hotpath.json and reads
-/// its runs_per_sec. Returns 0 when the file or field is missing (the
-/// gate then reports and skips rather than failing on a fresh repo).
-double baseline_hot_runs_per_sec(const char* path) {
+/// The committed reference's runs/sec for one section ("hot",
+/// "attribution"), for the CI regression gate: finds the section object
+/// in a previous BENCH_hotpath.json and reads its runs_per_sec. Returns
+/// 0 when the file or field is missing (the gate then reports and skips
+/// rather than failing on a fresh repo).
+double baseline_runs_per_sec(const char* path, const char* section) {
     std::FILE* f = std::fopen(path, "r");
     if (f == nullptr) return 0.0;
     std::string text;
@@ -162,10 +222,11 @@ double baseline_hot_runs_per_sec(const char* path) {
         text.append(buf, got);
     }
     std::fclose(f);
-    const std::size_t hot = text.find("\"hot\"");
-    if (hot == std::string::npos) return 0.0;
+    const std::size_t at_section =
+        text.find("\"" + std::string(section) + "\"");
+    if (at_section == std::string::npos) return 0.0;
     const std::string key = "\"runs_per_sec\": ";
-    const std::size_t at = text.find(key, hot);
+    const std::size_t at = text.find(key, at_section);
     if (at == std::string::npos) return 0.0;
     return std::strtod(text.c_str() + at + key.size(), nullptr);
 }
@@ -180,6 +241,7 @@ PathResult run_naive(const MachineConfig& config, const Program& scua,
                      std::uint64_t runs, std::vector<Cycle>& finishes) {
     PathResult result;
     const auto start = Clock::now();
+    ChunkTimer chunks;
     for (std::uint64_t run = first; run < first + runs; ++run) {
         Machine machine(config);
         machine.set_cycle_skipping(false);
@@ -189,6 +251,7 @@ PathResult run_naive(const MachineConfig& config, const Program& scua,
         result.cycles += finish;
         result.hwm = std::max(result.hwm, finish);
         finishes.push_back(finish);
+        chunks.tick(result);
     }
     result.seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
@@ -214,12 +277,54 @@ PathResult run_hot(const MachineConfig& config, const Program& scua,
     const auto start = Clock::now();
     {
         const CountScope counting;
+        ChunkTimer chunks;
         for (std::uint64_t run = warmup; run < warmup + runs; ++run) {
             const Cycle finish = detail::hwm_campaign_run(
                 config, scua, contenders, options, run);
             result.cycles += finish;
             result.hwm = std::max(result.hwm, finish);
             finishes.push_back(finish);
+            chunks.tick(result);
+        }
+    }
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.runs = runs;
+    result.allocs_per_run =
+        static_cast<double>(allocations_now() - allocs_before) /
+        static_cast<double>(runs);
+    return result;
+}
+
+/// The hot path with the cycle-attribution profiler armed on every run,
+/// folding into one AttributionAccumulator. The warmup runs fold into
+/// the same accumulator: its matrices are sized by the first add(), so
+/// the measured steady state must stay allocation-free with the
+/// profiler on. Same allocation audit and finish capture as run_hot.
+PathResult run_attributed(const MachineConfig& config, const Program& scua,
+                          const std::vector<Program>& contenders,
+                          const HwmCampaignOptions& options,
+                          std::uint64_t runs, std::uint64_t warmup,
+                          std::vector<Cycle>& finishes,
+                          AttributionAccumulator& acc) {
+    for (std::uint64_t run = 0; run < warmup; ++run) {
+        (void)detail::hwm_campaign_attribute(config, scua, contenders,
+                                             options, run, acc);
+    }
+
+    PathResult result;
+    const std::uint64_t allocs_before = allocations_now();
+    const auto start = Clock::now();
+    {
+        const CountScope counting;
+        ChunkTimer chunks;
+        for (std::uint64_t run = warmup; run < warmup + runs; ++run) {
+            const Cycle finish = detail::hwm_campaign_attribute(
+                config, scua, contenders, options, run, acc);
+            result.cycles += finish;
+            result.hwm = std::max(result.hwm, finish);
+            finishes.push_back(finish);
+            chunks.tick(result);
         }
     }
     result.seconds =
@@ -264,50 +369,66 @@ int main(int argc, char** argv) {
     HwmCampaignOptions options;
     options.runs = static_cast<std::size_t>(warmup + runs);
 
-    // Hot first over [warmup, warmup+runs), then the naive reference
-    // over a prefix of the same index range: element-wise equality of
-    // the finish cycles is a live bit-identity check on every
-    // invocation, not just a benchmark.
-    std::vector<Cycle> hot_finishes;
-    hot_finishes.reserve(static_cast<std::size_t>(runs));
-    const PathResult hot = run_hot(config, scua, contenders, options, runs,
-                                   warmup, hot_finishes);
+    // Four modes, measured in rotation: hot, the naive reference, hot
+    // with telemetry armed, hot with the cycle-attribution profiler
+    // armed. Sequential one-shot passes would let a co-tenant burst on
+    // a shared CI host land entirely inside one mode and skew its rate
+    // (overhead ratios have come out anywhere from -136% to +22% that
+    // way); rotating the modes gives each one samples spread across the
+    // same noise environment, and fold_best keeps each mode's fastest
+    // sustained window. Runs are index-deterministic, so the finish
+    // vectors of any rotation compare element-wise: hot vs naive is the
+    // live bit-identity check on the event-driven path, hot vs
+    // telemetry/attribution proves arming is out-of-band. The telemetry
+    // and attribution overhead ratios against the unarmed hot pass are
+    // the numbers BENCH_hotpath.json tracks (target: under 2%).
+    const std::uint64_t rotations = env_runs("RRB_HOTPATH_ROTATIONS", 5);
     const std::uint64_t naive_runs = runs == 0 ? 0 : runs / 4 + 1;
-    std::vector<Cycle> naive_finishes;
+    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::instance();
+    PathResult hot, naive, hot_telemetry, hot_attributed;
+    obs::CounterSnapshot telemetry_counters;
+    AttributionAccumulator attribution;
+    std::vector<Cycle> hot_finishes, naive_finishes, telemetry_finishes,
+        attributed_finishes;
+    hot_finishes.reserve(static_cast<std::size_t>(runs));
     naive_finishes.reserve(static_cast<std::size_t>(naive_runs));
-    const PathResult naive =
-        run_naive(config, scua, contenders, options, warmup, naive_runs,
-                  naive_finishes);
+    telemetry_finishes.reserve(static_cast<std::size_t>(runs));
+    attributed_finishes.reserve(static_cast<std::size_t>(runs));
+    for (std::uint64_t rotation = 0; rotation < rotations; ++rotation) {
+        hot_finishes.clear();
+        fold_best(hot, run_hot(config, scua, contenders, options, runs,
+                               warmup, hot_finishes));
+
+        naive_finishes.clear();
+        fold_best(naive, run_naive(config, scua, contenders, options,
+                                   warmup, naive_runs, naive_finishes));
+
+        registry.reset();
+        registry.enable();
+        const std::uint64_t allocs_before_telemetry = allocations_now();
+        telemetry_finishes.clear();
+        fold_best(hot_telemetry,
+                  run_hot(config, scua, contenders, options, runs, warmup,
+                          telemetry_finishes));
+        // Bridge the interposer into the telemetry schema: the
+        // steady-state allocation count travels as heap_allocations.
+        obs::count(obs::kHeapAllocations,
+                   allocations_now() - allocs_before_telemetry);
+        telemetry_counters = registry.counters();
+        registry.disable();
+
+        attributed_finishes.clear();
+        fold_best(hot_attributed,
+                  run_attributed(config, scua, contenders, options, runs,
+                                 warmup, attributed_finishes, attribution));
+    }
     std::uint64_t mismatches = 0;
     for (std::size_t i = 0; i < naive_finishes.size(); ++i) {
         if (naive_finishes[i] != hot_finishes[i]) ++mismatches;
     }
-
     const double speedup = naive.runs_per_sec() > 0.0
                                ? hot.runs_per_sec() / naive.runs_per_sec()
                                : 0.0;
-
-    // Telemetry pass: the identical hot workload with the registry
-    // armed. Shares run_hot's steady-state allocation audit — an armed
-    // counter hook that allocated per run would fail the bench — and
-    // its finishes double as a live bit-identity check (telemetry on vs
-    // off). The runs/sec ratio against the unarmed pass is the overhead
-    // number BENCH_hotpath.json tracks (target: under 2%).
-    obs::TelemetryRegistry& registry = obs::TelemetryRegistry::instance();
-    registry.reset();
-    registry.enable();
-    const std::uint64_t allocs_before_telemetry = allocations_now();
-    std::vector<Cycle> telemetry_finishes;
-    telemetry_finishes.reserve(static_cast<std::size_t>(runs));
-    const PathResult hot_telemetry = run_hot(
-        config, scua, contenders, options, runs, warmup,
-        telemetry_finishes);
-    // Bridge the interposer into the telemetry schema: the steady-state
-    // allocation count travels as the heap_allocations counter.
-    obs::count(obs::kHeapAllocations,
-               allocations_now() - allocs_before_telemetry);
-    const obs::CounterSnapshot telemetry_counters = registry.counters();
-    registry.disable();
     std::uint64_t telemetry_mismatches = 0;
     for (std::size_t i = 0; i < telemetry_finishes.size(); ++i) {
         if (telemetry_finishes[i] != hot_finishes[i]) {
@@ -317,6 +438,24 @@ int main(int argc, char** argv) {
     const double telemetry_overhead_pct =
         hot.runs_per_sec() > 0.0
             ? 100.0 * (1.0 - hot_telemetry.runs_per_sec() /
+                                 hot.runs_per_sec())
+            : 0.0;
+    std::uint64_t attribution_mismatches = 0;
+    for (std::size_t i = 0; i < attributed_finishes.size(); ++i) {
+        if (attributed_finishes[i] != hot_finishes[i]) {
+            ++attribution_mismatches;
+        }
+    }
+    bool attribution_closed = true;
+    for (std::size_t core = 0; core < attribution.num_cores(); ++core) {
+        if (attribution.core_total(static_cast<CoreId>(core)) !=
+            attribution.machine_cycles()) {
+            attribution_closed = false;
+        }
+    }
+    const double attribution_overhead_pct =
+        hot.runs_per_sec() > 0.0
+            ? 100.0 * (1.0 - hot_attributed.runs_per_sec() /
                                  hot.runs_per_sec())
             : 0.0;
 
@@ -352,7 +491,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(telemetry_mismatches));
     std::string json = head;
     json += obs::render_counters_json(telemetry_counters, "    ");
-    json += "\n  }\n}\n";
+    json += "\n  },\n";
+    char attr_json[512];
+    std::snprintf(
+        attr_json, sizeof(attr_json),
+        "  \"attribution\": {\n"
+        "    \"runs_per_sec\": %.1f,\n"
+        "    \"overhead_pct\": %.2f,\n"
+        "    \"mismatches_vs_unarmed\": %llu,\n"
+        "    \"allocations_per_run\": %.4f,\n"
+        "    \"closed_accounting\": %s,\n"
+        "    \"machine_cycles\": %llu\n"
+        "  }\n"
+        "}\n",
+        hot_attributed.runs_per_sec(), attribution_overhead_pct,
+        static_cast<unsigned long long>(attribution_mismatches),
+        hot_attributed.allocs_per_run,
+        attribution_closed ? "true" : "false",
+        static_cast<unsigned long long>(attribution.machine_cycles()));
+    json += attr_json;
 
     std::fputs(json.c_str(), stdout);
     if (out_path != nullptr) {
@@ -412,29 +569,62 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(telemetry_mismatches));
         rc = 1;
     }
+    if (hot_attributed.allocs_per_run != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: hot path with attribution armed performed "
+                     "%.4f heap allocations per run in steady state "
+                     "(must be 0)\n",
+                     hot_attributed.allocs_per_run);
+        rc = 1;
+    }
+    if (attribution_mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu runs changed result when attribution was "
+                     "armed (must be bit-identical)\n",
+                     static_cast<unsigned long long>(attribution_mismatches));
+        rc = 1;
+    }
+    if (!attribution_closed) {
+        std::fprintf(stderr,
+                     "FAIL: attribution accounting is not closed — some "
+                     "core's cause timeline does not sum to the machine "
+                     "cycles\n");
+        rc = 1;
+    }
     if (baseline_path != nullptr && max_regression_pct >= 0.0) {
-        const double reference = baseline_hot_runs_per_sec(baseline_path);
-        if (reference <= 0.0) {
-            std::fprintf(stderr,
-                         "note: no hot runs_per_sec baseline in %s — "
-                         "regression gate skipped\n",
-                         baseline_path);
-        } else {
+        struct Gate {
+            const char* section;
+            double measured;
+        };
+        const Gate gates[] = {
+            {"hot", hot.runs_per_sec()},
+            {"attribution", hot_attributed.runs_per_sec()},
+        };
+        for (const Gate& gate : gates) {
+            const double reference =
+                baseline_runs_per_sec(baseline_path, gate.section);
+            if (reference <= 0.0) {
+                std::fprintf(stderr,
+                             "note: no %s runs_per_sec baseline in %s — "
+                             "regression gate skipped\n",
+                             gate.section, baseline_path);
+                continue;
+            }
             const double floor =
                 reference * (1.0 - max_regression_pct / 100.0);
-            if (hot.runs_per_sec() < floor) {
+            if (gate.measured < floor) {
                 std::fprintf(stderr,
-                             "FAIL: hot path at %.1f runs/s is more than "
+                             "FAIL: %s path at %.1f runs/s is more than "
                              "%.0f%% below the committed baseline "
                              "%.1f runs/s\n",
-                             hot.runs_per_sec(), max_regression_pct,
-                             reference);
+                             gate.section, gate.measured,
+                             max_regression_pct, reference);
                 rc = 1;
             } else {
                 std::fprintf(stderr,
-                             "perf gate: %.1f runs/s vs baseline %.1f "
-                             "(floor %.1f) — ok\n",
-                             hot.runs_per_sec(), reference, floor);
+                             "perf gate [%s]: %.1f runs/s vs baseline "
+                             "%.1f (floor %.1f) — ok\n",
+                             gate.section, gate.measured, reference, floor);
             }
         }
     }

@@ -46,6 +46,11 @@ void Bus::post(const BusRequest& request) {
     port.pending = request;
     port.has_pending = true;
     ++pending_count_;
+    if (attr_ != nullptr) {
+        // The wait clock for this request starts at its ready cycle;
+        // completions/grants advance the cursor as the wait is blamed.
+        attr_->bus_cursor(request.core) = request.ready;
+    }
     if (tracer_ && tracer_->enabled()) {
         tracer_->record(request.ready, TraceKind::kRequestReady, request.core,
                         request.addr);
@@ -66,7 +71,46 @@ void Bus::complete_phase(Cycle now) {
         tracer_->record(now - 1, TraceKind::kBusRelease, finished.core,
                         finished.addr);
     }
+    // Settle attribution before the client dispatch: the completion can
+    // post new requests / issue queued ones, mutating the ports.
+    if (attr_ != nullptr) account_completion(finished, now);
     if (client_ != nullptr) client_->bus_complete(finished, now);
+}
+
+void Bus::account_completion(const BusRequest& finished, Cycle now) {
+    CycleAttribution& attr = *attr_;
+    const Cycle granted_at = attr.active_grant();
+    // Owner: the service interval [grant, now). Store drains are
+    // background traffic — nobody's timeline carries their service.
+    if (finished.op != BusOp::kDataStore) {
+        attr.charge(finished.core, StallCause::kBusService, now);
+    }
+    // Waiters: [cursor, now) decomposes into the pre-grant gap (nobody
+    // held the bus — TDMA slot timing; zero under work-conserving
+    // arbiters) and the in-service window blamed on the owner. The
+    // victim's own timeline gets the same split via the deferred
+    // mirror, settled in one go at its grant.
+    for (CoreId v = 0; v < ports_.size(); ++v) {
+        const Port& port = ports_[v];
+        if (!port.has_pending) continue;
+        std::uint64_t* slot = attr.wait_slot(v);
+        const Cycle cursor = slot[CycleAttribution::kSlotCursor];
+        if (cursor >= now) continue;
+        // Branchless body on the victim's packed slot — one cache line
+        // per waiter (dead is zero under work-conserving arbiters and the
+        // demand mask folds the store-drain case, so adding the masked
+        // zeros beats four data-dependent branches).
+        const Cycle blame_start = cursor > granted_at ? cursor : granted_at;
+        const std::uint64_t dead = blame_start - cursor;
+        const std::uint64_t blamed = now - blame_start;
+        const std::uint64_t demand_mask =
+            port.pending.op != BusOp::kDataStore ? ~std::uint64_t{0} : 0;
+        slot[CycleAttribution::kSlotCursor] = now;
+        slot[CycleAttribution::kSlotDead] += dead;
+        slot[CycleAttribution::kSlotWaitAcc] += blamed & demand_mask;
+        slot[CycleAttribution::kSlotDeadAcc] += dead & demand_mask;
+        slot[CycleAttribution::kSlotBlame + finished.core] += blamed;
+    }
 }
 
 void Bus::arbitrate_phase(Cycle now) {
@@ -128,6 +172,66 @@ void Bus::grant(CoreId winner, Cycle now) {
 
     if (tracer_ && tracer_->enabled()) {
         tracer_->record(now, TraceKind::kBusGrant, winner, gamma);
+    }
+
+    if (attr_ != nullptr) {
+        CycleAttribution& attr = *attr_;
+        Cycle& cursor = attr.bus_cursor(winner);
+        const bool demand = active_.op != BusOp::kDataStore;
+        if (cursor < now) {
+            // Wait left unaccounted at grant time happened while nobody
+            // held the bus — a dead slot (TDMA; zero for RR/WRR/fixed).
+            const std::uint64_t dead = now - cursor;
+            attr.dead_slot(winner, dead);
+            if (demand) attr.defer_dead(winner, dead);
+            cursor = now;
+        }
+        if (demand) {
+            // The winner's lookup tail up to its ready cycle is compute;
+            // then one settle folds the whole deferred wait mirror and
+            // pins the service start.
+            attr.charge(winner, StallCause::kCompute, active_.ready);
+            attr.settle_wait(winner, now);
+        }
+        attr.active_grant() = now;
+    }
+}
+
+void Bus::flush_attribution(Cycle limit) {
+    if (attr_ == nullptr) return;
+    CycleAttribution& attr = *attr_;
+    if (has_active_ && active_.op != BusOp::kDataStore) {
+        // In-service at the cut-off: the owner has held the bus since the
+        // grant; clamp the service interval to the horizon.
+        attr.charge(active_.core, StallCause::kBusService, limit);
+    }
+    const Cycle granted_at = attr.active_grant();
+    for (CoreId v = 0; v < ports_.size(); ++v) {
+        const Port& port = ports_[v];
+        if (!port.has_pending) continue;
+        const bool demand = port.pending.op != BusOp::kDataStore;
+        Cycle& cursor = attr.bus_cursor(v);
+        if (cursor < limit) {
+            const Cycle blame_start =
+                has_active_ ? std::max(cursor, granted_at) : limit;
+            const std::uint64_t dead = blame_start - cursor;
+            const std::uint64_t blamed = limit - blame_start;
+            if (dead > 0) attr.dead_slot(v, dead);
+            if (blamed > 0) attr.blame(v, active_.core, blamed);
+            if (demand) {
+                attr.defer_wait(v, blamed);
+                if (dead > 0) attr.defer_dead(v, dead);
+            }
+            cursor = limit;
+        }
+        if (demand) {
+            // Lookup tail up to the wait start (or the horizon, for a
+            // request whose ready cycle lies beyond it), then settle the
+            // deferred wait mirror at the horizon.
+            attr.charge(v, StallCause::kCompute,
+                        std::min(port.pending.ready, limit));
+            attr.settle_wait(v, limit);
+        }
     }
 }
 

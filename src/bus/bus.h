@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bus/arbiter.h"
+#include "machine/attribution.h"
 #include "sim/trace.h"
 #include "sim/types.h"
 #include "stats/histogram.h"
@@ -140,6 +141,19 @@ public:
     /// Optional tracer for timeline benches / golden tests.
     void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+    /// Arms (non-null) or disarms (null) cycle attribution. While armed,
+    /// every grant/completion splits the waiters' elapsed time into the
+    /// blame matrix (who held the bus) and dead slots (nobody did), and
+    /// mirrors demand requests onto their core's cause timeline.
+    void attach_attribution(CycleAttribution* attribution) noexcept {
+        attr_ = attribution;
+    }
+
+    /// Settles attribution up to `limit` for the in-service transaction
+    /// and every waiter still pending — the cut-off path of the closed
+    /// accounting invariant (a campaign run can end mid-transaction).
+    void flush_attribution(Cycle limit);
+
 private:
     struct Port {
         BusRequest pending;
@@ -148,6 +162,10 @@ private:
 
     /// Performs the grant bookkeeping for `winner` at `now`.
     void grant(CoreId winner, Cycle now);
+
+    /// Attribution for a transaction finishing at `now`: service interval
+    /// to the owner, waiters' elapsed time blamed on the owner.
+    void account_completion(const BusRequest& finished, Cycle now);
 
     std::unique_ptr<Arbiter> arbiter_;
     std::vector<Port> ports_;
@@ -161,6 +179,7 @@ private:
     std::uint64_t total_busy_cycles_ = 0;
     BusClient* client_ = nullptr;
     Tracer* tracer_ = nullptr;
+    CycleAttribution* attr_ = nullptr;
 };
 
 }  // namespace rrb

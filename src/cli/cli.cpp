@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
@@ -13,12 +14,14 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/rrb.h"
 #include "obs/heartbeat.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "sim/contract.h"
 
 namespace rrb::cli {
@@ -44,7 +47,11 @@ struct ParsedFlags {
     std::optional<SliceSpec> shard;  ///< --shard i/N
     std::string checkpoint_out;
     std::string telemetry_out;      ///< --telemetry: JSON run report path
+    std::string trace_out;          ///< --trace: Chrome-trace JSON path
     std::uint64_t heartbeat = 0;    ///< --heartbeat: seconds, 0 = off
+    /// --max-regression-pct: telemetry-diff gate threshold; disengaged =
+    /// report-only (never exit 3).
+    std::optional<double> max_regression_pct;
     std::vector<std::string> inputs;  ///< positional args (merge files)
     std::string csv_path;
     std::string error;  ///< non-empty when parsing failed
@@ -70,25 +77,38 @@ const std::vector<CommandSpec>& command_specs() {
           "--nop-latency", "--store-span", "--csv"}},
         {"calibrate", {"--cores", "--lbus", "--var", "--nop-latency"}},
         {"baseline", {"--cores", "--lbus", "--var", "--iterations"}},
+        {"isolation",
+         {"--cores", "--lbus", "--var", "--iterations", "--telemetry",
+          "--heartbeat"}},
+        {"contention",
+         {"--cores", "--lbus", "--var", "--iterations", "--telemetry",
+          "--heartbeat"}},
+        {"slowdown",
+         {"--cores", "--lbus", "--var", "--iterations", "--telemetry",
+          "--heartbeat"}},
         {"campaign",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
-          "--iterations", "--telemetry", "--heartbeat"}},
+          "--iterations", "--telemetry", "--heartbeat", "--trace"}},
+        {"attribution",
+         {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
+          "--iterations", "--telemetry", "--heartbeat", "--trace"}},
         {"pwcet",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
           "--iterations", "--block-size", "--exceedance", "--shard",
-          "--checkpoint-out", "--telemetry", "--heartbeat"}},
+          "--checkpoint-out", "--telemetry", "--heartbeat", "--trace"}},
         {"merge", {"--telemetry"}, /*takes_files=*/true},
         {"whitebox",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
           "--iterations", "--shard", "--checkpoint-out", "--telemetry",
-          "--heartbeat"}},
+          "--heartbeat", "--trace"}},
         {"merge-whitebox", {"--telemetry"}, /*takes_files=*/true},
         {"sweep",
          {"--cores", "--lbus", "--var", "--kmax", "--iterations", "--csv"}},
         {"sweep-pwcet",
          {"--var", "--cores-axis", "--lbus-axis", "--arbiter-axis",
           "--runs", "--seed", "--jobs", "--iterations", "--block-size",
-          "--exceedance", "--telemetry", "--heartbeat"}},
+          "--exceedance", "--telemetry", "--heartbeat", "--trace"}},
+        {"telemetry-diff", {"--max-regression-pct"}, /*takes_files=*/true},
     };
     return specs;
 }
@@ -165,6 +185,16 @@ std::optional<double> parse_probability(const std::string& text) {
     const double value = std::strtod(text.c_str(), &end);
     if (end != text.c_str() + text.size()) return std::nullopt;
     if (!(value > 0.0 && value < 1.0)) return std::nullopt;
+    return value;
+}
+
+/// Strict full-string non-negative percentage ("5", "2.5", "0").
+std::optional<double> parse_percentage(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) return std::nullopt;
+    if (!(value >= 0.0)) return std::nullopt;
     return value;
 }
 
@@ -332,6 +362,21 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             } else {
                 flags.telemetry_out = args[++i];
             }
+        } else if (arg == "--trace") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--trace needs a path";
+            } else {
+                flags.trace_out = args[++i];
+            }
+        } else if (arg == "--max-regression-pct") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--max-regression-pct needs a value";
+            } else if (const auto pct = parse_percentage(args[++i])) {
+                flags.max_regression_pct = *pct;
+            } else {
+                flags.error = "--max-regression-pct needs a non-negative "
+                              "percentage, e.g. 5 or 2.5";
+            }
         } else if (arg == "--heartbeat") {
             if (const auto v = next_number("--heartbeat")) {
                 if (*v == 0) {
@@ -482,7 +527,9 @@ class TelemetrySession {
 public:
     TelemetrySession(const ParsedFlags& flags, std::string command)
         : path_(flags.telemetry_out),
-          active_(!flags.telemetry_out.empty() || flags.heartbeat > 0),
+          trace_path_(flags.trace_out),
+          active_(!flags.telemetry_out.empty() || flags.heartbeat > 0 ||
+                  !flags.trace_out.empty()),
           command_(std::move(command)) {
         if (!active_) return;
         obs::TelemetryRegistry& registry =
@@ -503,6 +550,13 @@ public:
 
     void campaign(const obs::CampaignInfo& info) { info_ = info; }
 
+    /// Campaign-summed attribution for the report's "attribution"
+    /// field (null unless the command ran the profiler).
+    void attribution(obs::AttributionSummary summary) {
+        attribution_ = std::move(summary);
+        has_attribution_ = true;
+    }
+
     /// Snapshots counters and spans, disables the registry, and — when
     /// --telemetry named a file — writes the run report. A failed write
     /// warns on `err` but does not change the command's exit code: the
@@ -516,22 +570,51 @@ public:
         report.campaign = info_;
         report.jobs = jobs;
         report.wall_ns = registry.now_ns() - begin_ns_;
+        report.has_attribution = has_attribution_;
+        report.attribution = attribution_;
         const obs::CounterSnapshot counters = registry.counters();
-        const std::vector<obs::SpanRecord> spans = registry.spans();
+        // The span timeline outlives finish() for write_trace().
+        spans_ = registry.spans();
         registry.disable();
         active_ = false;
         if (path_.empty()) return;
-        if (!obs::write_run_report(path_, report, counters, spans)) {
+        if (!obs::write_run_report(path_, report, counters, spans_)) {
             err << "warning: could not write telemetry report to "
                 << path_ << "\n";
         }
     }
 
+    /// Writes the Chrome-trace timeline when --trace asked for one:
+    /// the span hierarchy finish() snapshotted plus a sampled machine
+    /// timeline — run 0 re-executed on a fresh machine with the Tracer
+    /// armed. Call after finish(): the registry is disabled by then, so
+    /// the extra run touches neither stdout nor the report's counters.
+    void write_trace(const Scenario& scenario, std::ostream& err) {
+        if (trace_path_.empty()) return;
+        Machine machine(scenario.config());
+        machine.tracer().enable();
+        std::uint64_t loaded = 0;
+        (void)detail::execute_campaign_run(
+            machine, loaded, scenario.scua_program(),
+            scenario.contender_programs(), scenario.run_protocol(),
+            /*run_index=*/0);
+        if (!obs::write_chrome_trace(trace_path_, spans_,
+                                     machine.tracer().events(),
+                                     scenario.config().num_cores)) {
+            err << "warning: could not write trace to " << trace_path_
+                << "\n";
+        }
+    }
+
 private:
     std::string path_;
+    std::string trace_path_;
     bool active_ = false;
     std::string command_;
     obs::CampaignInfo info_;
+    bool has_attribution_ = false;
+    obs::AttributionSummary attribution_;
+    std::vector<obs::SpanRecord> spans_;
     std::uint64_t begin_ns_ = 0;
 };
 
@@ -657,6 +740,72 @@ int cmd_baseline(const ParsedFlags& flags, std::ostream& out) {
     return 0;
 }
 
+/// Shared body of the single-run measurement lines: the black-box PMC
+/// view a COTS user could read off real hardware.
+void report_measurement(const char* label, const Measurement& m,
+                        std::ostream& out) {
+    out << label << ": et = " << m.exec_time << " cycles, nr = "
+        << m.bus_requests << "\n";
+    out << "bus utilization = " << m.bus_utilization << ", scua share = "
+        << m.scua_bus_share << "\n";
+    if (m.deadline_reached) out << "deadline reached — run invalid\n";
+}
+
+int cmd_isolation(const ParsedFlags& flags, std::ostream& out,
+                  std::ostream& err) {
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/1);
+    TelemetrySession telemetry(flags, "isolation");
+    const Session session;
+    const Measurement m = session.isolation(scenario);
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.finish(/*jobs=*/1, err);
+    report_measurement("isolation", m, out);
+    return m.deadline_reached ? 2 : 0;
+}
+
+int cmd_contention(const ParsedFlags& flags, std::ostream& out,
+                   std::ostream& err) {
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/1);
+    TelemetrySession telemetry(flags, "contention");
+    const Session session;
+    const Measurement m = session.contention(scenario);
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.finish(/*jobs=*/1, err);
+    report_measurement("contention", m, out);
+    const Cycle ubd = scenario.config().ubd_analytic();
+    const bool bounded = m.max_gamma <= ubd;
+    out << "max gamma = " << m.max_gamma << " (ubd = " << ubd
+        << "), bounded: " << (bounded ? "yes" : "NO") << "\n";
+    return (bounded && !m.deadline_reached) ? 0 : 2;
+}
+
+int cmd_slowdown(const ParsedFlags& flags, std::ostream& out,
+                 std::ostream& err) {
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/1);
+    TelemetrySession telemetry(flags, "slowdown");
+    const Session session;
+    const SlowdownResult r = session.slowdown(scenario);
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.finish(/*jobs=*/1, err);
+    out << "slowdown: et_isol = " << r.isolation.exec_time
+        << " cycles, et_cont = " << r.contention.exec_time
+        << " cycles, det = " << r.slowdown() << " cycles\n";
+    const Cycle ubd = scenario.config().ubd_analytic();
+    const std::uint64_t nr = r.isolation.bus_requests;
+    out << "per request = "
+        << (nr == 0 ? 0.0
+                    : static_cast<double>(r.slowdown()) /
+                          static_cast<double>(nr))
+        << " (nr = " << nr << ", ubd = " << ubd << ")\n";
+    const bool bounded = r.contention.max_gamma <= ubd;
+    out << "max gamma = " << r.contention.max_gamma << ", bounded: "
+        << (bounded ? "yes" : "NO") << "\n";
+    const bool invalid =
+        r.isolation.deadline_reached || r.contention.deadline_reached;
+    if (invalid) out << "deadline reached — run invalid\n";
+    return (bounded && !invalid) ? 0 : 2;
+}
+
 int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
                  std::ostream& err) {
     RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
@@ -677,6 +826,7 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
     }
     telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
     telemetry.finish(jobs, err);
+    telemetry.write_trace(scenario, err);
 
     const Cycle ubd = scenario.config().ubd_analytic();
     const Cycle etb = hwm.et_isolation + hwm.nr * ubd;
@@ -693,6 +843,93 @@ int cmd_campaign(const ParsedFlags& flags, std::ostream& out,
         << ", margin = "
         << (bounded ? etb - hwm.high_water_mark : Cycle{0}) << " cycles\n";
     return bounded ? 0 : 2;
+}
+
+/// One percentage with a fixed decimal count — snprintf, not ostream
+/// precision state, so the report lines stay deterministic bytes.
+std::string percent(std::uint64_t part, std::uint64_t whole) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  whole == 0 ? 0.0
+                             : 100.0 * static_cast<double>(part) /
+                                   static_cast<double>(whole));
+    return buf;
+}
+
+int cmd_attribution(const ParsedFlags& flags, std::ostream& out,
+                    std::ostream& err) {
+    RRB_REQUIRE(flags.runs.value_or(1) >= 1, "--runs must be at least 1");
+    const Scenario scenario = build_scenario(flags, /*default_runs=*/20);
+    const std::size_t runs = scenario.run_protocol().runs;
+    const std::size_t jobs = engine::effective_jobs(
+        flags.jobs, engine::ReducePlan::for_count(runs).shards());
+
+    engine::ProgressCounter progress;
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+
+    TelemetrySession telemetry(flags, "attribution");
+    engine::AttributionCampaignResult r;
+    {
+        const ProgressReporter reporter(progress, err, runs,
+                                        flags.heartbeat, jobs);
+        r = session.attribution(scenario);
+    }
+    telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
+    telemetry.attribution(attribution_summary(r.attribution));
+    telemetry.finish(jobs, err);
+    telemetry.write_trace(scenario, err);
+
+    const AttributionAccumulator& acc = r.attribution;
+    const CoreId cores = static_cast<CoreId>(acc.num_cores());
+    out << "attribution: " << runs << " runs on " << jobs << " jobs, seed "
+        << scenario.run_protocol().seed << " ("
+        << engine::render_progress(progress) << ")\n";
+    out << "et_isol = " << r.et_isolation << " cycles, nr = " << r.nr
+        << "\n";
+    out << "machine cycles = " << acc.machine_cycles() << " per core over "
+        << acc.runs() << " runs, " << acc.num_cores() << " cores\n";
+    // Space-separated columns, no padding, like sweep-pwcet: rows are
+    // machine-diffable and sum checks are one awk away.
+    out << "cycles by cause (each core's column sums to machine "
+           "cycles):\n";
+    out << "cause";
+    for (CoreId c = 0; c < cores; ++c) out << " core" << c;
+    out << "\n";
+    for (std::size_t cause = 0; cause < kStallCauseCount; ++cause) {
+        out << to_string(static_cast<StallCause>(cause));
+        for (CoreId c = 0; c < cores; ++c) {
+            out << " " << acc.timeline(c, static_cast<StallCause>(cause));
+        }
+        out << "\n";
+    }
+    out << "blame matrix (bus-wait cycles, victim row charged to "
+           "contender column):\n";
+    out << "victim";
+    for (CoreId w = 0; w < cores; ++w) out << " core" << w;
+    out << " dead_slot\n";
+    for (CoreId v = 0; v < cores; ++v) {
+        out << "core" << v;
+        for (CoreId w = 0; w < cores; ++w) out << " " << acc.blamed(v, w);
+        out << " " << acc.dead_slot_cycles(v) << "\n";
+    }
+    for (CoreId v = 0; v < cores; ++v) {
+        const std::uint64_t dead = acc.dead_slot_cycles(v);
+        const std::uint64_t denom = acc.blamed_total(v) + dead;
+        out << "core" << v << " stall share:";
+        if (denom == 0) {
+            out << " none\n";
+            continue;
+        }
+        for (CoreId w = 0; w < cores; ++w) {
+            if (w == v) continue;
+            out << " core" << w << " " << percent(acc.blamed(v, w), denom)
+                << "%";
+        }
+        if (dead > 0) out << " dead " << percent(dead, denom) << "%";
+        out << "\n";
+    }
+    return 0;
 }
 
 /// Everything a pWCET campaign report prints after its header line —
@@ -765,6 +1002,7 @@ int cmd_pwcet_checkpoint(const ParsedFlags& flags, const Scenario& scenario,
     // the distributed campaign's timeline.
     telemetry.campaign(telemetry_info(checkpoint.meta));
     telemetry.finish(session.worker_budget(), err);
+    telemetry.write_trace(scenario, err);
 
     const CheckpointMeta& meta = checkpoint.meta;
     out << "pwcet shard " << slice.index << "/" << slice.count << ": runs ["
@@ -813,6 +1051,7 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     }
     telemetry.campaign(whole_campaign_info(scenario, spec.block_size));
     telemetry.finish(jobs, err);
+    telemetry.write_trace(scenario, err);
 
     out << "pwcet: " << r.runs << " runs in blocks of " << spec.block_size
         << " on " << jobs << " jobs, seed " << scenario.run_protocol().seed
@@ -898,6 +1137,7 @@ int cmd_whitebox_checkpoint(const ParsedFlags& flags,
     }
     telemetry.campaign(telemetry_info(checkpoint.meta));
     telemetry.finish(session.worker_budget(), err);
+    telemetry.write_trace(scenario, err);
 
     const CheckpointMeta& meta = checkpoint.meta;
     out << "whitebox shard " << slice.index << "/" << slice.count
@@ -935,6 +1175,7 @@ int cmd_whitebox(const ParsedFlags& flags, std::ostream& out,
     }
     telemetry.campaign(whole_campaign_info(scenario, /*block_size=*/0));
     telemetry.finish(jobs, err);
+    telemetry.write_trace(scenario, err);
 
     out << "whitebox: " << runs << " runs on " << jobs << " jobs, seed "
         << scenario.run_protocol().seed << " ("
@@ -1004,6 +1245,7 @@ int cmd_sweep_pwcet(const ParsedFlags& flags, std::ostream& out,
         telemetry.campaign(info);
     }
     telemetry.finish(jobs, err);
+    telemetry.write_trace(scenario, err);
 
     out << "sweep-pwcet: " << sweep.points.size() << " configs x " << runs
         << " runs in blocks of " << spec.block_size << " on " << jobs
@@ -1064,6 +1306,175 @@ int cmd_sweep(const ParsedFlags& flags, std::ostream& out) {
     return 0;
 }
 
+std::optional<std::string> read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/// Ordered name -> number pairs of one flat JSON object section
+/// ("counters", "derived") of a run report. Hand-scanned against the
+/// renderer's own output shape — tolerant of any key set, so reports
+/// written by other versions of the tool still diff instead of erroring
+/// on an unknown counter.
+std::vector<std::pair<std::string, double>> json_section_numbers(
+    const std::string& text, const std::string& section) {
+    std::vector<std::pair<std::string, double>> items;
+    const std::string needle = "\"" + section + "\": {";
+    const std::size_t start = text.find(needle);
+    if (start == std::string::npos) return items;
+    std::size_t pos = start + needle.size();
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) return items;
+    while (pos < end) {
+        const std::size_t key_open = text.find('"', pos);
+        if (key_open == std::string::npos || key_open >= end) break;
+        const std::size_t key_close = text.find('"', key_open + 1);
+        if (key_close == std::string::npos || key_close >= end) break;
+        const std::size_t colon = text.find(':', key_close);
+        if (colon == std::string::npos || colon >= end) break;
+        char* stop = nullptr;
+        const double value = std::strtod(text.c_str() + colon + 1, &stop);
+        items.emplace_back(text.substr(key_open + 1,
+                                       key_close - key_open - 1),
+                           value);
+        pos = static_cast<std::size_t>(stop - text.c_str());
+    }
+    return items;
+}
+
+std::optional<double> json_top_number(const std::string& text,
+                                      const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+double find_value(const std::vector<std::pair<std::string, double>>& items,
+                  const std::string& key, bool& found) {
+    for (const auto& [name, value] : items) {
+        if (name == key) {
+            found = true;
+            return value;
+        }
+    }
+    found = false;
+    return 0.0;
+}
+
+/// Signed percentage change b vs a ("+12.3%", "-4.0%"); "n/a" when the
+/// baseline is zero.
+std::string change_pct(double a, double b) {
+    if (a == 0.0) return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * (b - a) / a);
+    return buf;
+}
+
+/// `rrbtool telemetry-diff a.json b.json`: counter deltas and derived
+/// rate changes between two run reports, oldest first. With
+/// --max-regression-pct P the throughput rates (runs/sec, cycles/sec)
+/// become a gate: exit 3 when either regressed by more than P percent —
+/// the CI perf gate, runnable locally against any two reports.
+int cmd_telemetry_diff(const ParsedFlags& flags, std::ostream& out,
+                       std::ostream& err) {
+    RRB_REQUIRE(flags.inputs.size() == 2,
+                "telemetry-diff needs exactly two run-report files");
+    const std::optional<std::string> a = read_file(flags.inputs[0]);
+    const std::optional<std::string> b = read_file(flags.inputs[1]);
+    if (!a || !b) {
+        err << "error: could not read "
+            << (!a ? flags.inputs[0] : flags.inputs[1]) << "\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        const std::string& text = i == 0 ? *a : *b;
+        if (text.find("\"rrb-telemetry\"") == std::string::npos) {
+            err << "error: " << flags.inputs[i]
+                << " is not an rrb-telemetry run report\n";
+            return 1;
+        }
+    }
+    out << "telemetry-diff: " << flags.inputs[0] << " -> "
+        << flags.inputs[1] << "\n";
+    const auto wall_a = json_top_number(*a, "wall_ns");
+    const auto wall_b = json_top_number(*b, "wall_ns");
+    if (wall_a && wall_b) {
+        out << "wall_ns: " << static_cast<std::uint64_t>(*wall_a) << " -> "
+            << static_cast<std::uint64_t>(*wall_b) << " ("
+            << change_pct(*wall_a, *wall_b) << ")\n";
+    }
+    const auto counters_a = json_section_numbers(*a, "counters");
+    const auto counters_b = json_section_numbers(*b, "counters");
+    out << "counters:\n";
+    for (const auto& [name, value_a] : counters_a) {
+        bool in_b = false;
+        const double value_b = find_value(counters_b, name, in_b);
+        out << "  " << name << ": " << static_cast<std::uint64_t>(value_a);
+        if (!in_b) {
+            out << " -> (missing)\n";
+            continue;
+        }
+        const auto delta =
+            static_cast<std::int64_t>(value_b) -
+            static_cast<std::int64_t>(value_a);
+        out << " -> " << static_cast<std::uint64_t>(value_b) << " ("
+            << (delta >= 0 ? "+" : "") << delta << ")\n";
+    }
+    for (const auto& [name, value_b] : counters_b) {
+        bool in_a = false;
+        find_value(counters_a, name, in_a);
+        if (!in_a) {
+            out << "  " << name << ": (missing) -> "
+                << static_cast<std::uint64_t>(value_b) << "\n";
+        }
+    }
+    const auto derived_a = json_section_numbers(*a, "derived");
+    const auto derived_b = json_section_numbers(*b, "derived");
+    out << "derived:\n";
+    for (const auto& [name, value_a] : derived_a) {
+        bool in_b = false;
+        const double value_b = find_value(derived_b, name, in_b);
+        out << "  " << name << ": " << value_a;
+        if (!in_b) {
+            out << " -> (missing)\n";
+            continue;
+        }
+        out << " -> " << value_b << " (" << change_pct(value_a, value_b)
+            << ")\n";
+    }
+    // The gate: throughput rates where lower is a regression.
+    int exit_code = 0;
+    if (flags.max_regression_pct.has_value()) {
+        for (const char* key : {"runs_per_sec", "cycles_per_sec"}) {
+            bool in_a = false;
+            bool in_b = false;
+            const double value_a = find_value(derived_a, key, in_a);
+            const double value_b = find_value(derived_b, key, in_b);
+            if (!in_a || !in_b || value_a <= 0.0) continue;
+            const double drop_pct = 100.0 * (value_a - value_b) / value_a;
+            if (drop_pct > *flags.max_regression_pct) {
+                out << "regression: " << key << " dropped "
+                    << change_pct(value_a, value_b)
+                    << ", beyond --max-regression-pct "
+                    << *flags.max_regression_pct << "\n";
+                exit_code = 3;
+            }
+        }
+        if (exit_code == 0) {
+            out << "gate: no rate regression beyond "
+                << *flags.max_regression_pct << "%\n";
+        }
+    }
+    return exit_code;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -1076,7 +1487,14 @@ std::string usage() {
            "  estimate     run the rsk-nop methodology and report ubd\n"
            "  calibrate    measure delta_nop with the all-nop kernel\n"
            "  baseline     run the naive rsk-vs-rsk measurement\n"
+           "  isolation    run the scua alone and report its PMC view\n"
+           "  contention   one scua-vs-contenders run vs the analytic "
+           "ubd\n"
+           "  slowdown     isolation + contention, report det(t, k)\n"
            "  campaign     run a randomized HWM campaign vs the ETB bound\n"
+           "  attribution  campaign with the cycle-attribution profiler:\n"
+           "               per-core stall causes + contender blame "
+           "matrix\n"
            "  pwcet        streamed Gumbel pWCET campaign (O(runs/block) "
            "memory)\n"
            "  merge        merge pwcet checkpoint files into the full "
@@ -1088,6 +1506,9 @@ std::string usage() {
            "  sweep-pwcet  grid of MachineConfigs, one streamed pWCET\n"
            "               campaign per point on one shared pool\n"
            "  sweep        dump the dbus(k) series as CSV\n"
+           "  telemetry-diff  counter deltas and rate regressions "
+           "between\n"
+           "               two --telemetry run reports\n"
            "  help         show this text\n"
            "\n"
            "Each command accepts only its own flags; anything else exits\n"
@@ -1119,6 +1540,22 @@ std::string usage() {
            "  --heartbeat S        print a live status line (runs/s, "
            "eta,\n"
            "                       worker %) to stderr every S seconds\n"
+           "  --trace F            write a Chrome-trace JSON timeline "
+           "to F\n"
+           "                       (open in Perfetto or chrome://tracing):"
+           "\n"
+           "                       campaign spans plus run 0's bus "
+           "wait /\n"
+           "                       service windows per core\n"
+           "\n"
+           "telemetry-diff:\n"
+           "  rrbtool telemetry-diff A B   diff two run reports "
+           "(oldest\n"
+           "                       first); with --max-regression-pct P "
+           "exit 3\n"
+           "                       when runs/sec or cycles/sec dropped "
+           "more\n"
+           "                       than P percent\n"
            "\n"
            "pwcet flags (plus the campaign flags above):\n"
            "  --block-size B       runs per EVT block (default 50)\n"
@@ -1165,7 +1602,18 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         if (command == "estimate") return cmd_estimate(flags, out);
         if (command == "calibrate") return cmd_calibrate(flags, out);
         if (command == "baseline") return cmd_baseline(flags, out);
+        if (command == "isolation") return cmd_isolation(flags, out, err);
+        if (command == "contention") {
+            return cmd_contention(flags, out, err);
+        }
+        if (command == "slowdown") return cmd_slowdown(flags, out, err);
         if (command == "campaign") return cmd_campaign(flags, out, err);
+        if (command == "attribution") {
+            return cmd_attribution(flags, out, err);
+        }
+        if (command == "telemetry-diff") {
+            return cmd_telemetry_diff(flags, out, err);
+        }
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
         if (command == "merge") return cmd_merge(flags, out, err);
         if (command == "whitebox") return cmd_whitebox(flags, out, err);

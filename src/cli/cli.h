@@ -4,11 +4,17 @@
 //                     [--iterations I] [--store-span] [--csv FILE]
 //   rrbtool calibrate [--cores N] [--lbus L] [--var] [--nop-latency L]
 //   rrbtool baseline  [--cores N] [--lbus L] [--var]
+//   rrbtool isolation [--cores N] [--lbus L] [--var] [--iterations I]
+//   rrbtool contention / slowdown   (same flags as isolation)
 //   rrbtool campaign  [--cores N] [--lbus L] [--var] [--runs R]
 //                     [--seed S] [--jobs N] [--iterations I]
+//                     [--telemetry F] [--heartbeat S] [--trace F]
+//   rrbtool attribution [campaign flags]  — cycle-attribution profiler:
+//                     per-core stall-cause timelines + blame matrix
 //   rrbtool pwcet     [campaign flags] [--block-size B] [--exceedance P]
 //                     [--shard i/N --checkpoint-out F]
 //   rrbtool merge     F1 F2 ...
+//   rrbtool telemetry-diff A B [--max-regression-pct P]
 //   rrbtool sweep-pwcet [--var] [--cores-axis A,B] [--lbus-axis A,B]
 //                     [--arbiter-axis rr,tdma,...] [campaign/pwcet flags]
 //   rrbtool sweep     [--cores N] [--lbus L] [--var] [--kmax K]

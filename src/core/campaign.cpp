@@ -111,6 +111,28 @@ Measurement hwm_campaign_measure(const MachineConfig& config,
                                 /*deadline_reached=*/false);
 }
 
+Cycle hwm_campaign_attribute(const MachineConfig& config,
+                             const Program& scua,
+                             const std::vector<Program>& contenders,
+                             const HwmCampaignOptions& options,
+                             std::uint64_t run_index,
+                             AttributionAccumulator& acc) {
+    engine::MachineLease lease(config);
+    Machine& machine = lease.machine();
+    machine.arm_attribution();
+    // Leased machines outlive this run — never leave one armed, even
+    // when the run throws (deadline ENSURE).
+    struct Disarm {
+        Machine& machine;
+        ~Disarm() { machine.disarm_attribution(); }
+    } disarm{machine};
+    const Cycle finish = execute_campaign_run(
+        machine, lease.campaign(), scua, contenders, options, run_index);
+    machine.finalize_attribution();
+    acc.add(run_index, machine.attribution());
+    return finish;
+}
+
 }  // namespace detail
 
 

@@ -16,6 +16,7 @@
 #include "isa/program.h"
 #include "machine/config.h"
 #include "sim/types.h"
+#include "stats/attribution.h"
 #include "stats/evt.h"
 
 namespace rrb {
@@ -158,6 +159,18 @@ namespace detail {
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options, std::uint64_t run_index);
+
+/// hwm_campaign_run with the cycle-attribution profiler armed on the
+/// leased machine: the run's finalized per-core cause timelines and
+/// per-contender blame matrix are folded into `acc`, and the machine is
+/// disarmed before the lease is released (cached machines must never
+/// stay armed). Attribution is strictly observational, so the returned
+/// finish cycle equals hwm_campaign_run(...) for equal inputs.
+[[nodiscard]] Cycle hwm_campaign_attribute(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, std::uint64_t run_index,
+    AttributionAccumulator& acc);
 
 }  // namespace detail
 

@@ -161,6 +161,17 @@ engine::WhiteboxCampaignResult Session::whitebox(const Scenario& scenario) {
         engine_options(progress_));
 }
 
+engine::AttributionCampaignResult Session::attribution(
+    const Scenario& scenario) {
+    scenario.validate();
+    const obs::Span span("session.attribution", 0,
+                         scenario.run_protocol().runs);
+    return engine::run_attribution_campaign(
+        scenario.config(), scenario.scua_program(),
+        scenario.contender_programs(), scenario.run_protocol(),
+        engine_options(progress_));
+}
+
 SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
                            const PwcetSpec& spec) {
     scenario.validate();
@@ -347,6 +358,24 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
         }
     }
 
+    // Announce the whole campaign once, with the checkpointed runs
+    // counted as already completed: the progress line (and any
+    // heartbeat ETA built on it) sees "covered/total" from the first
+    // tick instead of a cold start re-announced per uncovered range.
+    engine::EngineOptions resumed_options = engine_options(progress_);
+    if (progress_ != nullptr) {
+        std::size_t covered_runs = 0;
+        for (std::size_t s = 0; s < plan.shards(); ++s) {
+            if (owner[s] != kNobody) {
+                covered_runs += static_cast<std::size_t>(
+                    plan.shard_end(s) - plan.shard_begin(s));
+            }
+        }
+        progress_->begin_resumed(
+            static_cast<std::size_t>(plan.count), covered_runs);
+        resumed_options.progress_pre_announced = true;
+    }
+
     // Run every maximal uncovered shard range, exactly as a checkpoint
     // slice would have.
     for (std::size_t s = 0; s < plan.shards();) {
@@ -359,7 +388,7 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
         engine::PwcetShardSlice fresh = engine::run_pwcet_campaign_shards(
             scenario.config(), scenario.scua_program(),
             scenario.contender_programs(), options, {s, end},
-            engine_options(progress_));
+            resumed_options);
         if (have_baseline && (fresh.et_isolation != expected.et_isolation ||
                               fresh.nr != expected.nr)) {
             // The fingerprints matched, so a diverging deterministic

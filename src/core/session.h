@@ -141,6 +141,14 @@ public:
     [[nodiscard]] engine::WhiteboxCampaignResult whitebox(
         const Scenario& scenario);
 
+    /// Cycle-attribution campaign: every run executes with the
+    /// profiler armed and the per-core cause timelines plus the
+    /// per-contender blame matrix are summed over the campaign.
+    /// Exact integer sums → bit-identical at every jobs value and
+    /// through any shard/merge slicing.
+    [[nodiscard]] engine::AttributionCampaignResult attribution(
+        const Scenario& scenario);
+
     /// Grid of MachineConfig variations, each point a streamed pWCET
     /// campaign over the re-targeted scenario. See the module comment
     /// for the nesting/jobs contract.

@@ -50,6 +50,7 @@ void InOrderCore::restart(Cycle start_delay) {
     prev_load_completion_ = kNoCycle;
     fetch_memo_line_ = kNoCycle;
     fetch_memo_tick_ = 0;
+    attr_cause_dirty_ = true;  // pending resets to kIdle when (re)armed
     stats_.reset();
 }
 
@@ -117,6 +118,18 @@ void InOrderCore::on_bus_complete(BusSlot slot, Cycle completion) {
 }
 
 Cycle InOrderCore::execute_instruction(Cycle now) {
+    if (attr_ != nullptr && attr_cause_dirty_) {
+        // The interval since the last charge belongs to whatever was
+        // pending — idle before release or a stall retry; from this
+        // cycle on the core is executing again. When compute is already
+        // pending the charge is deferred: every consumer of pending
+        // (the next cause change, the holder hooks, finalize) settles
+        // the lazy tail, and the dirty mirror keeps the armed
+        // per-instruction cost to one predictable member-flag compare.
+        attr_->charge(id_, attr_->pending(id_), now);
+        attr_->set_pending(id_, StallCause::kCompute);
+        attr_cause_dirty_ = false;
+    }
     const Instruction& instr = program_.body[pc_];
 
     // Instruction fetch through IL1 (free when it hits; stalls on miss).
@@ -185,6 +198,13 @@ Cycle InOrderCore::execute_instruction(Cycle now) {
             if (config_.loads_wait_store_buffer &&
                 (drain_in_flight_ || !store_buffer_.empty())) {
                 ++stats_.load_gate_stall_cycles;
+                if (attr_ != nullptr) {
+                    // Settle the lazy tail (compute since the last
+                    // charge) before the cause changes.
+                    attr_->charge(id_, attr_->pending(id_), now);
+                    attr_->set_pending(id_, StallCause::kStoreGate);
+                    attr_cause_dirty_ = true;
+                }
                 return now + 1;  // retry next cycle
             }
             ++stats_.loads;
@@ -210,6 +230,11 @@ Cycle InOrderCore::execute_instruction(Cycle now) {
             // flight, so the buffer size alone is the occupancy.
             if (store_buffer_.size() >= config_.store_buffer_entries) {
                 ++stats_.store_full_stall_cycles;
+                if (attr_ != nullptr) {
+                    attr_->charge(id_, attr_->pending(id_), now);
+                    attr_->set_pending(id_, StallCause::kStoreBufferFull);
+                    attr_cause_dirty_ = true;
+                }
                 return now + 1;  // retry next cycle
             }
             ++stats_.stores;
@@ -231,12 +256,28 @@ Cycle InOrderCore::tick(Cycle now) {
     start_drain_if_needed(now);
 
     if (retired_all_) {
+        if (attr_ != nullptr) {
+            // The loop-control tail [*, next_free_) is still compute (or
+            // whatever was pending); only past next_free_ is the core
+            // purely waiting on its store buffer.
+            const Cycle tail = now < next_free_ ? now : next_free_;
+            attr_->charge(id_, attr_->pending(id_), tail);
+            if (now >= next_free_) {
+                attr_->charge(id_, StallCause::kDrainWait, now);
+                attr_->set_pending(id_, StallCause::kDrainWait);
+                attr_cause_dirty_ = true;
+            }
+        }
         // The program ends when the trailing loop-control cycles have
         // elapsed and every buffered store has been performed.
         if (store_buffer_.empty() && !drain_in_flight_ &&
             now >= next_free_) {
             done_ = true;
             finish_cycle_ = now;
+            if (attr_ != nullptr) {
+                attr_->set_pending(id_, StallCause::kIdle);
+                attr_cause_dirty_ = true;
+            }
             return kNoCycle;
         }
         if (!store_buffer_.empty() || drain_in_flight_) {

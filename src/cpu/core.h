@@ -24,6 +24,7 @@
 #include "bus/bus.h"
 #include "cache/cache.h"
 #include "isa/program.h"
+#include "machine/attribution.h"
 #include "sim/ring_buffer.h"
 #include "sim/types.h"
 #include "stats/histogram.h"
@@ -159,6 +160,20 @@ public:
         return store_buffer_.size();
     }
 
+    /// Arms (non-null) or disarms (null) cycle attribution. The sink is
+    /// machine-owned; the core only charges through it when armed.
+    void attach_attribution(CycleAttribution* attribution) noexcept {
+        attr_ = attribution;
+        attr_cause_dirty_ = true;
+    }
+
+    /// True while a demand request (ifetch or load fill) is in flight —
+    /// the interval up to the machine's current cycle is then covered by
+    /// the bus/DRAM attribution flushes, not by the core.
+    [[nodiscard]] bool waiting_on_bus() const noexcept {
+        return waiting_ifetch_ || waiting_load_;
+    }
+
 private:
     void start_drain_if_needed(Cycle now);
     /// Executes at cycle `now`, returning the core's next event cycle
@@ -202,6 +217,15 @@ private:
     // compare + a hit-counter bump with bit-identical cache behavior.
     Addr fetch_memo_line_ = kNoCycle;
     std::uint64_t fetch_memo_tick_ = 0;
+
+    /// Armed cycle-attribution sink (null when disarmed — the default).
+    CycleAttribution* attr_ = nullptr;
+    /// Mirror of `attr_->pending(id_) != kCompute`, kept on the core's
+    /// own hot cache line. Only this core ever sets its pending cause,
+    /// so the mirror cannot go stale; it spares the per-instruction
+    /// deref into the attribution arrays (~6k instructions/run on the
+    /// bench workload).
+    bool attr_cause_dirty_ = true;
 
     CoreStats stats_;
 };

@@ -11,6 +11,18 @@ namespace {
 
 bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
+/// Refresh-blocked cycles in [0, x): the windows are [k*I, k*I + D) for
+/// k >= 1 with I > D (validated), so every window before the last
+/// boundary crossed is fully contained and only the final one clips.
+std::uint64_t refresh_blocked_before(Cycle x, Cycle interval,
+                                     Cycle duration) {
+    if (interval == 0 || x == 0) return 0;
+    const Cycle boundaries = (x - 1) / interval;  // k*I < x
+    if (boundaries == 0) return 0;
+    return (boundaries - 1) * duration +
+           std::min(duration, x - boundaries * interval);
+}
+
 }  // namespace
 
 void DramConfig::validate() const {
@@ -109,6 +121,11 @@ void MemoryController::tick(Cycle now) {
             it = in_flight_.erase(it);
             stats_.total_latency += done.completion - done.request.arrival;
             stats_.latency.add(done.completion - done.request.arrival);
+            // Charge the service interval before the client posts the
+            // fill response (whose wait clock starts at `now`).
+            if (attr_ != nullptr && !done.request.is_write) {
+                attr_->charge(done.request.core, done.service_class, now);
+            }
             if (client_ != nullptr) client_->dram_complete(done.request, now);
         } else {
             ++it;
@@ -129,16 +146,19 @@ void MemoryController::tick(Cycle now) {
     const DramTiming& t = config_.timing;
 
     Cycle latency = t.t_overhead;
+    StallCause service_class = StallCause::kDramRowHit;
     if (bank.open_row && *bank.open_row == row) {
         ++stats_.row_hits;
     } else if (!bank.open_row) {
         ++stats_.row_misses;
+        service_class = StallCause::kDramRowMiss;
         latency += t.t_rcd;  // ACT then column command
         if (tracer_ && tracer_->enabled()) {
             tracer_->record(now, TraceKind::kDramActivate, chosen.core, row);
         }
     } else {
         ++stats_.row_conflicts;
+        service_class = StallCause::kDramRowConflict;
         latency += t.t_rp + t.t_rcd;  // PRE, ACT, column command
         if (tracer_ && tracer_->enabled()) {
             tracer_->record(now, TraceKind::kDramPrecharge, chosen.core,
@@ -146,6 +166,23 @@ void MemoryController::tick(Cycle now) {
         }
     }
     latency += t.t_cl + t.t_burst;
+
+    if (attr_ != nullptr && !chosen.is_write) {
+        // Queue wait [charged-so-far, now): the portion overlapping a
+        // refresh window is the refresh's fault, the rest plain queueing.
+        const Cycle start = attr_->charged_until(chosen.core);
+        if (now > start) {
+            const std::uint64_t refresh =
+                refresh_blocked_before(now, config_.refresh_interval,
+                                       config_.refresh_duration) -
+                refresh_blocked_before(start, config_.refresh_interval,
+                                       config_.refresh_duration);
+            attr_->add(chosen.core, StallCause::kDramRefresh, refresh);
+            attr_->add(chosen.core, StallCause::kDramQueue,
+                       (now - start) - refresh);
+            attr_->advance(chosen.core, now);
+        }
+    }
 
     if (config_.page_policy == PagePolicy::kClosedPage) {
         // Auto-precharge: the row never stays open; the bank additionally
@@ -168,7 +205,28 @@ void MemoryController::tick(Cycle now) {
                         chosen.addr);
     }
 
-    in_flight_.push_back({chosen, now + latency});
+    in_flight_.push_back({chosen, now + latency, service_class});
+}
+
+void MemoryController::flush_attribution(Cycle limit) {
+    if (attr_ == nullptr) return;
+    for (const InFlight& f : in_flight_) {
+        if (f.request.is_write) continue;
+        attr_->charge(f.request.core, f.service_class, limit);
+    }
+    for (const DramRequest& q : queue_) {
+        if (q.is_write) continue;
+        const Cycle start = attr_->charged_until(q.core);
+        if (limit <= start) continue;
+        const std::uint64_t refresh =
+            refresh_blocked_before(limit, config_.refresh_interval,
+                                   config_.refresh_duration) -
+            refresh_blocked_before(start, config_.refresh_interval,
+                                   config_.refresh_duration);
+        attr_->add(q.core, StallCause::kDramRefresh, refresh);
+        attr_->add(q.core, StallCause::kDramQueue, (limit - start) - refresh);
+        attr_->advance(q.core, limit);
+    }
 }
 
 Cycle MemoryController::next_event_cycle(Cycle now) const {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "machine/attribution.h"
 #include "sim/trace.h"
 #include "sim/types.h"
 #include "stats/histogram.h"
@@ -167,6 +168,18 @@ public:
 
     void attach_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+    /// Arms (non-null) or disarms (null) cycle attribution. While armed,
+    /// every *read* charges its queue wait (split into refresh overlap
+    /// vs plain queueing) at issue and its service interval by row class
+    /// at completion; writes are background traffic nobody waits on.
+    void attach_attribution(CycleAttribution* attribution) noexcept {
+        attr_ = attribution;
+    }
+
+    /// Settles attribution up to `limit` for queued and in-flight reads —
+    /// the cut-off path of the closed accounting invariant.
+    void flush_attribution(Cycle limit);
+
 private:
     struct Bank {
         std::optional<std::uint64_t> open_row;
@@ -175,6 +188,8 @@ private:
     struct InFlight {
         DramRequest request;
         Cycle completion = 0;
+        /// Row class the access paid (attribution; kDramRowHit/Miss/Conflict).
+        StallCause service_class = StallCause::kDramRowHit;
     };
 
     /// Picks the queue index to issue next under the configured policy.
@@ -207,6 +222,7 @@ private:
     DramStats stats_;
     DramClient* client_ = nullptr;
     Tracer* tracer_ = nullptr;
+    CycleAttribution* attr_ = nullptr;
 };
 
 }  // namespace rrb

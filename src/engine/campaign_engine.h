@@ -54,6 +54,12 @@ struct EngineOptions {
     /// The caller must not drive the same pool from two batches at once
     /// (wait_idle() waits for *all* submitted jobs).
     ThreadPool* pool = nullptr;
+    /// When true the caller has already announced the batch on
+    /// `progress` (e.g. Session::resume calls begin_resumed() once for
+    /// the whole campaign, then runs several uncovered shard ranges);
+    /// reductions tick but never re-begin, so the counter keeps the
+    /// campaign-wide total instead of resetting per range.
+    bool progress_pre_announced = false;
 };
 
 /// `options.jobs` resolved against the actual amount of work: 0 maps to

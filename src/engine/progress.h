@@ -18,17 +18,38 @@ public:
     /// count. Not thread-safe against concurrent tick() — call between
     /// batches, not during one.
     void begin(std::size_t total) noexcept {
-        completed_.store(0, std::memory_order_relaxed);
+        fresh_.store(0, std::memory_order_relaxed);
+        baseline_.store(0, std::memory_order_relaxed);
+        total_.store(total, std::memory_order_relaxed);
+    }
+
+    /// begin() for a resumed campaign: `already` of `total` jobs were
+    /// completed by earlier slices (checkpoints) before this process
+    /// started. completed() reports them, so percentages and ETAs see
+    /// the whole campaign; rate meters subtract baseline() to measure
+    /// only work done here (checkpointed runs took no wall time now).
+    void begin_resumed(std::size_t total, std::size_t already) noexcept {
+        fresh_.store(0, std::memory_order_relaxed);
+        baseline_.store(already, std::memory_order_relaxed);
         total_.store(total, std::memory_order_relaxed);
     }
 
     /// Records one finished job. Safe to call from any worker thread.
     void tick() noexcept {
-        completed_.fetch_add(1, std::memory_order_relaxed);
+        fresh_.fetch_add(1, std::memory_order_relaxed);
     }
 
     [[nodiscard]] std::size_t completed() const noexcept {
-        return completed_.load(std::memory_order_relaxed);
+        return fresh_.load(std::memory_order_relaxed) +
+               baseline_.load(std::memory_order_relaxed);
+    }
+    /// Jobs the current batch inherited as already done (resume).
+    [[nodiscard]] std::size_t baseline() const noexcept {
+        return baseline_.load(std::memory_order_relaxed);
+    }
+    /// Jobs actually executed in this batch: completed() - baseline().
+    [[nodiscard]] std::size_t fresh() const noexcept {
+        return fresh_.load(std::memory_order_relaxed);
     }
     [[nodiscard]] std::size_t total() const noexcept {
         return total_.load(std::memory_order_relaxed);
@@ -41,7 +62,8 @@ public:
 
 private:
     std::atomic<std::size_t> total_{0};
-    std::atomic<std::size_t> completed_{0};
+    std::atomic<std::size_t> fresh_{0};
+    std::atomic<std::size_t> baseline_{0};
 };
 
 /// Renders "completed/total (pp%)" for CLI progress lines.

@@ -105,6 +105,59 @@ WhiteboxCampaignResult run_whitebox_campaign(
     return result;
 }
 
+AttributionCampaignResult run_attribution_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, const EngineOptions& engine) {
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(options.runs));
+    AttributionShardSlice slice = run_attribution_campaign_shards(
+        config, scua, contenders, options, {0, plan.shards()}, engine);
+
+    AttributionCampaignResult result;
+    result.et_isolation = slice.et_isolation;
+    result.nr = slice.nr;
+    result.attribution = std::move(slice.shards[0]);
+    for (std::size_t s = 1; s < slice.shards.size(); ++s) {
+        result.attribution.merge(slice.shards[s]);
+    }
+    return result;
+}
+
+AttributionShardSlice run_attribution_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, ReducePlan::ShardRange range,
+    const EngineOptions& engine) {
+    RRB_REQUIRE(options.runs >= 1, "need at least one run");
+    RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+
+    AttributionShardSlice slice;
+    {
+        const Measurement isol =
+            run_isolation(config, scua, 0, options.max_cycles_per_run);
+        RRB_ENSURE(!isol.deadline_reached);
+        slice.et_isolation = isol.exec_time;
+        slice.nr = isol.bus_requests;
+    }
+
+    const ReducePlan plan =
+        ReducePlan::for_count(static_cast<std::uint64_t>(options.runs));
+    slice.first_shard = range.first;
+    if (range.size() > 0) {
+        slice.first_run = plan.shard_begin(range.first);
+        slice.last_run = plan.shard_end(range.last - 1);
+    }
+    slice.shards = reduce_indexed_shards(
+        plan, range,
+        [&](AttributionAccumulator& acc, std::uint64_t run) {
+            static_cast<void>(detail::hwm_campaign_attribute(
+                config, scua, contenders, options, run, acc));
+        },
+        AttributionAccumulator{}, engine);
+    return slice;
+}
+
 WhiteboxShardSlice run_whitebox_campaign_shards(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,

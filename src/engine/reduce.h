@@ -122,7 +122,7 @@ template <typename Accumulator, typename Fold>
     const Accumulator& init, const EngineOptions& engine = {}) {
     RRB_REQUIRE(range.first <= range.last && range.last <= plan.shards(),
                 "shard range outside the plan");
-    if (engine.progress != nullptr) {
+    if (engine.progress != nullptr && !engine.progress_pre_announced) {
         const std::uint64_t indices =
             range.size() == 0
                 ? 0
@@ -190,7 +190,9 @@ template <typename Accumulator, typename Fold>
                                          Accumulator init,
                                          const EngineOptions& engine = {}) {
     if (count == 0) {
-        if (engine.progress != nullptr) engine.progress->begin(0);
+        if (engine.progress != nullptr && !engine.progress_pre_announced) {
+            engine.progress->begin(0);
+        }
         return init;
     }
     const ReducePlan plan = ReducePlan::for_count(count);
@@ -291,6 +293,42 @@ struct WhiteboxShardSlice {
 };
 
 [[nodiscard]] WhiteboxShardSlice run_whitebox_campaign_shards(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options, ReducePlan::ShardRange range,
+    const EngineOptions& engine = {});
+
+/// Cycle-attribution campaign over the sharded merge path: every run
+/// executes with the profiler armed and its finalized per-core cause
+/// timelines / per-contender blame matrix are summed, identical to a
+/// serial fold of hwm_campaign_attribute over the same options.
+struct AttributionCampaignResult {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;  ///< scua bus requests (PMC)
+    AttributionAccumulator attribution;
+};
+
+[[nodiscard]] AttributionCampaignResult run_attribution_campaign(
+    const MachineConfig& config, const Program& scua,
+    const std::vector<Program>& contenders,
+    const HwmCampaignOptions& options = {},
+    const EngineOptions& engine = {});
+
+/// One checkpointable slice of an attribution campaign — the
+/// AttributionAccumulator counterpart of WhiteboxShardSlice, on the
+/// same contract: per-plan-shard accumulators, isolation re-measured
+/// per slice, merging every slice's shards in shard-index order is
+/// bit-identical to the monolithic run_attribution_campaign.
+struct AttributionShardSlice {
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;  ///< scua bus requests (PMC)
+    std::size_t first_shard = 0;
+    std::uint64_t first_run = 0;  ///< run range [first_run, last_run)
+    std::uint64_t last_run = 0;
+    std::vector<AttributionAccumulator> shards;  ///< in shard order
+};
+
+[[nodiscard]] AttributionShardSlice run_attribution_campaign_shards(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options, ReducePlan::ShardRange range,

@@ -1,0 +1,60 @@
+#include "machine/attribution.h"
+
+#include <algorithm>
+
+namespace rrb {
+
+const char* to_string(StallCause cause) noexcept {
+    switch (cause) {
+        case StallCause::kIdle: return "idle";
+        case StallCause::kCompute: return "compute";
+        case StallCause::kStoreGate: return "store_gate";
+        case StallCause::kStoreBufferFull: return "store_buffer_full";
+        case StallCause::kPortQueue: return "port_queue";
+        case StallCause::kBusWait: return "bus_wait";
+        case StallCause::kBusDeadSlot: return "bus_dead_slot";
+        case StallCause::kBusService: return "bus_service";
+        case StallCause::kDramQueue: return "dram_queue";
+        case StallCause::kDramRefresh: return "dram_refresh";
+        case StallCause::kDramRowHit: return "dram_row_hit";
+        case StallCause::kDramRowMiss: return "dram_row_miss";
+        case StallCause::kDramRowConflict: return "dram_row_conflict";
+        case StallCause::kDrainWait: return "drain_wait";
+        case StallCause::kCauseCount: break;
+    }
+    return "?";
+}
+
+CycleAttribution::CycleAttribution(std::size_t num_cores)
+    : num_cores_(num_cores),
+      slot_stride_(kSlotBlame + num_cores),
+      timeline_(num_cores * kStallCauseCount, 0),
+      wait_slots_(num_cores * (kSlotBlame + num_cores), 0),
+      charged_until_(num_cores, 0),
+      pending_(num_cores, StallCause::kIdle) {}
+
+void CycleAttribution::reset() noexcept {
+    std::fill(timeline_.begin(), timeline_.end(), 0);
+    std::fill(wait_slots_.begin(), wait_slots_.end(), 0);
+    std::fill(charged_until_.begin(), charged_until_.end(), 0);
+    std::fill(pending_.begin(), pending_.end(), StallCause::kIdle);
+    active_grant_ = 0;
+}
+
+std::uint64_t CycleAttribution::total(CoreId core) const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kStallCauseCount; ++c) {
+        sum += timeline_[core * kStallCauseCount + c];
+    }
+    return sum;
+}
+
+std::uint64_t CycleAttribution::blamed_total(CoreId victim) const noexcept {
+    const std::uint64_t* row =
+        wait_slots_.data() + victim * slot_stride_ + kSlotBlame;
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < num_cores_; ++c) sum += row[c];
+    return sum;
+}
+
+}  // namespace rrb

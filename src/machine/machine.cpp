@@ -22,7 +22,8 @@ Machine::Machine(MachineConfig config)
     : config_(config),
       l2_(config.l2_geometry, config.num_cores, config.l2_replacement,
           config.l2_write_policy, config.l2_alloc_policy),
-      dram_(config.dram) {
+      dram_(config.dram),
+      attribution_(config.num_cores) {
     config_.validate();
     bus_ = std::make_unique<Bus>(
         config_.num_cores,
@@ -94,6 +95,7 @@ void Machine::reset_keep_programs() {
     now_ = 0;
     events_skipped_ = 0;
     cycles_skipped_ = 0;
+    if (attr_ != nullptr) attribution_.reset();
     bus_->reset();
     dram_.reset();
     l2_.reset();
@@ -135,6 +137,12 @@ void Machine::Port::try_issue(Cycle now) {
     // Waiting behind our own earlier transaction is core-local, not bus
     // contention: re-base the ready cycle to when the port became free.
     const Cycle ready = std::max(next.ready, now);
+    if (machine_.attr_ != nullptr && next.slot != BusSlot::kStoreDrain) {
+        // A demand request spent [ready, rebased) behind this core's own
+        // earlier transaction — self-inflicted, not bus contention.
+        machine_.attr_->charge(core_, StallCause::kCompute, next.ready);
+        machine_.attr_->charge(core_, StallCause::kPortQueue, ready);
+    }
     machine_.issue(core_, next.op, next.addr, ready, next.slot);
 }
 
@@ -302,6 +310,57 @@ Cycle Machine::run_core(CoreId core_id, Cycle max_cycles) {
         next_hint = step_or_skip(next_hint, limit);
     }
     return target.done() ? target.finish_cycle() : kNoCycle;
+}
+
+void Machine::arm_attribution() noexcept {
+    attribution_.reset();
+    attr_ = &attribution_;
+    bus_->attach_attribution(attr_);
+    dram_.attach_attribution(attr_);
+    for (std::unique_ptr<InOrderCore>& core : cores_) {
+        core->attach_attribution(attr_);
+    }
+}
+
+void Machine::disarm_attribution() noexcept {
+    attr_ = nullptr;
+    bus_->attach_attribution(nullptr);
+    dram_.attach_attribution(nullptr);
+    for (std::unique_ptr<InOrderCore>& core : cores_) {
+        core->attach_attribution(nullptr);
+    }
+}
+
+void Machine::finalize_attribution() {
+    RRB_REQUIRE(attr_ != nullptr, "attribution is not armed");
+    const Cycle horizon = now_;
+    // Every demand request lives in exactly one holder — bus, memory
+    // controller, or its core's port queue — and transitions between
+    // holders settle attribution inside the same event dispatch, so the
+    // flushes below cover [cursor, horizon) exactly once per core.
+    bus_->flush_attribution(horizon);
+    dram_.flush_attribution(horizon);
+    for (CoreId c = 0; c < ports_.size(); ++c) {
+        const Port& port = *ports_[c];
+        for (std::size_t i = 0; i < port.queue_.size(); ++i) {
+            const Port::Queued& queued = port.queue_.at(i);
+            if (queued.slot == BusSlot::kStoreDrain) continue;
+            const Cycle ready = std::min(queued.ready, horizon);
+            attr_->charge(c, StallCause::kCompute, ready);
+            attr_->charge(c, StallCause::kPortQueue, horizon);
+        }
+    }
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (!has_program_[c]) {
+            attr_->charge(c, StallCause::kIdle, horizon);
+            continue;
+        }
+        // Cores with a demand request in flight were settled by the
+        // holder flushes above; the rest own their tail interval.
+        if (!cores_[c]->waiting_on_bus()) {
+            attr_->charge(c, attr_->pending(c), horizon);
+        }
+    }
 }
 
 RunResult Machine::run_until_core(CoreId core_id, Cycle max_cycles) {

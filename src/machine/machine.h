@@ -28,6 +28,7 @@
 #include "cpu/core.h"
 #include "dram/dram.h"
 #include "isa/program.h"
+#include "machine/attribution.h"
 #include "machine/config.h"
 #include "sim/ring_buffer.h"
 #include "sim/trace.h"
@@ -128,6 +129,28 @@ public:
     [[nodiscard]] MemoryController& dram() noexcept { return dram_; }
     [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
 
+    /// Arms the cycle-attribution profiler: from the next cycle on, every
+    /// core cycle is classified into a StallCause bucket and bus waits
+    /// are blamed per contender (see machine/attribution.h). Clears any
+    /// previous attribution state; strictly observational — timing is
+    /// bit-identical armed or not. Storage was sized at construction, so
+    /// arming never allocates.
+    void arm_attribution() noexcept;
+    /// Detaches the profiler from every component (charging stops).
+    void disarm_attribution() noexcept;
+    [[nodiscard]] bool attribution_armed() const noexcept {
+        return attr_ != nullptr;
+    }
+
+    /// Settles every in-progress interval up to now() so the closed
+    /// accounting invariant holds: per core, the timeline buckets sum
+    /// exactly to now(). Call once when a run ends (idempotent at a
+    /// fixed now()); the result is then readable via attribution().
+    void finalize_attribution();
+    [[nodiscard]] const CycleAttribution& attribution() const noexcept {
+        return attribution_;
+    }
+
 private:
     /// Per-core serializing port: one bus transaction in flight per core;
     /// excess requests queue locally (queue wait is not bus contention, so
@@ -197,6 +220,10 @@ private:
     std::uint64_t cycles_skipped_ = 0;  ///< cycles jumped since reset
     bool cycle_skipping_ = true;
     bool dram_refresh_ = false;  ///< config.dram.refresh_interval > 0
+    /// Attribution storage (sized at construction) and the armed flag:
+    /// attr_ points at attribution_ while armed, else nullptr.
+    CycleAttribution attribution_;
+    CycleAttribution* attr_ = nullptr;
 };
 
 }  // namespace rrb

@@ -20,6 +20,7 @@ std::string HeartbeatMeter::sample(
     TelemetryRegistry& registry = TelemetryRegistry::instance();
     const std::uint64_t now = registry.now_ns();
     const std::size_t completed = progress.completed();
+    const std::size_t fresh = progress.fresh();
     const std::size_t total = progress.total();
     const std::uint64_t busy =
         enabled() ? registry.counters()[kWorkerBusyNs] : 0;
@@ -29,11 +30,13 @@ std::string HeartbeatMeter::sample(
     if (primed_ && now > last_ns_) {
         const double window_sec =
             static_cast<double>(now - last_ns_) / 1e9;
-        // A sweep's counter re-begins per grid point, so completed can
+        // Rate from the *fresh* (this-process) count: a resumed
+        // campaign's checkpointed baseline never counts as throughput.
+        // A sweep's counter re-begins per grid point, so the count can
         // step backwards between samples; only a forward delta is a
         // rate observation.
-        if (completed >= last_completed_) {
-            rate = static_cast<double>(completed - last_completed_) /
+        if (fresh >= last_fresh_) {
+            rate = static_cast<double>(fresh - last_fresh_) /
                    window_sec;
         }
         if (workers_ > 0 && enabled() && busy >= last_busy_ns_) {
@@ -45,7 +48,7 @@ std::string HeartbeatMeter::sample(
     }
     primed_ = true;
     last_ns_ = now;
-    last_completed_ = completed;
+    last_fresh_ = fresh;
     last_busy_ns_ = busy;
     last_rate_ = rate;
 

@@ -31,6 +31,10 @@ public:
     /// One sample: "c/t (pp%) | R runs/s | eta Ss[ | workers UU%]".
     /// Percentage and ETA clamp sanely when completed overshoots the
     /// announced total (sweep points re-begin the counter mid-batch).
+    /// Rates are measured over ProgressCounter::fresh() — work executed
+    /// by *this* process — so a resumed campaign's checkpointed runs
+    /// raise the completed/total line without inflating runs/s, and the
+    /// ETA covers only the runs that still have to execute.
     [[nodiscard]] std::string sample(
         const engine::ProgressCounter& progress);
 
@@ -38,7 +42,7 @@ private:
     std::size_t workers_;
     bool primed_ = false;
     std::uint64_t last_ns_ = 0;
-    std::size_t last_completed_ = 0;
+    std::size_t last_fresh_ = 0;
     std::uint64_t last_busy_ns_ = 0;
     double last_rate_ = 0.0;  ///< carried over empty windows
 };

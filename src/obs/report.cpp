@@ -48,6 +48,63 @@ DerivedRates derive_rates(const RunReportInfo& info,
     return rates;
 }
 
+std::string render_attribution_json(const AttributionSummary& a,
+                                    const std::string& indent) {
+    const std::size_t cores = static_cast<std::size_t>(a.num_cores);
+    const std::size_t causes = a.causes.size();
+    std::ostringstream out;
+    out << "{\n";
+    out << indent << "  \"num_cores\": " << a.num_cores << ",\n";
+    out << indent << "  \"runs\": " << a.runs << ",\n";
+    out << indent << "  \"machine_cycles\": " << a.machine_cycles << ",\n";
+    out << indent << "  \"causes\": [";
+    for (std::size_t c = 0; c < causes; ++c) {
+        out << (c == 0 ? "" : ", ") << "\"" << a.causes[c] << "\"";
+    }
+    out << "],\n";
+    out << indent << "  \"cores\": [";
+    for (std::size_t core = 0; core < cores; ++core) {
+        out << (core == 0 ? "\n" : ",\n");
+        out << indent << "    {\n";
+        out << indent << "      \"core\": " << core << ",\n";
+        out << indent << "      \"timeline\": {";
+        for (std::size_t c = 0; c < causes; ++c) {
+            out << (c == 0 ? "" : ", ") << "\"" << a.causes[c]
+                << "\": " << a.timeline[core * causes + c];
+        }
+        out << "},\n";
+        out << indent << "      \"dead_slot_cycles\": "
+            << a.dead_slot[core] << ",\n";
+        // The victim's bus-wait decomposition: blamed[contender] cycles
+        // plus the dead-slot remainder sum to the victim's arbitration
+        // wait; shares are quoted over that same denominator so "34% of
+        // core 0's wait is contender 2's fault" reads off directly.
+        std::uint64_t waited = a.dead_slot[core];
+        for (std::size_t w = 0; w < cores; ++w) {
+            waited += a.blame[core * cores + w];
+        }
+        out << indent << "      \"blame\": [";
+        for (std::size_t w = 0; w < cores; ++w) {
+            out << (w == 0 ? "" : ", ") << a.blame[core * cores + w];
+        }
+        out << "],\n";
+        out << indent << "      \"blame_share\": [";
+        for (std::size_t w = 0; w < cores; ++w) {
+            const double share =
+                waited == 0
+                    ? 0.0
+                    : static_cast<double>(a.blame[core * cores + w]) /
+                          static_cast<double>(waited);
+            out << (w == 0 ? "" : ", ") << fmt(share);
+        }
+        out << "]\n";
+        out << indent << "    }";
+    }
+    out << (cores == 0 ? "]\n" : "\n" + indent + "  ]\n");
+    out << indent << "}";
+    return out.str();
+}
+
 std::string render_counters_json(const CounterSnapshot& counters,
                                  const std::string& indent) {
     std::ostringstream out;
@@ -99,6 +156,13 @@ std::string render_run_report(const RunReportInfo& info,
     out << "    \"events_skipped_per_run\": "
         << fmt(rates.events_skipped_per_run) << "\n";
     out << "  },\n";
+    out << "  \"attribution\": ";
+    if (info.has_attribution) {
+        out << render_attribution_json(info.attribution, "  ");
+    } else {
+        out << "null";
+    }
+    out << ",\n";
     out << "  \"spans\": [";
     for (std::size_t i = 0; i < spans.size(); ++i) {
         const SpanRecord& s = spans[i];

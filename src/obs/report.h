@@ -21,7 +21,11 @@ namespace rrb::obs {
 
 /// Bumped whenever a field is renamed, removed or re-typed. Adding
 /// fields is backward compatible and does not bump it.
-inline constexpr std::uint32_t kRunReportSchemaVersion = 1;
+/// v2: adds the top-level "attribution" field (null when the command
+/// ran without the cycle-attribution profiler; an object with per-core
+/// cause timelines, the per-contender blame matrix and derived shares
+/// when armed).
+inline constexpr std::uint32_t kRunReportSchemaVersion = 2;
 
 /// Campaign identity as the telemetry layer records it — the
 /// observability twin of rrb::CheckpointMeta (stats/checkpoint.h
@@ -41,12 +45,34 @@ struct CampaignInfo {
     std::uint64_t slice_count = 1;
 };
 
+/// Campaign-summed cycle attribution as the telemetry layer records it
+/// — the observability twin of rrb::AttributionAccumulator
+/// (stats/attribution.h converts one into the other), flattened and
+/// dependency-free like CampaignInfo. All matrices are row-major:
+/// timeline[core * causes.size() + cause], blame[victim * num_cores +
+/// contender].
+struct AttributionSummary {
+    std::uint64_t num_cores = 0;
+    std::uint64_t runs = 0;
+    /// Summed Machine::now() over the campaign's runs; each core's
+    /// timeline row sums to exactly this (closed accounting).
+    std::uint64_t machine_cycles = 0;
+    std::vector<std::string> causes;      ///< cause names, enum order
+    std::vector<std::uint64_t> timeline;  ///< cores x causes
+    std::vector<std::uint64_t> blame;     ///< victims x contenders
+    std::vector<std::uint64_t> dead_slot; ///< per victim (TDMA gaps)
+};
+
 /// Everything a run report carries besides counters and spans.
 struct RunReportInfo {
     std::string command;  ///< e.g. "pwcet", "merge", "bench_hotpath"
     CampaignInfo campaign;
     std::uint64_t jobs = 0;      ///< resolved worker budget
     std::uint64_t wall_ns = 0;   ///< whole-command wall time
+    /// Engaged only when the command ran with attribution armed;
+    /// renders as "attribution": null otherwise.
+    bool has_attribution = false;
+    AttributionSummary attribution;
 };
 
 /// Rates computed from a counter delta + wall time; NaN-free (0 when
@@ -66,6 +92,13 @@ struct DerivedRates {
 /// embeds the same schema inside its own report).
 [[nodiscard]] std::string render_counters_json(
     const CounterSnapshot& counters, const std::string& indent);
+
+/// The JSON "attribution" object body: per-core cause timelines, the
+/// blame matrix, dead-slot cycles and derived shares (each victim's
+/// stall cycles apportioned across contenders). Shared between the run
+/// report and `rrbtool attribution`'s report output.
+[[nodiscard]] std::string render_attribution_json(
+    const AttributionSummary& a, const std::string& indent);
 
 /// The full schema-versioned run report.
 [[nodiscard]] std::string render_run_report(

@@ -1,0 +1,162 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rrb::obs {
+
+namespace {
+
+/// Trace timestamps are microseconds; span clocks are nanoseconds.
+std::string us(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+constexpr int kSpanPid = 1;     ///< span-hierarchy process row
+constexpr int kMachinePid = 2;  ///< per-core machine timeline row
+
+void emit_meta(std::ostringstream& out, bool& first, int pid, int tid,
+               const char* kind, const std::string& name) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << kind << "\", \"ph\": \"M\", \"pid\": "
+        << pid << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+        << name << "\"}}";
+}
+
+void emit_complete(std::ostringstream& out, bool& first, int pid, int tid,
+                   const std::string& name, double ts_us, double dur_us,
+                   const std::string& args) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": "
+        << pid << ", \"tid\": " << tid << ", \"ts\": " << us(ts_us)
+        << ", \"dur\": " << us(dur_us);
+    if (!args.empty()) out << ", \"args\": {" << args << "}";
+    out << "}";
+}
+
+/// Greedy lane packing: spans sorted by begin time go to the first lane
+/// whose previous occupant already ended. Concurrent shards (worker
+/// threads) land in distinct lanes; sequential phases share lane 0.
+std::vector<int> pack_lanes(const std::vector<SpanRecord>& spans,
+                            const std::vector<std::size_t>& order) {
+    std::vector<int> lane(spans.size(), 0);
+    std::vector<std::uint64_t> lane_busy_until;
+    for (const std::size_t i : order) {
+        const SpanRecord& s = spans[i];
+        const std::uint64_t end =
+            s.end_ns >= s.begin_ns ? s.end_ns : s.begin_ns;
+        int chosen = -1;
+        for (std::size_t l = 0; l < lane_busy_until.size(); ++l) {
+            if (lane_busy_until[l] <= s.begin_ns) {
+                chosen = static_cast<int>(l);
+                break;
+            }
+        }
+        if (chosen < 0) {
+            chosen = static_cast<int>(lane_busy_until.size());
+            lane_busy_until.push_back(0);
+        }
+        lane_busy_until[static_cast<std::size_t>(chosen)] = end;
+        lane[i] = chosen;
+    }
+    return lane;
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<SpanRecord>& spans,
+                                const std::vector<TraceEvent>& machine,
+                                CoreId num_cores) {
+    std::ostringstream out;
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+
+    emit_meta(out, first, kSpanPid, 0, "process_name", "campaign spans");
+
+    // ------------------------------------------------- span hierarchy
+    std::vector<std::size_t> order(spans.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return spans[a].begin_ns < spans[b].begin_ns;
+                     });
+    const std::vector<int> lane = pack_lanes(spans, order);
+    for (const std::size_t i : order) {
+        const SpanRecord& s = spans[i];
+        // A span still open when the report was taken (end_ns == 0 —
+        // e.g. the campaign threw mid-shard) renders with zero
+        // duration rather than a negative one.
+        const std::uint64_t end =
+            s.end_ns >= s.begin_ns ? s.end_ns : s.begin_ns;
+        std::ostringstream args;
+        args << "\"span_id\": " << s.id << ", \"parent\": " << s.parent
+             << ", \"index\": " << s.index << ", \"items\": " << s.items;
+        emit_complete(out, first, kSpanPid, lane[i], s.name,
+                      static_cast<double>(s.begin_ns) / 1000.0,
+                      static_cast<double>(end - s.begin_ns) / 1000.0,
+                      args.str());
+    }
+
+    // -------------------------------------- sampled machine timeline
+    if (!machine.empty()) {
+        emit_meta(out, first, kMachinePid, 0, "process_name",
+                  "machine timeline (run 0, 1 cycle = 1us)");
+        for (CoreId c = 0; c < num_cores; ++c) {
+            emit_meta(out, first, kMachinePid, static_cast<int>(c),
+                      "thread_name", "core " + std::to_string(c));
+        }
+        // Grant carries the request's arbitration wait (gamma) as its
+        // arg; release is stamped on the transaction's last busy cycle.
+        // Pairing each core's grant with its next release rebuilds the
+        // [ready, grant) wait window and the [grant, release] service
+        // window.
+        std::vector<Cycle> grant_at(num_cores, kNoCycle);
+        for (const TraceEvent& e : machine) {
+            if (e.core >= num_cores) continue;
+            if (e.kind == TraceKind::kBusGrant) {
+                if (e.arg > 0) {
+                    emit_complete(out, first, kMachinePid,
+                                  static_cast<int>(e.core), "bus wait",
+                                  static_cast<double>(e.cycle - e.arg),
+                                  static_cast<double>(e.arg),
+                                  "\"gamma\": " + std::to_string(e.arg));
+                }
+                grant_at[e.core] = e.cycle;
+            } else if (e.kind == TraceKind::kBusRelease &&
+                       grant_at[e.core] != kNoCycle) {
+                emit_complete(
+                    out, first, kMachinePid, static_cast<int>(e.core),
+                    "bus service",
+                    static_cast<double>(grant_at[e.core]),
+                    static_cast<double>(e.cycle + 1 - grant_at[e.core]),
+                    "");
+                grant_at[e.core] = kNoCycle;
+            }
+        }
+    }
+
+    out << (first ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::vector<TraceEvent>& machine,
+                        CoreId num_cores) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text =
+        render_chrome_trace(spans, machine, num_cores);
+    const bool write_ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool close_ok = std::fclose(f) == 0;
+    return write_ok && close_ok;
+}
+
+}  // namespace rrb::obs

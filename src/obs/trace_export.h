@@ -1,0 +1,39 @@
+// Chrome-trace export: the span timeline (and optionally one run's
+// machine timeline) as Trace Event Format JSON.
+//
+// The output opens directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: one process row for the campaign's span hierarchy
+// (campaign -> grid point -> shard, greedily packed into lanes so
+// concurrent shards render side by side) and, when a machine timeline
+// is supplied, a second process row with one thread per core showing
+// bus wait / bus service intervals reconstructed from the cycle-stamped
+// Tracer events (1 simulated cycle = 1 µs of trace time).
+//
+// Export happens strictly after a campaign finishes, from already
+// recorded SpanRecords/TraceEvents — nothing here touches the hot path
+// and campaign stdout is byte-identical with tracing on or off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace rrb::obs {
+
+/// The full trace document: {"traceEvents": [...]} of "X" (complete)
+/// events plus process/thread metadata. `machine` may be empty (no
+/// per-run timeline was sampled); `num_cores` scopes its thread rows.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::vector<TraceEvent>& machine, CoreId num_cores);
+
+/// Writes render_chrome_trace to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans,
+                        const std::vector<TraceEvent>& machine,
+                        CoreId num_cores);
+
+}  // namespace rrb::obs

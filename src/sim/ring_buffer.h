@@ -39,6 +39,12 @@ public:
         return buffer_[head_];
     }
 
+    /// Element `index` positions behind the front (0 = front()).
+    [[nodiscard]] const T& at(std::size_t index) const {
+        RRB_REQUIRE(index < size_, "ring buffer index out of range");
+        return buffer_[(head_ + index) & mask_];
+    }
+
     void pop_front() {
         RRB_REQUIRE(size_ > 0, "pop of an empty ring buffer");
         head_ = (head_ + 1) & mask_;

@@ -279,6 +279,45 @@ PwcetAccumulator CheckpointCodec::load_pwcet(CheckpointReader& r) {
     return a;
 }
 
+void CheckpointCodec::save(CheckpointWriter& w,
+                           const AttributionAccumulator& a) {
+    w.u64(a.num_cores_);
+    w.u64(a.runs_);
+    w.u64(a.machine_cycles_);
+    for (const std::uint64_t v : a.timeline_) w.u64(v);
+    for (const std::uint64_t v : a.blame_) w.u64(v);
+    for (const std::uint64_t v : a.dead_) w.u64(v);
+}
+
+AttributionAccumulator CheckpointCodec::load_attribution(
+    CheckpointReader& r) {
+    AttributionAccumulator a;
+    a.num_cores_ = static_cast<std::size_t>(r.u64());
+    a.runs_ = r.u64();
+    a.machine_cycles_ = r.u64();
+    if (a.num_cores_ == 0) {
+        if (a.runs_ != 0 || a.machine_cycles_ != 0) {
+            corrupt("attribution runs without cores");
+        }
+        return AttributionAccumulator{};  // canonical empty state
+    }
+    if (a.num_cores_ > 1024) corrupt("implausible attribution core count");
+    a.timeline_.resize(a.num_cores_ * kStallCauseCount);
+    a.blame_.resize(a.num_cores_ * a.num_cores_);
+    a.dead_.resize(a.num_cores_);
+    for (std::uint64_t& v : a.timeline_) v = r.u64();
+    for (std::uint64_t& v : a.blame_) v = r.u64();
+    for (std::uint64_t& v : a.dead_) v = r.u64();
+    // Closed accounting survives the trip: every core's timeline must
+    // still sum to the accumulated machine cycles.
+    for (CoreId c = 0; c < a.num_cores_; ++c) {
+        if (a.core_total(c) != a.machine_cycles_) {
+            corrupt("attribution timeline does not close");
+        }
+    }
+    return a;
+}
+
 // -------------------------------------------------- campaign checkpoint
 
 obs::CampaignInfo telemetry_info(const CheckpointMeta& meta) {

@@ -31,6 +31,7 @@
 #include "core/campaign.h"
 #include "obs/report.h"
 #include "sim/types.h"
+#include "stats/attribution.h"
 #include "stats/histogram.h"
 #include "stats/series.h"
 #include "stats/streaming.h"
@@ -120,6 +121,10 @@ struct CheckpointCodec {
 
     static void save(CheckpointWriter& w, const PwcetAccumulator& a);
     [[nodiscard]] static PwcetAccumulator load_pwcet(CheckpointReader& r);
+
+    static void save(CheckpointWriter& w, const AttributionAccumulator& a);
+    [[nodiscard]] static AttributionAccumulator load_attribution(
+        CheckpointReader& r);
 };
 
 /// Campaign identity a checkpoint carries so resumes and merges can

@@ -532,5 +532,163 @@ TEST(Cli, EstimateWithStoreSpanCrossCheck) {
     EXPECT_NE(r.out.find("ubd = 15"), std::string::npos);
 }
 
+TEST(Cli, SingleRunCommandsReportMeasurements) {
+    const CliResult isol = invoke({"isolation"});
+    EXPECT_EQ(isol.code, 0) << isol.err;
+    EXPECT_NE(isol.out.find("isolation: et = "), std::string::npos);
+    EXPECT_NE(isol.out.find("nr = "), std::string::npos);
+
+    const CliResult cont = invoke({"contention"});
+    EXPECT_EQ(cont.code, 0) << cont.err;
+    EXPECT_NE(cont.out.find("contention: et = "), std::string::npos);
+    EXPECT_NE(cont.out.find("bounded: yes"), std::string::npos);
+
+    const CliResult slow = invoke({"slowdown"});
+    EXPECT_EQ(slow.code, 0) << slow.err;
+    EXPECT_NE(slow.out.find("det = "), std::string::npos);
+    EXPECT_NE(slow.out.find("bounded: yes"), std::string::npos);
+    // Campaign-only flags stay campaign-only.
+    EXPECT_EQ(invoke({"isolation", "--runs", "5"}).code, 1);
+    EXPECT_EQ(invoke({"slowdown", "--jobs", "2"}).code, 1);
+}
+
+TEST(Cli, SingleRunCommandsAcceptTelemetry) {
+    const std::string path = "/tmp/rrbtool_isolation_report.json";
+    const CliResult off = invoke({"isolation"});
+    const CliResult on =
+        invoke({"isolation", "--telemetry", path, "--heartbeat", "5"});
+    EXPECT_EQ(on.code, 0) << on.err;
+    // Telemetry stays out-of-band on the single-run commands too.
+    EXPECT_EQ(off.out, on.out);
+    std::ifstream in(path);
+    std::stringstream report;
+    report << in.rdbuf();
+    EXPECT_NE(report.str().find("\"command\": \"isolation\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, AttributionReportsCauseTableAndBlameMatrix) {
+    const CliResult r = invoke({"attribution", "--runs", "6"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("attribution: 6 runs"), std::string::npos);
+    EXPECT_NE(r.out.find("cycles by cause"), std::string::npos);
+    EXPECT_NE(r.out.find("\nbus_wait "), std::string::npos);
+    EXPECT_NE(r.out.find("blame matrix"), std::string::npos);
+    EXPECT_NE(r.out.find("core0 stall share:"), std::string::npos);
+}
+
+TEST(Cli, AttributionJobCountDoesNotChangeResults) {
+    const CliResult serial =
+        invoke({"attribution", "--runs", "12", "--jobs", "1"});
+    const CliResult parallel =
+        invoke({"attribution", "--runs", "12", "--jobs", "3"});
+    EXPECT_EQ(serial.code, parallel.code);
+    // Everything after the header line (which names the jobs count) is
+    // identical: the accumulator is an exact integer sum in shard order.
+    EXPECT_EQ(serial.out.substr(serial.out.find('\n')),
+              parallel.out.substr(parallel.out.find('\n')));
+}
+
+TEST(Cli, TraceFlagWritesChromeTraceWithoutTouchingStdout) {
+    const std::string path = "/tmp/rrbtool_trace_test.json";
+    const CliResult off = invoke({"campaign", "--runs", "6"});
+    const CliResult on =
+        invoke({"campaign", "--runs", "6", "--trace", path});
+    EXPECT_EQ(off.code, on.code);
+    EXPECT_EQ(off.out, on.out);
+    std::ifstream in(path);
+    std::stringstream trace;
+    trace << in.rdbuf();
+    EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.str().find("\"bus service\""), std::string::npos);
+    EXPECT_NE(trace.str().find("session.hwm"), std::string::npos);
+    std::remove(path.c_str());
+    // --trace is a campaign flag: rejected elsewhere, value required.
+    EXPECT_EQ(invoke({"estimate", "--trace", "t.json"}).code, 1);
+    EXPECT_EQ(invoke({"campaign", "--trace"}).code, 1);
+}
+
+TEST(Cli, TelemetryDiffReportsDeltasAndGatesRegressions) {
+    const std::string path_a = "/tmp/rrbtool_diff_a.json";
+    const std::string path_b = "/tmp/rrbtool_diff_b.json";
+    ASSERT_EQ(invoke({"campaign", "--runs", "8", "--telemetry", path_a})
+                  .code,
+              0);
+    ASSERT_EQ(invoke({"campaign", "--runs", "8", "--telemetry", path_b})
+                  .code,
+              0);
+    const CliResult diff = invoke({"telemetry-diff", path_a, path_b});
+    EXPECT_EQ(diff.code, 0) << diff.err;
+    EXPECT_NE(diff.out.find("counters:"), std::string::npos);
+    EXPECT_NE(diff.out.find("runs_completed: 8 -> 8 (+0)"),
+              std::string::npos);
+    EXPECT_NE(diff.out.find("runs_per_sec"), std::string::npos);
+
+    // Identical counters can't regress: a generous gate passes...
+    const CliResult pass = invoke({"telemetry-diff", path_a, path_b,
+                                   "--max-regression-pct", "1000"});
+    EXPECT_EQ(pass.code, 0);
+    EXPECT_NE(pass.out.find("gate: no rate regression"),
+              std::string::npos);
+    // ...and a doctored report trips exit 3.
+    std::ifstream in(path_b);
+    std::stringstream doctored;
+    doctored << in.rdbuf();
+    std::string text = doctored.str();
+    const std::size_t at = text.find("\"runs_per_sec\": ");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, text.find(',', at) - at, "\"runs_per_sec\": 0.5");
+    const std::string path_c = "/tmp/rrbtool_diff_c.json";
+    std::ofstream(path_c) << text;
+    const CliResult fail = invoke({"telemetry-diff", path_a, path_c,
+                                   "--max-regression-pct", "5"});
+    EXPECT_EQ(fail.code, 3);
+    EXPECT_NE(fail.out.find("regression: runs_per_sec"),
+              std::string::npos);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(path_c.c_str());
+}
+
+TEST(Cli, TelemetryDiffValidation) {
+    // Wrong arity, unreadable files and non-report files all fail
+    // loudly before any numbers are printed.
+    EXPECT_EQ(invoke({"telemetry-diff", "only_one.json"}).code, 1);
+    const CliResult missing = invoke(
+        {"telemetry-diff", "/tmp/rrbtool_nope_a.json",
+         "/tmp/rrbtool_nope_b.json"});
+    EXPECT_EQ(missing.code, 1);
+    EXPECT_NE(missing.err.find("could not read"), std::string::npos);
+    const std::string bogus = "/tmp/rrbtool_diff_bogus.json";
+    std::ofstream(bogus) << "{\"schema\": \"something-else\"}\n";
+    const CliResult wrong = invoke({"telemetry-diff", bogus, bogus});
+    EXPECT_EQ(wrong.code, 1);
+    EXPECT_NE(wrong.err.find("not an rrb-telemetry run report"),
+              std::string::npos);
+    std::remove(bogus.c_str());
+    EXPECT_EQ(invoke({"telemetry-diff", "a", "b", "--max-regression-pct",
+                      "abc"})
+                  .code,
+              1);
+    EXPECT_EQ(invoke({"telemetry-diff", "a", "b", "--max-regression-pct",
+                      "-2"})
+                  .code,
+              1);
+    // The gate flag belongs to telemetry-diff alone.
+    EXPECT_EQ(invoke({"campaign", "--max-regression-pct", "5"}).code, 1);
+}
+
+TEST(Cli, HelpListsNewCommands) {
+    const CliResult r = invoke({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("attribution"), std::string::npos);
+    EXPECT_NE(r.out.find("isolation"), std::string::npos);
+    EXPECT_NE(r.out.find("slowdown"), std::string::npos);
+    EXPECT_NE(r.out.find("telemetry-diff"), std::string::npos);
+    EXPECT_NE(r.out.find("--trace"), std::string::npos);
+    EXPECT_NE(r.out.find("--max-regression-pct"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rrb::cli

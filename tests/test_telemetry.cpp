@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "core/session.h"
 #include "engine/progress.h"
+#include "kernels/autobench.h"
 #include "obs/heartbeat.h"
 #include "obs/report.h"
 #include "stats/checkpoint.h"
@@ -298,6 +300,34 @@ TEST(Telemetry, CampaignOutputIsBitIdenticalWithTelemetryOnOrOff) {
     EXPECT_EQ(wb_off.code, wb_on.code);
     EXPECT_EQ(wb_off.out, wb_on.out);
     std::remove(report_path.c_str());
+}
+
+TEST(Telemetry, SpansCloseWhenACampaignThrowsMidShard) {
+    const ScopedTelemetry scoped;
+    // An empty-body contender passes the scenario's up-front checks
+    // (emptiness of the *list* is all validate() can decide) but throws
+    // std::invalid_argument when a shard worker installs it for its
+    // first run — after the session and shard spans have opened.
+    Program empty;
+    const Scenario scenario =
+        Scenario::on(MachineConfig::ngmp_ref())
+            .scua(make_autobench(Autobench::kCacheb, 0x0100'0000, 8, 9))
+            .contenders({empty})
+            .runs(32);
+    Session session;
+    session.jobs(2);
+    EXPECT_THROW((void)session.hwm(scenario), std::invalid_argument);
+    // Stack unwinding must close every span: an open record would
+    // export as a zero-length sliver in the Chrome trace, and a stale
+    // thread-local parent would corrupt the next campaign's hierarchy.
+    EXPECT_EQ(current_span(), 0u);
+    const std::vector<SpanRecord> spans =
+        TelemetryRegistry::instance().spans();
+    EXPECT_FALSE(spans.empty());
+    for (const SpanRecord& s : spans) {
+        EXPECT_NE(s.end_ns, 0u) << s.name;
+        EXPECT_GE(s.end_ns, s.begin_ns) << s.name;
+    }
 }
 
 TEST(Telemetry, ProgressRenderClampsOvershoot) {
