@@ -9,11 +9,13 @@
 // stretch the ETB linearly (Equation 1) while the sampled quantile
 // grows with the alignments randomization actually reaches.
 //
-// The wall-clock section runs the same sweep at --jobs 1 and at
-// hardware concurrency on one shared pool (the jobs budget covers the
-// nesting: grid points run sequentially, each point's shards fan out)
-// and checks the quantiles are bit-identical — the determinism
-// contract surviving the nesting is the point of Session::sweep.
+// The wall-clock section runs the same sweep at --jobs 1, at hardware
+// concurrency through the campaign scheduler (the whole grid as one
+// flat shard queue — no barrier between points), and as the legacy
+// per-point loop (one standalone campaign per config, a barrier before
+// the next) at the same worker count, checking all three produce
+// bit-identical results — the determinism contract surviving the
+// scheduling is the point of Session::sweep.
 //
 // RRB_SWEEP_RUNS overrides the per-point campaign size.
 #include <cerrno>
@@ -124,16 +126,42 @@ void print_figure() {
             ++mismatches;
         }
     }
+    // Per-point baseline: the pre-scheduler sweep — one standalone
+    // campaign per grid point with a barrier before the next, at the
+    // same worker budget. The gap against the flat queue is pure
+    // barrier idle time (workers draining while the point's last
+    // shards finish).
+    Session pointwise;  // default jobs: hardware concurrency
+    std::size_t pointwise_mismatches = 0;
+    const auto t4 = std::chrono::steady_clock::now();
+    for (const SweepPoint& p : wide.points) {
+        const PwcetCampaignResult lone =
+            pointwise.pwcet(scenario.with_config(p.config), grid_spec());
+        if (lone.high_water_mark != p.result.high_water_mark ||
+            lone.mean != p.result.mean) {
+            ++pointwise_mismatches;
+        }
+    }
+    const auto t5 = std::chrono::steady_clock::now();
+
     const double wide_s =
         std::chrono::duration<double>(t1 - t0).count();
     const double serial_s =
         std::chrono::duration<double>(t3 - t2).count();
+    const double pointwise_s =
+        std::chrono::duration<double>(t5 - t4).count();
     std::printf(
         "\nwall-clock: %.2fs at jobs=1 vs %.2fs at hardware concurrency "
         "(%zu workers) — %.1fx; %zu/%zu grid points bit-identical\n",
         serial_s, wide_s, engine::ThreadPool::default_jobs(),
         wide_s > 0.0 ? serial_s / wide_s : 0.0,
         wide.points.size() - mismatches, wide.points.size());
+    std::printf(
+        "scheduler (flat shard queue) vs per-point barrier at the same "
+        "width: %.2fs vs %.2fs — %.2fx; %zu/%zu points bit-identical\n",
+        wide_s, pointwise_s,
+        wide_s > 0.0 ? pointwise_s / wide_s : 0.0,
+        wide.points.size() - pointwise_mismatches, wide.points.size());
 }
 
 void BM_SweepPwcet(benchmark::State& state) {

@@ -80,6 +80,27 @@ bool TdmaArbiter::grants_alone(CoreId core, Cycle duration,
     return now + duration <= slot_end;
 }
 
+Cycle TdmaArbiter::next_grant_cycle(CoreId core, Cycle duration,
+                                    Cycle earliest) const {
+    // A transaction longer than a whole slot can never be granted: no
+    // slot has room for it from any starting cycle.
+    if (duration > slot_cycles_) return kNoCycle;
+    const Cycle slot = earliest / slot_cycles_;
+    if (static_cast<CoreId>(slot % num_cores_) == core &&
+        earliest + duration <= (slot + 1) * slot_cycles_) {
+        return earliest;
+    }
+    // First cycle of the next slot `core` owns. Anything that fits a
+    // slot at all fits from its first cycle, so this is exact: there is
+    // no winnable cycle between `earliest` and it (later cycles of the
+    // current slot only have less room, and intervening slots belong to
+    // other cores).
+    Cycle next_slot = slot + 1;
+    const CoreId at = static_cast<CoreId>(next_slot % num_cores_);
+    next_slot += core >= at ? core - at : num_cores_ - at + core;
+    return next_slot * slot_cycles_;
+}
+
 WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(
     std::vector<std::uint32_t> weights)
     : weights_(std::move(weights)), head_(0) {

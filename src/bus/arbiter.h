@@ -57,6 +57,21 @@ public:
         (void)now;
         return true;
     }
+
+    /// Earliest cycle >= `earliest` at which a transaction of `duration`
+    /// cycles from `core` could possibly be granted, assuming the bus is
+    /// idle and no competitor contends — a lower bound the event-driven
+    /// cycle skipper may fast-forward to. Work-conserving policies grant
+    /// any ready sole candidate immediately, so the default returns
+    /// `earliest`. TDMA overrides with slot arithmetic (the request must
+    /// wait for a slot `core` owns with enough room left); kNoCycle
+    /// means the transaction can never be granted (longer than a slot).
+    [[nodiscard]] virtual Cycle next_grant_cycle(CoreId core, Cycle duration,
+                                                 Cycle earliest) const {
+        (void)core;
+        (void)duration;
+        return earliest;
+    }
 };
 
 /// Round-robin: after core ci is granted, the priority order for the next
@@ -113,6 +128,8 @@ public:
     void reset() override {}
     [[nodiscard]] bool grants_alone(CoreId core, Cycle duration,
                                     Cycle now) const override;
+    [[nodiscard]] Cycle next_grant_cycle(CoreId core, Cycle duration,
+                                         Cycle earliest) const override;
 
     [[nodiscard]] Cycle slot_cycles() const noexcept { return slot_cycles_; }
 

@@ -239,14 +239,19 @@ Cycle Bus::next_event_cycle(Cycle now) const {
     if (has_active_) return busy_until_;
     if (pending_count_ == 0) return kNoCycle;
     Cycle next = kNoCycle;
-    for (const Port& port : ports_) {
+    for (CoreId c = 0; c < ports_.size(); ++c) {
+        const Port& port = ports_[c];
         if (!port.has_pending) continue;
-        // A ready request on an idle bus survives arbitration only under
-        // a non-work-conserving policy (TDMA waiting for its slot); its
-        // grant cycle depends on slot timing, so report "this cycle" and
-        // let the machine step until the arbiter grants.
-        if (port.pending.ready <= now) return now;
-        next = std::min(next, port.pending.ready);
+        // Earliest cycle this request could win arbitration. For every
+        // work-conserving policy that is simply its ready cycle (or now,
+        // when already ready); TDMA's override adds the slot wait, so
+        // the skipper can fast-forward straight to the owned slot
+        // instead of stepping cycle by cycle until the arbiter grants.
+        // Exactness: the per-core bound is the minimum winnable cycle,
+        // so no pick() between now and the minimum could grant anyone.
+        const Cycle earliest = std::max(port.pending.ready, now);
+        next = std::min(next, arbiter_->next_grant_cycle(
+                                  c, port.pending.duration, earliest));
     }
     return next;
 }

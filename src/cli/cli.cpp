@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,8 @@
 
 #include "core/rrb.h"
 #include "obs/heartbeat.h"
+#include "sched/batch_spec.h"
+#include "sched/campaign_scheduler.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_export.h"
@@ -46,6 +49,7 @@ struct ParsedFlags {
     std::vector<ArbiterKind> arbiter_axis;
     std::optional<SliceSpec> shard;  ///< --shard i/N
     std::string checkpoint_out;
+    std::string out_dir = ".";      ///< --out-dir: batch checkpoint dir
     std::string telemetry_out;      ///< --telemetry: JSON run report path
     std::string trace_out;          ///< --trace: Chrome-trace JSON path
     std::uint64_t heartbeat = 0;    ///< --heartbeat: seconds, 0 = off
@@ -96,6 +100,9 @@ const std::vector<CommandSpec>& command_specs() {
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
           "--iterations", "--block-size", "--exceedance", "--shard",
           "--checkpoint-out", "--telemetry", "--heartbeat", "--trace"}},
+        {"batch",
+         {"--out-dir", "--jobs", "--telemetry", "--heartbeat"},
+         /*takes_files=*/true},
         {"merge", {"--telemetry"}, /*takes_files=*/true},
         {"whitebox",
          {"--cores", "--lbus", "--var", "--runs", "--seed", "--jobs",
@@ -356,6 +363,12 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
             } else {
                 flags.checkpoint_out = args[++i];
             }
+        } else if (arg == "--out-dir") {
+            if (i + 1 >= args.size()) {
+                flags.error = "--out-dir needs a path";
+            } else {
+                flags.out_dir = args[++i];
+            }
         } else if (arg == "--telemetry") {
             if (i + 1 >= args.size()) {
                 flags.error = "--telemetry needs a path";
@@ -508,6 +521,66 @@ public:
 
     ProgressReporter(const ProgressReporter&) = delete;
     ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+private:
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+/// Batch counterpart of ProgressReporter: renders the aggregate line
+/// plus one per-scenario chip through HeartbeatMeter's multi-campaign
+/// form, so concurrent heterogeneous campaigns report cleanly on one
+/// stderr line instead of interleaving.
+class BatchReporter {
+public:
+    BatchReporter(const sched::BatchProgress& monitor, std::ostream& err,
+                  std::uint64_t heartbeat_sec, std::size_t workers) {
+        if (heartbeat_sec == 0 &&
+            monitor.aggregate().total() < ProgressReporter::kMinRuns) {
+            return;
+        }
+        thread_ = std::thread([this, &monitor, &err, heartbeat_sec,
+                               workers] {
+            obs::HeartbeatMeter meter(workers);
+            const std::vector<obs::CampaignSample> campaigns =
+                monitor.samples();
+            std::size_t next_percent = 5;
+            const auto interval =
+                heartbeat_sec > 0
+                    ? std::chrono::milliseconds(1000 * heartbeat_sec)
+                    : std::chrono::milliseconds(500);
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (!done_cv_.wait_for(lock, interval,
+                                      [this] { return stopping_; })) {
+                const std::string line =
+                    meter.sample(monitor.aggregate(), campaigns);
+                if (heartbeat_sec > 0) {
+                    err << line << "\n";
+                    continue;
+                }
+                const std::size_t percent = static_cast<std::size_t>(
+                    100.0 * monitor.aggregate().fraction());
+                if (percent >= next_percent) {
+                    err << line << "\n";
+                    next_percent = percent + 5;
+                }
+            }
+        });
+    }
+
+    ~BatchReporter() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        done_cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    BatchReporter(const BatchReporter&) = delete;
+    BatchReporter& operator=(const BatchReporter&) = delete;
 
 private:
     std::mutex mutex_;
@@ -1377,6 +1450,98 @@ std::string change_pct(double a, double b) {
     return buf;
 }
 
+/// `rrbtool batch SPEC`: every scenario of the spec file runs as one
+/// flat (campaign × shard) queue on one shared pool — concurrent
+/// heterogeneous campaigns with machine-lease affinity — and each
+/// scenario emits a whole-campaign checkpoint under --out-dir, byte-
+/// identical to `pwcet --shard 0/1` of the same scenario and farmable
+/// through `rrbtool merge`.
+int cmd_batch(const ParsedFlags& flags, std::ostream& out,
+              std::ostream& err) {
+    RRB_REQUIRE(flags.inputs.size() == 1,
+                "batch needs exactly one spec file");
+    const std::optional<std::string> text = read_file(flags.inputs[0]);
+    if (!text) {
+        err << "error: could not read " << flags.inputs[0] << "\n";
+        return 1;
+    }
+    const std::vector<BatchItem> items = sched::parse_batch_spec(*text);
+
+    std::size_t total_runs = 0;
+    for (const BatchItem& item : items) {
+        total_runs += item.scenario.run_protocol().runs;
+    }
+    engine::ProgressCounter progress;
+    Session session;
+    session.jobs(flags.jobs).progress(&progress);
+    const std::size_t jobs = session.worker_budget();
+
+    sched::BatchProgress monitor;
+    {
+        std::vector<std::pair<std::string, std::size_t>> campaigns;
+        campaigns.reserve(items.size());
+        for (const BatchItem& item : items) {
+            campaigns.emplace_back(item.name,
+                                   item.scenario.run_protocol().runs);
+        }
+        monitor.announce(campaigns);
+    }
+
+    TelemetrySession telemetry(flags, "batch");
+    BatchResult result;
+    {
+        const BatchReporter reporter(monitor, err, flags.heartbeat, jobs);
+        result = session.batch(items, &monitor);
+    }
+    {
+        // One report for the whole batch: the run volume summed over
+        // scenarios. Each campaign's own identity and timings live in
+        // its span and its checkpoint metadata.
+        obs::CampaignInfo info;
+        info.total_runs = total_runs;
+        info.last_run = total_runs;
+        telemetry.campaign(info);
+    }
+    telemetry.finish(jobs, err);
+
+    std::filesystem::create_directories(flags.out_dir);
+    out << "batch: " << items.size() << " scenarios, " << total_runs
+        << " runs on " << jobs << " jobs (one shared queue)\n";
+    // Space-separated columns, no padding, like sweep-pwcet: rows are
+    // machine-diffable byte for byte.
+    out << "name runs seed hwm etb bounded checkpoint\n";
+    bool any_unbounded = false;
+    bool any_degenerate = false;
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const BatchPointResult& point = result.points[i];
+        const Scenario& scenario = items[i].scenario;
+        const std::string path = flags.out_dir + "/" + point.name + ".ckpt";
+        save_pwcet_checkpoint(path, point.checkpoint);
+        // The ETB verdict is the round-robin Equation 1, as everywhere
+        // else; other arbiters get quantiles without a bound check.
+        const bool rr = scenario.config().arbiter == ArbiterKind::kRoundRobin;
+        const Cycle etb = point.result.etb(point.checkpoint.meta.ubd_analytic);
+        const bool bounded = point.result.high_water_mark <= etb;
+        if (rr && !bounded) any_unbounded = true;
+        if (!point.result.fit.valid()) any_degenerate = true;
+        out << point.name << " " << point.result.runs << " "
+            << scenario.run_protocol().seed << " "
+            << point.result.high_water_mark << " " << etb << " "
+            << (rr ? (bounded ? "yes" : "NO") : "n/a") << " " << path
+            << "\n";
+    }
+    if (any_unbounded) {
+        out << "bound violated on at least one round-robin scenario\n";
+        return 2;
+    }
+    if (any_degenerate) {
+        out << "degenerate fit on at least one scenario — raise runs or "
+               "lower block-size\n";
+        return 3;
+    }
+    return 0;
+}
+
 /// `rrbtool telemetry-diff a.json b.json`: counter deltas and derived
 /// rate changes between two run reports, oldest first. With
 /// --max-regression-pct P the throughput rates (runs/sec, cycles/sec)
@@ -1497,6 +1662,9 @@ std::string usage() {
            "matrix\n"
            "  pwcet        streamed Gumbel pWCET campaign (O(runs/block) "
            "memory)\n"
+           "  batch        run a multi-scenario spec file as one flat\n"
+           "               (campaign x shard) queue; one checkpoint per\n"
+           "               scenario\n"
            "  merge        merge pwcet checkpoint files into the full "
            "campaign\n"
            "  whitebox     white-box campaign: per-request delay / "
@@ -1569,6 +1737,21 @@ std::string usage() {
            "merge'\n"
            "                       is bit-identical to one full run\n"
            "\n"
+           "batch:\n"
+           "  rrbtool batch SPEC   run every [scenario NAME] block of "
+           "SPEC\n"
+           "                       concurrently on one shared queue "
+           "(keys:\n"
+           "                       cores, lbus, var, arbiter, "
+           "iterations,\n"
+           "                       runs, seed, block-size, exceedance,\n"
+           "                       max-start-delay); writes "
+           "NAME.ckpt per\n"
+           "                       scenario, byte-identical to a "
+           "standalone\n"
+           "                       'pwcet --shard 0/1' of that scenario\n"
+           "  --out-dir D          checkpoint directory (default .)\n"
+           "\n"
            "merge:\n"
            "  rrbtool merge F1 F2 ...   merge checkpoint files; rejects\n"
            "                       mismatched campaigns and duplicate or\n"
@@ -1615,6 +1798,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
             return cmd_telemetry_diff(flags, out, err);
         }
         if (command == "pwcet") return cmd_pwcet(flags, out, err);
+        if (command == "batch") return cmd_batch(flags, out, err);
         if (command == "merge") return cmd_merge(flags, out, err);
         if (command == "whitebox") return cmd_whitebox(flags, out, err);
         if (command == "merge-whitebox") {

@@ -1,10 +1,32 @@
 #include "core/experiment.h"
 
 #include "engine/campaign_engine.h"
+#include "engine/machine_lease.h"
 #include "machine/machine.h"
 #include "sim/contract.h"
+#include "sim/fnv.h"
 
 namespace rrb {
+
+namespace {
+
+/// Program-set identity of an isolation run, for MachineLease's
+/// restart-in-place fast path: the scua alone on its core under this
+/// cycle cap. The leading tag keeps it out of campaign_fingerprint's
+/// value space (a contention campaign installs contenders too, so the
+/// two must never compare equal for one machine). Never zero.
+std::uint64_t isolation_fingerprint(const Program& scua, CoreId scua_core,
+                                    Cycle max_cycles) {
+    Fnv1a h;
+    h.u64(0x1507'1e5eULL);  // isolation tag
+    h.u64(fingerprint(scua));
+    h.u64(scua_core);
+    h.u64(max_cycles);
+    const std::uint64_t value = h.value();
+    return value == 0 ? 1 : value;
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -32,8 +54,22 @@ Measurement snapshot_measurement(Machine& machine, CoreId scua_core,
 Measurement run_isolation(const MachineConfig& config, const Program& scua,
                           CoreId scua_core, Cycle max_cycles) {
     RRB_REQUIRE(scua_core < config.num_cores, "scua core out of range");
-    Machine machine(config);
-    machine.load_program(scua_core, scua);
+    // Reuse this worker's cached machine instead of rebuilding one:
+    // Machine::reset() is bit-identical to fresh construction (the
+    // test_hotpath differential contract), so a leased isolation
+    // baseline can never differ from the historical fresh-machine one.
+    engine::MachineLease lease(config);
+    Machine& machine = lease.machine();
+    const std::uint64_t campaign =
+        isolation_fingerprint(scua, scua_core, max_cycles);
+    if (lease.campaign() == campaign) {
+        machine.reset_keep_programs();
+        machine.restart_program(scua_core, 0);
+    } else {
+        machine.reset();
+        machine.load_program(scua_core, scua);
+        lease.campaign() = campaign;
+    }
     machine.warm_static_footprint(scua_core);
     const RunResult r = machine.run_until_core(scua_core, max_cycles);
     const Cycle et = r.deadline_reached ? r.cycles

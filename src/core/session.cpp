@@ -10,6 +10,7 @@
 #include "engine/progress.h"
 #include "engine/thread_pool.h"
 #include "obs/telemetry.h"
+#include "sched/campaign_scheduler.h"
 #include "sim/contract.h"
 
 namespace rrb {
@@ -65,6 +66,36 @@ CheckpointMeta campaign_meta(const Scenario& scenario, const PwcetSpec& spec,
     meta.ubd_analytic = scenario.config().ubd_analytic();
     meta.exceedance = spec.exceedance;
     return meta;
+}
+
+/// Lowers a scenario into the scheduler's work unit — the same option
+/// assembly (to_campaign_options) the standalone pwcet path uses, so a
+/// scheduled campaign and a sequential one fold identical inputs.
+sched::PwcetCampaignWork to_campaign_work(const Scenario& scenario,
+                                          const PwcetSpec& spec,
+                                          const char* span_name,
+                                          std::uint64_t span_index) {
+    sched::PwcetCampaignWork work;
+    work.config = scenario.config();
+    work.scua = scenario.scua_program();
+    work.contenders = scenario.contender_programs();
+    work.options = to_campaign_options(scenario, spec);
+    work.span_name = span_name;
+    work.span_index = span_index;
+    return work;
+}
+
+/// The monolithic merge sequence over a full-plan slice: left-fold the
+/// shards in index order, finalize against the slice's baseline —
+/// exactly what engine::run_pwcet_campaign does after its reduce.
+PwcetCampaignResult finalize_slice(const engine::PwcetShardSlice& slice,
+                                   const std::vector<double>& exceedance) {
+    PwcetAccumulator acc = slice.shards.front();
+    for (std::size_t s = 1; s < slice.shards.size(); ++s) {
+        acc.merge(slice.shards[s]);
+    }
+    return finalize_pwcet_campaign(acc, slice.et_isolation, slice.nr,
+                                   exceedance);
 }
 
 }  // namespace
@@ -199,6 +230,12 @@ SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
     const obs::Span sweep_span(
         "session.sweep", 0,
         axes.points() * scenario.run_protocol().runs);
+    // Lower the whole grid up front, then drain it as one flat
+    // (campaign × shard) queue — no barrier between grid points, so
+    // the tail shards of one point overlap the head of the next and
+    // every worker stays busy to the end of the grid. Per-run progress
+    // stays off — the sweep reports per completed point.
+    sched::CampaignScheduler scheduler(shared_pool());
     SweepResult result;
     result.points.reserve(axes.points());
     for (const std::optional<CoreId>& c : cores) {
@@ -209,19 +246,71 @@ SweepResult Session::sweep(const Scenario& scenario, const SweepAxes& axes,
                 point.cores = point.config.num_cores;
                 point.lbus = point.config.load_hit_service();
                 point.arbiter = point.config.arbiter;
-                // Grid points run one after another; each point's
-                // campaign fans its shards across the shared pool, so
-                // the session's jobs budget covers both nesting levels.
-                // Per-run progress stays off here — the sweep reports
-                // per point.
-                const obs::Span point_span(
-                    "grid-point", result.points.size(),
-                    scenario.run_protocol().runs);
-                point.result = pwcet_on_pool(point.config, scenario, spec);
+                scheduler.add(to_campaign_work(
+                    scenario.with_config(point.config), spec, "grid-point",
+                    result.points.size()));
                 result.points.push_back(std::move(point));
-                if (progress_ != nullptr) progress_->tick();
             }
         }
+    }
+    sched::CampaignScheduler::RunOptions run_options;
+    run_options.campaigns_done = progress_;
+    scheduler.run(run_options);
+    for (std::size_t p = 0; p < result.points.size(); ++p) {
+        result.points[p].result =
+            finalize_slice(scheduler.take(p), spec.exceedance);
+    }
+    return result;
+}
+
+BatchResult Session::batch(const std::vector<BatchItem>& items,
+                           sched::BatchProgress* monitor) {
+    RRB_REQUIRE(!items.empty(), "batch needs at least one scenario");
+    RRB_REQUIRE(monitor == nullptr || monitor->campaigns() == items.size(),
+                "batch monitor must be announced with one entry per item");
+    std::size_t total_runs = 0;
+    for (const BatchItem& item : items) {
+        item.scenario.validate();
+        total_runs += item.scenario.run_protocol().runs;
+    }
+    if (progress_ != nullptr) progress_->begin(total_runs);
+    const obs::Span span("session.batch", 0, total_runs);
+
+    sched::CampaignScheduler scheduler(shared_pool());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        scheduler.add(
+            to_campaign_work(items[i].scenario, items[i].spec, "campaign", i));
+    }
+    sched::CampaignScheduler::RunOptions run_options;
+    run_options.batch = monitor;
+    run_options.runs = progress_;
+    scheduler.run(run_options);
+
+    BatchResult result;
+    result.points.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const BatchItem& item = items[i];
+        engine::PwcetShardSlice slice = scheduler.take(i);
+        const engine::ReducePlan plan =
+            engine::ReducePlan::for_count(static_cast<std::uint64_t>(
+                item.scenario.run_protocol().runs));
+
+        BatchPointResult point;
+        point.name = item.name;
+        point.result = finalize_slice(slice, item.spec.exceedance);
+        // The whole campaign as slice 0 of 1 — the exact checkpoint
+        // `checkpoint(scenario, spec, {0, 1}, path)` would have written,
+        // so batch output farms through the same merge tooling.
+        point.checkpoint.meta = campaign_meta(item.scenario, item.spec, plan);
+        point.checkpoint.meta.slice_index = 0;
+        point.checkpoint.meta.slice_count = 1;
+        point.checkpoint.meta.first_run = slice.first_run;
+        point.checkpoint.meta.last_run = slice.last_run;
+        point.checkpoint.meta.et_isolation = slice.et_isolation;
+        point.checkpoint.meta.nr = slice.nr;
+        point.checkpoint.first_shard = slice.first_shard;
+        point.checkpoint.shards = std::move(slice.shards);
+        result.points.push_back(std::move(point));
     }
     return result;
 }
@@ -414,16 +503,6 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
     }
     return finalize_pwcet_campaign(acc, expected.et_isolation, expected.nr,
                                    options.exceedance);
-}
-
-PwcetCampaignResult Session::pwcet_on_pool(const MachineConfig& config,
-                                           const Scenario& scenario,
-                                           const PwcetSpec& spec) {
-    const Scenario point = scenario.with_config(config);
-    return engine::run_pwcet_campaign(
-        point.config(), point.scua_program(), point.contender_programs(),
-        to_campaign_options(point, spec),
-        engine_options(/*sink=*/nullptr));
 }
 
 }  // namespace rrb

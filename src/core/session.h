@@ -14,10 +14,13 @@
 // Every entry point inherits the engine's determinism contract: results
 // are bit-identical at every jobs value, including 1. sweep() runs a
 // grid of MachineConfig variations (cores / lbus / arbiter axes) where
-// each grid point is itself a streamed pWCET campaign; grid points run
-// sequentially while each point's shards fan out across the session's
-// shared pool, so the jobs budget is split across the nesting instead
-// of multiplying (never points x jobs threads).
+// each grid point is itself a streamed pWCET campaign; the whole grid
+// drains as ONE flat (campaign × shard) queue on the session's shared
+// pool (sched::CampaignScheduler) — no per-point barrier, so a wide
+// grid keeps every worker busy to the end while each point's result
+// stays bit-identical to a standalone pwcet() on that config. batch()
+// does the same for heterogeneous scenarios and hands back one
+// whole-campaign checkpoint per scenario.
 //
 // This is the high-level layer. The free functions in core/campaign.h,
 // core/experiment.h and engine/ remain the low-level layer underneath;
@@ -40,6 +43,10 @@
 #include "stats/checkpoint.h"
 
 namespace rrb {
+
+namespace sched {
+class BatchProgress;
+}  // namespace sched
 
 /// The statistical half of a pWCET campaign — everything that is not
 /// the run protocol (which the Scenario owns): EVT block size and the
@@ -79,6 +86,30 @@ struct SweepPoint {
 
 struct SweepResult {
     std::vector<SweepPoint> points;  ///< in axes enumeration order
+};
+
+/// One scenario of a batch() call: a label (names the checkpoint and
+/// report lines; unique within the batch) plus the scenario and its
+/// statistical spec. Scenarios may be fully heterogeneous — different
+/// configs, workloads, run counts, seeds.
+struct BatchItem {
+    std::string name;
+    Scenario scenario;
+    PwcetSpec spec;
+};
+
+/// One completed batch campaign: the whole-campaign checkpoint (slice
+/// 0 of 1 — loadable by merge() on its own or alongside nothing else)
+/// and the finalized result, both bit-identical to running
+/// `pwcet(scenario, spec)` standalone.
+struct BatchPointResult {
+    std::string name;
+    PwcetCheckpoint checkpoint;
+    PwcetCampaignResult result;
+};
+
+struct BatchResult {
+    std::vector<BatchPointResult> points;  ///< in batch order
 };
 
 /// Which slice of a checkpointed campaign to run: slice `index` of
@@ -156,6 +187,16 @@ public:
                                     const SweepAxes& axes,
                                     const PwcetSpec& spec = {});
 
+    /// Runs every scenario of the batch as one flat (campaign × shard)
+    /// queue on the shared pool — concurrent heterogeneous campaigns,
+    /// each result and checkpoint bit-identical to a standalone
+    /// pwcet()/checkpoint() of that scenario. `monitor`, if given, must
+    /// already be announce()d with one (name, runs) entry per item in
+    /// batch order; the session's progress sink ticks per run across
+    /// the whole batch.
+    [[nodiscard]] BatchResult batch(const std::vector<BatchItem>& items,
+                                    sched::BatchProgress* monitor = nullptr);
+
     // --------------------------------------- checkpointed campaigns
 
     /// Runs slice `slice.index` of `slice.count` of the scenario's
@@ -206,12 +247,6 @@ private:
     [[nodiscard]] engine::EngineOptions engine_options(
         engine::ProgressCounter* sink);
     [[nodiscard]] engine::ThreadPool& shared_pool();
-    /// One sweep grid point: the scenario re-targeted at `config`, run
-    /// as a streamed pWCET campaign on the shared pool with per-run
-    /// progress muted (the sweep itself ticks per point).
-    [[nodiscard]] PwcetCampaignResult pwcet_on_pool(
-        const MachineConfig& config, const Scenario& scenario,
-        const PwcetSpec& spec);
 
     std::size_t jobs_ = 0;
     engine::ProgressCounter* progress_ = nullptr;

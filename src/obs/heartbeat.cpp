@@ -73,4 +73,37 @@ std::string HeartbeatMeter::sample(
     return line;
 }
 
+std::string HeartbeatMeter::sample(
+    const engine::ProgressCounter& aggregate,
+    std::span<const CampaignSample> campaigns) {
+    // The aggregate pass advances last_ns_ to "now"; the per-campaign
+    // rates below reuse exactly that window, so one call = one
+    // consistent sampling instant for every counter.
+    const std::uint64_t prev_ns = last_ns_;
+    const bool was_primed = primed_;
+    std::string line = sample(aggregate);
+    const std::uint64_t now = last_ns_;
+
+    last_campaign_fresh_.resize(campaigns.size(), 0);
+    last_campaign_rate_.resize(campaigns.size(), 0.0);
+    char buf[160];
+    for (std::size_t i = 0; i < campaigns.size(); ++i) {
+        const CampaignSample& c = campaigns[i];
+        const std::size_t fresh = c.progress->fresh();
+        double rate = last_campaign_rate_[i];
+        if (was_primed && now > prev_ns &&
+            fresh >= last_campaign_fresh_[i]) {
+            rate = static_cast<double>(fresh - last_campaign_fresh_[i]) /
+                   (static_cast<double>(now - prev_ns) / 1e9);
+        }
+        last_campaign_fresh_[i] = fresh;
+        last_campaign_rate_[i] = rate;
+        std::snprintf(buf, sizeof(buf), " | %s %zu/%zu %.0f/s",
+                      c.name->c_str(), c.progress->completed(),
+                      c.progress->total(), rate);
+        line += buf;
+    }
+    return line;
+}
+
 }  // namespace rrb::obs

@@ -15,12 +15,22 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "engine/progress.h"
 #include "obs/telemetry.h"
 
 namespace rrb::obs {
+
+/// One concurrently-running campaign a multi-campaign heartbeat reports
+/// on: a stable name and the campaign's own progress counter. Pointers,
+/// not copies — the meter samples live counters each call.
+struct CampaignSample {
+    const std::string* name = nullptr;
+    const engine::ProgressCounter* progress = nullptr;
+};
 
 class HeartbeatMeter {
 public:
@@ -38,6 +48,17 @@ public:
     [[nodiscard]] std::string sample(
         const engine::ProgressCounter& progress);
 
+    /// Multi-campaign sample for a scheduler batch: the aggregate line
+    /// (as sample()), then one " | name c/t R/s" chip per campaign.
+    /// Every counter is read exactly once against one shared sampling
+    /// window, so concurrent heterogeneous campaigns cannot corrupt
+    /// each other's rates however their ticks interleave; per-campaign
+    /// window state is keyed by position, so pass the same campaign
+    /// list (in the same order) on every call.
+    [[nodiscard]] std::string sample(
+        const engine::ProgressCounter& aggregate,
+        std::span<const CampaignSample> campaigns);
+
 private:
     std::size_t workers_;
     bool primed_ = false;
@@ -45,6 +66,9 @@ private:
     std::size_t last_fresh_ = 0;
     std::uint64_t last_busy_ns_ = 0;
     double last_rate_ = 0.0;  ///< carried over empty windows
+    /// Per-campaign window state (multi-campaign form), by position.
+    std::vector<std::size_t> last_campaign_fresh_;
+    std::vector<double> last_campaign_rate_;
 };
 
 }  // namespace rrb::obs

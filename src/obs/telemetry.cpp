@@ -20,6 +20,10 @@ const char* counter_name(Counter c) noexcept {
         case kWorkerBusyNs: return "worker_busy_ns";
         case kShardsCompleted: return "shards_completed";
         case kShardWallNs: return "shard_wall_ns";
+        case kSchedItemsEnqueued: return "sched_items_enqueued";
+        case kSchedDispatches: return "sched_dispatches";
+        case kSchedAffinityHits: return "sched_affinity_hits";
+        case kSchedSteals: return "sched_steals";
         case kHeapAllocations: return "heap_allocations";
         case kCounterCount: break;
     }

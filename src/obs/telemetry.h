@@ -60,6 +60,10 @@ enum Counter : unsigned {
     kWorkerBusyNs,       ///< wall-ns workers spent inside jobs (timing)
     kShardsCompleted,    ///< reduce shards folded (deterministic)
     kShardWallNs,        ///< summed per-shard wall-ns (timing)
+    kSchedItemsEnqueued, ///< scheduler work items queued (deterministic)
+    kSchedDispatches,    ///< scheduler work items handed to a worker
+    kSchedAffinityHits,  ///< dispatch matched the worker's hot lease
+    kSchedSteals,        ///< dispatch crossed fingerprints (or first item)
     kHeapAllocations,    ///< operator-new count (bench interposer)
     kCounterCount
 };

@@ -1,0 +1,300 @@
+#include "sched/campaign_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "core/experiment.h"
+#include "obs/telemetry.h"
+#include "sim/contract.h"
+
+namespace rrb::sched {
+
+namespace {
+
+/// Shard index standing for "measure the isolation baseline" — the one
+/// per-campaign item that is not a reduce shard. Scheduled through the
+/// same queue (same fingerprint bucket) so the baseline also lands on a
+/// worker with a hot lease.
+constexpr std::size_t kIsolationItem = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void BatchProgress::announce(
+    const std::vector<std::pair<std::string, std::size_t>>& campaigns) {
+    campaigns_.clear();
+    std::size_t total = 0;
+    for (const auto& [name, runs] : campaigns) {
+        Entry& entry = campaigns_.emplace_back();
+        entry.name = name;
+        entry.progress.begin(runs);
+        total += runs;
+    }
+    aggregate_.begin(total);
+}
+
+std::vector<obs::CampaignSample> BatchProgress::samples() const {
+    std::vector<obs::CampaignSample> out;
+    out.reserve(campaigns_.size());
+    for (const Entry& entry : campaigns_) {
+        out.push_back({&entry.name, &entry.progress});
+    }
+    return out;
+}
+
+struct CampaignScheduler::Campaign {
+    PwcetCampaignWork work;
+    engine::ReducePlan plan;
+    std::uint64_t fingerprint = 0;  ///< config fingerprint, never 0
+    std::uint64_t span = 0;         ///< campaign span, open while running
+    std::atomic<std::size_t> remaining{0};  ///< items left (isol + shards)
+    Cycle et_isolation = 0;
+    std::uint64_t nr = 0;
+    std::vector<std::optional<PwcetAccumulator>> slots;  ///< by shard
+    bool taken = false;
+};
+
+/// One queued (campaign, shard) unit of work.
+struct CampaignScheduler::WorkItem {
+    std::size_t campaign = 0;
+    std::size_t shard = 0;  ///< kIsolationItem for the baseline
+};
+
+/// All queued items of one config fingerprint, drained front to back
+/// (isolation first, then shards ascending, campaign-major — so one
+/// bucket finishes a campaign before starting the next and take() can
+/// stream early results while later campaigns still run).
+struct CampaignScheduler::Bucket {
+    std::uint64_t fingerprint = 0;
+    std::vector<WorkItem> items;
+    std::size_t head = 0;  ///< items[0, head) already dispatched
+
+    [[nodiscard]] std::size_t left() const noexcept {
+        return items.size() - head;
+    }
+};
+
+struct CampaignScheduler::State {
+    std::mutex mutex;
+    std::vector<Bucket> buckets;
+    std::size_t remaining = 0;  ///< undispatched items across buckets
+};
+
+CampaignScheduler::CampaignScheduler(engine::ThreadPool& pool)
+    : pool_(pool), state_(std::make_unique<State>()) {}
+
+CampaignScheduler::~CampaignScheduler() = default;
+
+std::size_t CampaignScheduler::add(PwcetCampaignWork work) {
+    RRB_REQUIRE(!ran_, "cannot add campaigns after run()");
+    // The same eager validation the sequential engine entry points do,
+    // on the calling thread — a malformed campaign must not surface as
+    // a worker-side failure halfway through an unrelated batch.
+    RRB_REQUIRE(work.options.protocol.runs >= 1, "need at least one run");
+    RRB_REQUIRE(work.options.block_size >= 1, "block size must be positive");
+    for (const double e : work.options.exceedance) {
+        RRB_REQUIRE(e > 0.0 && e < 1.0, "exceedance probability in (0,1)");
+    }
+    RRB_REQUIRE(!work.contenders.empty(), "need at least one contender");
+    work.config.validate();
+
+    auto campaign = std::make_unique<Campaign>();
+    campaign->plan = engine::ReducePlan::for_count(
+        static_cast<std::uint64_t>(work.options.protocol.runs));
+    const std::uint64_t fp = work.config.fingerprint();
+    campaign->fingerprint = fp == 0 ? 1 : fp;  // 0 = "no lease" sentinel
+    campaign->work = std::move(work);
+    campaigns_.push_back(std::move(campaign));
+    return campaigns_.size() - 1;
+}
+
+std::size_t CampaignScheduler::work_items() const noexcept {
+    std::size_t total = 0;
+    for (const std::unique_ptr<Campaign>& c : campaigns_) {
+        total += c->plan.shards() + 1;
+    }
+    return total;
+}
+
+void CampaignScheduler::run(const RunOptions& options) {
+    RRB_REQUIRE(!ran_, "a CampaignScheduler drains exactly once");
+    ran_ = true;
+
+    std::size_t total_items = 0;
+    for (std::size_t index = 0; index < campaigns_.size(); ++index) {
+        Campaign& campaign = *campaigns_[index];
+        const std::size_t shards = campaign.plan.shards();
+        campaign.slots.assign(shards, std::nullopt);
+        campaign.remaining.store(shards + 1, std::memory_order_relaxed);
+        // The campaign span parents every shard span, whatever worker
+        // runs it — opened here, under the submitting thread's current
+        // span (session.sweep / session.batch), closed by whichever
+        // worker finishes the campaign's last item.
+        campaign.span = obs::enabled()
+                            ? obs::TelemetryRegistry::instance().open_span(
+                                  campaign.work.span_name,
+                                  obs::current_span(),
+                                  campaign.work.span_index,
+                                  campaign.work.options.protocol.runs)
+                            : 0;
+
+        Bucket* bucket = nullptr;
+        for (Bucket& b : state_->buckets) {
+            if (b.fingerprint == campaign.fingerprint) {
+                bucket = &b;
+                break;
+            }
+        }
+        if (bucket == nullptr) {
+            bucket = &state_->buckets.emplace_back();
+            bucket->fingerprint = campaign.fingerprint;
+        }
+        bucket->items.push_back({index, kIsolationItem});
+        for (std::size_t s = 0; s < shards; ++s) {
+            bucket->items.push_back({index, s});
+        }
+        total_items += shards + 1;
+    }
+    state_->remaining = total_items;
+    obs::count(obs::kSchedItemsEnqueued, total_items);
+    if (total_items == 0) return;
+
+    // One drain loop per pool worker (never more loops than items):
+    // each loop pulls items — affinity first, steal otherwise — until
+    // the queue is dry. A loop that dies on an item failure leaves the
+    // rest of the queue to the surviving loops; wait_idle rethrows the
+    // first failure once the pool drains.
+    const std::size_t loops = std::min(pool_.thread_count(), total_items);
+    for (std::size_t w = 0; w < loops; ++w) {
+        pool_.submit([this, &options] {
+            std::uint64_t last_fingerprint = 0;
+            WorkItem item;
+            while (next_item(last_fingerprint, item)) {
+                execute(item, options);
+            }
+        });
+    }
+    pool_.wait_idle();
+}
+
+bool CampaignScheduler::next_item(std::uint64_t& last_fingerprint,
+                                  WorkItem& out) {
+    const std::scoped_lock lock(state_->mutex);
+    if (state_->remaining == 0) return false;
+
+    // Affinity: another item of the fingerprint this worker just ran —
+    // its thread-local MachineLease still holds the hot machine.
+    Bucket* pick = nullptr;
+    bool hit = false;
+    if (last_fingerprint != 0) {
+        for (Bucket& b : state_->buckets) {
+            if (b.fingerprint == last_fingerprint && b.left() > 0) {
+                pick = &b;
+                hit = true;
+                break;
+            }
+        }
+    }
+    // Steal fallback: the fingerprint class with the most work left, so
+    // idle workers pile onto the longest queue instead of all chasing
+    // the same nearly-done one.
+    if (pick == nullptr) {
+        std::size_t best = 0;
+        for (Bucket& b : state_->buckets) {
+            if (b.left() > best) {
+                best = b.left();
+                pick = &b;
+            }
+        }
+    }
+    out = pick->items[pick->head++];
+    --state_->remaining;
+    last_fingerprint = pick->fingerprint;
+    obs::count(obs::kSchedDispatches);
+    obs::count(hit ? obs::kSchedAffinityHits : obs::kSchedSteals);
+    return true;
+}
+
+void CampaignScheduler::execute(const WorkItem& item,
+                                const RunOptions& options) {
+    Campaign& campaign = *campaigns_[item.campaign];
+    const PwcetCampaignWork& work = campaign.work;
+
+    if (item.shard == kIsolationItem) {
+        // The deterministic baseline the sequential slice measures
+        // before its reduce — here just another queue item, so it also
+        // lands on a worker holding (or about to hold) this config's
+        // lease.
+        const obs::Span span("isolation", campaign.span, 0, 1);
+        const Measurement isol =
+            run_isolation(work.config, work.scua, 0,
+                          work.options.protocol.max_cycles_per_run);
+        RRB_ENSURE(!isol.deadline_reached);
+        campaign.et_isolation = isol.exec_time;
+        campaign.nr = isol.bus_requests;
+    } else {
+        const std::uint64_t first = campaign.plan.shard_begin(item.shard);
+        const std::uint64_t last = campaign.plan.shard_end(item.shard);
+        const std::uint64_t begin_ns =
+            obs::enabled() ? obs::TelemetryRegistry::instance().now_ns()
+                           : 0;
+        // Explicit parent: the *owning campaign's* span, never whatever
+        // campaign this worker happened to touch before — concurrent
+        // heterogeneous campaigns keep their timelines separate.
+        const obs::Span span("shard", campaign.span, item.shard,
+                             last - first);
+        PwcetAccumulator acc(work.options.block_size);
+        for (std::uint64_t i = first; i < last; ++i) {
+            acc.add(i, detail::hwm_campaign_measure(
+                           work.config, work.scua, work.contenders,
+                           work.options.protocol, i));
+            if (options.runs != nullptr) options.runs->tick();
+            if (options.batch != nullptr) {
+                options.batch->aggregate().tick();
+                options.batch->campaign(item.campaign).tick();
+            }
+        }
+        campaign.slots[item.shard].emplace(std::move(acc));
+        obs::count(obs::kShardsCompleted);
+        if (obs::enabled()) {
+            obs::count(obs::kShardWallNs,
+                       obs::TelemetryRegistry::instance().now_ns() -
+                           begin_ns);
+        }
+    }
+
+    if (campaign.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (campaign.span != 0) {
+            obs::TelemetryRegistry::instance().close_span(campaign.span);
+        }
+        if (options.campaigns_done != nullptr) {
+            options.campaigns_done->tick();
+        }
+    }
+}
+
+engine::PwcetShardSlice CampaignScheduler::take(std::size_t index) {
+    RRB_REQUIRE(ran_, "run() the batch before taking results");
+    RRB_REQUIRE(index < campaigns_.size(), "campaign index out of range");
+    Campaign& campaign = *campaigns_[index];
+    RRB_REQUIRE(!campaign.taken, "campaign result already taken");
+    campaign.taken = true;
+
+    engine::PwcetShardSlice slice;
+    slice.et_isolation = campaign.et_isolation;
+    slice.nr = campaign.nr;
+    slice.first_shard = 0;
+    const std::size_t shards = campaign.plan.shards();
+    if (shards > 0) {
+        slice.first_run = campaign.plan.shard_begin(0);
+        slice.last_run = campaign.plan.shard_end(shards - 1);
+    }
+    slice.shards.reserve(shards);
+    for (std::optional<PwcetAccumulator>& slot : campaign.slots) {
+        slice.shards.push_back(std::move(*slot));
+    }
+    return slice;
+}
+
+}  // namespace rrb::sched

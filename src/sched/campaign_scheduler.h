@@ -1,0 +1,162 @@
+// Global campaign scheduler: (campaign × plan-shard) as the unit of work.
+//
+// Session::sweep used to run grid points one after another: each point
+// fanned its shards across the shared pool, then *barriered* before the
+// next point — on a wide grid a many-core box idles at every boundary,
+// and heterogeneous scenarios could not run concurrently at all. The
+// CampaignScheduler flattens any number of pWCET campaigns into one
+// global work queue (every campaign's isolation baseline plus every
+// shard of its reduce plan) and drains it across the one shared
+// ThreadPool with no barrier until the whole batch is done.
+//
+// Determinism: a shard accumulator depends only on (plan, shard index,
+// fold) — the engine/reduce.h contract — and the isolation baseline is
+// a deterministic measurement, so *which worker* runs *which item when*
+// cannot leak into any campaign's numbers. take() reassembles exactly
+// the PwcetShardSlice the sequential run_pwcet_campaign_shards would
+// have produced, bit for bit, at every jobs value.
+//
+// Lease affinity: workers keep per-thread machine caches keyed by
+// MachineConfig::fingerprint (engine::MachineLease). The dispatch loop
+// prefers handing a worker another item of the fingerprint it just ran
+// — the machine is hot in its cache — and falls back to *stealing* from
+// the fingerprint class with the most work left, so no core ever idles
+// while any queue is non-empty. Dispatch decisions are observable via
+// the sched_* telemetry counters (hits + steals == dispatches).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "engine/progress.h"
+#include "engine/reduce.h"
+#include "engine/thread_pool.h"
+#include "isa/program.h"
+#include "machine/config.h"
+#include "obs/heartbeat.h"
+
+namespace rrb::sched {
+
+/// Aggregate + per-campaign progress for one scheduler batch, readable
+/// by a heartbeat thread while workers tick. announce() fixes the
+/// structure (names, totals) before any concurrent access; the counters
+/// themselves are lock-free.
+class BatchProgress {
+public:
+    /// Declares the batch: one (name, total runs) per campaign, in
+    /// campaign order. Call once, before the scheduler runs and before
+    /// any reporter thread samples. Re-announcing resets everything.
+    void announce(
+        const std::vector<std::pair<std::string, std::size_t>>& campaigns);
+
+    [[nodiscard]] engine::ProgressCounter& aggregate() noexcept {
+        return aggregate_;
+    }
+    [[nodiscard]] const engine::ProgressCounter& aggregate() const noexcept {
+        return aggregate_;
+    }
+    [[nodiscard]] std::size_t campaigns() const noexcept {
+        return campaigns_.size();
+    }
+    [[nodiscard]] const std::string& name(std::size_t i) const {
+        return campaigns_[i].name;
+    }
+    [[nodiscard]] engine::ProgressCounter& campaign(std::size_t i) {
+        return campaigns_[i].progress;
+    }
+    [[nodiscard]] const engine::ProgressCounter& campaign(
+        std::size_t i) const {
+        return campaigns_[i].progress;
+    }
+
+    /// View for HeartbeatMeter's multi-campaign sample. The pointers
+    /// stay valid until the next announce().
+    [[nodiscard]] std::vector<obs::CampaignSample> samples() const;
+
+private:
+    struct Entry {
+        std::string name;
+        engine::ProgressCounter progress;
+    };
+
+    engine::ProgressCounter aggregate_;
+    std::deque<Entry> campaigns_;  ///< deque: counters must not move
+};
+
+/// One pWCET campaign to schedule: the re-targeted scenario lowered to
+/// engine inputs (the same lowering Session::pwcet uses).
+struct PwcetCampaignWork {
+    MachineConfig config;
+    Program scua;
+    std::vector<Program> contenders;
+    PwcetCampaignOptions options;
+    /// Span identity for the telemetry timeline. The name must be a
+    /// static string (obs::SpanRecord does not copy it).
+    const char* span_name = "campaign";
+    std::uint64_t span_index = 0;
+};
+
+class CampaignScheduler {
+public:
+    /// The scheduler drains onto `pool` and owns it for the duration of
+    /// run() — the ThreadPool contract forbids concurrent batches.
+    explicit CampaignScheduler(engine::ThreadPool& pool);
+    ~CampaignScheduler();
+
+    CampaignScheduler(const CampaignScheduler&) = delete;
+    CampaignScheduler& operator=(const CampaignScheduler&) = delete;
+
+    /// Enqueues a campaign; returns its index (take() key). Validates
+    /// the options eagerly, on the calling thread. Must precede run().
+    std::size_t add(PwcetCampaignWork work);
+
+    struct RunOptions {
+        /// Ticked once per contention run (aggregate and the owning
+        /// campaign's counter). The scheduler never calls begin() —
+        /// announce totals via BatchProgress::announce.
+        BatchProgress* batch = nullptr;
+        /// Ticked once per contention run. Pre-announced by the caller.
+        engine::ProgressCounter* runs = nullptr;
+        /// Ticked once per *completed campaign* — the sweep's per-point
+        /// progress contract. Pre-announced by the caller.
+        engine::ProgressCounter* campaigns_done = nullptr;
+    };
+
+    /// Drains every queued item across the pool; returns when the whole
+    /// batch is done. Call once. Rethrows the first item failure (after
+    /// the surviving workers drain the rest of the queue).
+    void run(const RunOptions& options);
+    void run() { run(RunOptions{}); }
+
+    /// Moves campaign `index`'s result out as the full-plan slice —
+    /// bit-identical to engine::run_pwcet_campaign_shards over the same
+    /// inputs with range {0, plan.shards()}. Valid once per campaign,
+    /// after run().
+    [[nodiscard]] engine::PwcetShardSlice take(std::size_t index);
+
+    /// Total work items (isolation baselines + shards) this batch holds.
+    [[nodiscard]] std::size_t work_items() const noexcept;
+
+private:
+    struct Campaign;
+    struct WorkItem;
+    struct Bucket;
+    struct State;
+
+    void execute(const WorkItem& item, const RunOptions& options);
+    [[nodiscard]] bool next_item(std::uint64_t& last_fingerprint,
+                                 WorkItem& out);
+
+    engine::ThreadPool& pool_;
+    std::vector<std::unique_ptr<Campaign>> campaigns_;
+    std::unique_ptr<State> state_;
+    bool ran_ = false;
+};
+
+}  // namespace rrb::sched

@@ -119,6 +119,60 @@ TEST(Tdma, RejectsZeroSlot) {
     EXPECT_THROW(TdmaArbiter(4, 0), std::invalid_argument);
 }
 
+TEST(Tdma, NextGrantCycleWaitsForOwnedSlot) {
+    TdmaArbiter tdma(4, 10);  // core c owns slots [10c, 10c+10) mod 40
+    // Core 0 in its own slot with room: granted immediately.
+    EXPECT_EQ(tdma.next_grant_cycle(0, 4, 0), 0u);
+    EXPECT_EQ(tdma.next_grant_cycle(0, 4, 6), 6u);  // ends exactly at 10
+    // Core 0 in its own slot but overrunning it: next owned slot.
+    EXPECT_EQ(tdma.next_grant_cycle(0, 5, 6), 40u);
+    // Core 2 while core 0 owns the slot: start of core 2's slot.
+    EXPECT_EQ(tdma.next_grant_cycle(2, 4, 3), 20u);
+    // Core 1 just past its own slot: a full rotation away.
+    EXPECT_EQ(tdma.next_grant_cycle(1, 4, 20), 50u);
+}
+
+TEST(Tdma, NextGrantCycleMatchesPickAtTheReturnedCycle) {
+    // The bound must be exact: pick() grants at the returned cycle and
+    // at no earlier one — the cycle skipper's correctness condition.
+    TdmaArbiter tdma(3, 7);
+    for (CoreId core = 0; core < 3; ++core) {
+        for (Cycle duration = 1; duration <= 7; ++duration) {
+            for (Cycle earliest = 0; earliest < 45; ++earliest) {
+                const Cycle g =
+                    tdma.next_grant_cycle(core, duration, earliest);
+                ASSERT_NE(g, kNoCycle);
+                auto sole = [&](Cycle now) {
+                    return tdma.pick(ready_set(3, {core}, duration), now)
+                        .has_value();
+                };
+                ASSERT_TRUE(sole(g))
+                    << "core " << core << " dur " << duration
+                    << " earliest " << earliest;
+                for (Cycle t = earliest; t < g; ++t) {
+                    ASSERT_FALSE(sole(t))
+                        << "core " << core << " dur " << duration
+                        << " earlier grant at " << t;
+                }
+            }
+        }
+    }
+}
+
+TEST(Tdma, NextGrantCycleNeverFitsOversizedTransaction) {
+    TdmaArbiter tdma(2, 10);
+    EXPECT_EQ(tdma.next_grant_cycle(0, 11, 0), kNoCycle);
+}
+
+TEST(WorkConserving, NextGrantCycleIsTheReadyCycle) {
+    // Work-conserving policies grant any ready sole candidate at once:
+    // the default bound is the request's own earliest cycle.
+    RoundRobinArbiter rr(4);
+    FixedPriorityArbiter fp(4);
+    EXPECT_EQ(rr.next_grant_cycle(2, 9, 17), 17u);
+    EXPECT_EQ(fp.next_grant_cycle(3, 1, 0), 0u);
+}
+
 TEST(Factory, MakesRequestedKind) {
     EXPECT_EQ(make_arbiter(ArbiterKind::kRoundRobin, 4)->name(),
               "round-robin");
