@@ -207,6 +207,23 @@ std::uint64_t env_runs(const char* name, std::uint64_t fallback) {
     return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
 }
 
+/// RRB_HOTPATH_MODES="hot,naive" restricts which passes run — a
+/// profiling aid (e.g. gprof of the replay path without the interpreted
+/// reference modes drowning it out). Unset = all modes; CI never sets
+/// it, so the shipped gate always measures everything.
+bool mode_enabled(const char* mode) {
+    const char* modes = std::getenv("RRB_HOTPATH_MODES");
+    if (modes == nullptr || *modes == '\0') return true;
+    const std::size_t len = std::strlen(mode);
+    for (const char* at = modes; (at = std::strstr(at, mode)) != nullptr;
+         at += len) {
+        const bool starts = at == modes || at[-1] == ',';
+        const bool ends = at[len] == '\0' || at[len] == ',';
+        if (starts && ends) return true;
+    }
+    return false;
+}
+
 /// The committed reference's runs/sec for one section ("hot",
 /// "attribution"), for the CI regression gate: finds the section object
 /// in a previous BENCH_hotpath.json and reads its runs_per_sec. Returns
@@ -267,9 +284,13 @@ PathResult run_hot(const MachineConfig& config, const Program& scua,
                    const std::vector<Program>& contenders,
                    const HwmCampaignOptions& options, std::uint64_t runs,
                    std::uint64_t warmup, std::vector<Cycle>& finishes) {
+    // The engine shard loops hoist the campaign fingerprint out of the
+    // per-run path; the bench loop models them.
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     for (std::uint64_t run = 0; run < warmup; ++run) {
         (void)detail::hwm_campaign_run(config, scua, contenders, options,
-                                       run);
+                                       run, campaign);
     }
 
     PathResult result;
@@ -280,7 +301,7 @@ PathResult run_hot(const MachineConfig& config, const Program& scua,
         ChunkTimer chunks;
         for (std::uint64_t run = warmup; run < warmup + runs; ++run) {
             const Cycle finish = detail::hwm_campaign_run(
-                config, scua, contenders, options, run);
+                config, scua, contenders, options, run, campaign);
             result.cycles += finish;
             result.hwm = std::max(result.hwm, finish);
             finishes.push_back(finish);
@@ -307,9 +328,11 @@ PathResult run_attributed(const MachineConfig& config, const Program& scua,
                           std::uint64_t runs, std::uint64_t warmup,
                           std::vector<Cycle>& finishes,
                           AttributionAccumulator& acc) {
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     for (std::uint64_t run = 0; run < warmup; ++run) {
         (void)detail::hwm_campaign_attribute(config, scua, contenders,
-                                             options, run, acc);
+                                             options, run, acc, campaign);
     }
 
     PathResult result;
@@ -320,7 +343,7 @@ PathResult run_attributed(const MachineConfig& config, const Program& scua,
         ChunkTimer chunks;
         for (std::uint64_t run = warmup; run < warmup + runs; ++run) {
             const Cycle finish = detail::hwm_campaign_attribute(
-                config, scua, contenders, options, run, acc);
+                config, scua, contenders, options, run, acc, campaign);
             result.cycles += finish;
             result.hwm = std::max(result.hwm, finish);
             finishes.push_back(finish);
@@ -395,32 +418,41 @@ int main(int argc, char** argv) {
     telemetry_finishes.reserve(static_cast<std::size_t>(runs));
     attributed_finishes.reserve(static_cast<std::size_t>(runs));
     for (std::uint64_t rotation = 0; rotation < rotations; ++rotation) {
-        hot_finishes.clear();
-        fold_best(hot, run_hot(config, scua, contenders, options, runs,
-                               warmup, hot_finishes));
+        if (mode_enabled("hot")) {
+            hot_finishes.clear();
+            fold_best(hot, run_hot(config, scua, contenders, options, runs,
+                                   warmup, hot_finishes));
+        }
 
-        naive_finishes.clear();
-        fold_best(naive, run_naive(config, scua, contenders, options,
-                                   warmup, naive_runs, naive_finishes));
+        if (mode_enabled("naive")) {
+            naive_finishes.clear();
+            fold_best(naive, run_naive(config, scua, contenders, options,
+                                       warmup, naive_runs, naive_finishes));
+        }
 
-        registry.reset();
-        registry.enable();
-        const std::uint64_t allocs_before_telemetry = allocations_now();
-        telemetry_finishes.clear();
-        fold_best(hot_telemetry,
-                  run_hot(config, scua, contenders, options, runs, warmup,
-                          telemetry_finishes));
-        // Bridge the interposer into the telemetry schema: the
-        // steady-state allocation count travels as heap_allocations.
-        obs::count(obs::kHeapAllocations,
-                   allocations_now() - allocs_before_telemetry);
-        telemetry_counters = registry.counters();
-        registry.disable();
+        if (mode_enabled("telemetry")) {
+            registry.reset();
+            registry.enable();
+            const std::uint64_t allocs_before_telemetry = allocations_now();
+            telemetry_finishes.clear();
+            fold_best(hot_telemetry,
+                      run_hot(config, scua, contenders, options, runs,
+                              warmup, telemetry_finishes));
+            // Bridge the interposer into the telemetry schema: the
+            // steady-state allocation count travels as heap_allocations.
+            obs::count(obs::kHeapAllocations,
+                       allocations_now() - allocs_before_telemetry);
+            telemetry_counters = registry.counters();
+            registry.disable();
+        }
 
-        attributed_finishes.clear();
-        fold_best(hot_attributed,
-                  run_attributed(config, scua, contenders, options, runs,
-                                 warmup, attributed_finishes, attribution));
+        if (mode_enabled("attribution")) {
+            attributed_finishes.clear();
+            fold_best(hot_attributed,
+                      run_attributed(config, scua, contenders, options,
+                                     runs, warmup, attributed_finishes,
+                                     attribution));
+        }
     }
     std::uint64_t mismatches = 0;
     for (std::size_t i = 0; i < naive_finishes.size(); ++i) {

@@ -24,6 +24,7 @@ Bus::Bus(CoreId num_cores, std::unique_ptr<Arbiter> arbiter)
       candidates_(num_cores) {
     RRB_REQUIRE(num_cores >= 1, "need at least one core");
     RRB_REQUIRE(arbiter_ != nullptr, "arbiter required");
+    rr_ = dynamic_cast<RoundRobinArbiter*>(arbiter_.get());
 }
 
 void Bus::post(const BusRequest& request) {
@@ -63,8 +64,7 @@ bool Bus::busy(CoreId core) const {
            (has_active_ && active_.core == core);
 }
 
-void Bus::complete_phase(Cycle now) {
-    if (!has_active_ || busy_until_ != now) return;
+void Bus::complete_now(Cycle now) {
     const BusRequest finished = active_;
     has_active_ = false;
     if (tracer_ && tracer_->enabled()) {
@@ -113,12 +113,26 @@ void Bus::account_completion(const BusRequest& finished, Cycle now) {
     }
 }
 
-void Bus::arbitrate_phase(Cycle now) {
-    if (has_active_) {
-        RRB_ENSURE(busy_until_ > now);
+void Bus::arbitrate_pending(Cycle now) {
+    if (rr_ != nullptr) {
+        // Monomorphized round-robin: scan the ports directly in rotation
+        // order and grant the first eligible one. Identical outcome to
+        // the generic candidate-table path below — RR's pick() is the
+        // same scan, and its grants_alone() is unconditionally true — at
+        // a fraction of the cost (no table build, no virtual pick).
+        const CoreId n = static_cast<CoreId>(ports_.size());
+        const CoreId head = rr_->highest_priority();
+        for (CoreId i = 0; i < n; ++i) {
+            CoreId c = head + i;
+            if (c >= n) c -= n;
+            const Port& port = ports_[c];
+            if (port.has_pending && port.pending.ready <= now) {
+                grant(c, now);
+                return;
+            }
+        }
         return;
     }
-    if (pending_count_ == 0) return;
 
     if (pending_count_ == 1) {
         // Sole contender: every policy either grants it or leaves the
@@ -159,7 +173,11 @@ void Bus::grant(CoreId winner, Cycle now) {
     port.has_pending = false;
     --pending_count_;
 
-    arbiter_->granted(winner, now);
+    if (rr_ != nullptr) {
+        rr_->granted(winner, now);  // final class: devirtualized
+    } else {
+        arbiter_->granted(winner, now);
+    }
     busy_until_ = now + active_.duration;
     total_busy_cycles_ += active_.duration;
 
@@ -235,9 +253,7 @@ void Bus::flush_attribution(Cycle limit) {
     }
 }
 
-Cycle Bus::next_event_cycle(Cycle now) const {
-    if (has_active_) return busy_until_;
-    if (pending_count_ == 0) return kNoCycle;
+Cycle Bus::next_pending_cycle(Cycle now) const {
     Cycle next = kNoCycle;
     for (CoreId c = 0; c < ports_.size(); ++c) {
         const Port& port = ports_[c];
@@ -250,8 +266,10 @@ Cycle Bus::next_event_cycle(Cycle now) const {
         // Exactness: the per-core bound is the minimum winnable cycle,
         // so no pick() between now and the minimum could grant anyone.
         const Cycle earliest = std::max(port.pending.ready, now);
-        next = std::min(next, arbiter_->next_grant_cycle(
-                                  c, port.pending.duration, earliest));
+        next = std::min(next, rr_ != nullptr
+                                  ? earliest  // RR inherits the default
+                                  : arbiter_->next_grant_cycle(
+                                        c, port.pending.duration, earliest));
     }
     return next;
 }

@@ -28,6 +28,7 @@
 
 #include "bus/arbiter.h"
 #include "machine/attribution.h"
+#include "sim/contract.h"
 #include "sim/trace.h"
 #include "sim/types.h"
 #include "stats/histogram.h"
@@ -101,21 +102,40 @@ public:
     [[nodiscard]] bool busy(CoreId core) const;
 
     /// Phase 1 of a cycle: completes a transaction whose service ends at
-    /// `now` and notifies the client. Call before cores execute.
-    void complete_phase(Cycle now);
+    /// `now` and notifies the client. Call before cores execute. Inline
+    /// early-out: this runs every stepped cycle, and most cycles nothing
+    /// completes.
+    void complete_phase(Cycle now) {
+        if (!has_active_ || busy_until_ != now) return;
+        complete_now(now);
+    }
 
     /// Phase 2 of a cycle: arbitration among requests with ready <= now.
     /// Call after cores executed (so a request posted at `now` can be
-    /// granted at `now`).
-    void arbitrate_phase(Cycle now);
+    /// granted at `now`). Inline early-out, same rationale as
+    /// complete_phase.
+    void arbitrate_phase(Cycle now) {
+        if (has_active_) {
+            RRB_ENSURE(busy_until_ > now);
+            return;
+        }
+        if (pending_count_ == 0) return;
+        arbitrate_pending(now);
+    }
 
     /// Earliest future cycle at which the bus can change state on its
     /// own: the active transaction's completion, or the first cycle a
     /// pending request becomes eligible. Returns `now` when something
     /// could happen this cycle under a non-work-conserving arbiter
     /// (pending but ungranted — slot timing decides), and kNoCycle when
-    /// the bus is provably inert until new requests arrive.
-    [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+    /// the bus is provably inert until new requests arrive. Inline fast
+    /// paths: the skipper asks every stepped cycle, and the bus is
+    /// usually either in service or empty.
+    [[nodiscard]] Cycle next_event_cycle(Cycle now) const {
+        if (has_active_) return busy_until_;
+        if (pending_count_ == 0) return kNoCycle;
+        return next_pending_cycle(now);
+    }
 
     /// Power-on restore without reallocation: pending/active requests
     /// dropped, counters zeroed, arbiter rotation reset. The attached
@@ -163,11 +183,27 @@ private:
     /// Performs the grant bookkeeping for `winner` at `now`.
     void grant(CoreId winner, Cycle now);
 
+    /// Out-of-line halves of the phase methods: a transaction really
+    /// completes / pending requests really arbitrate / the earliest
+    /// pending request's eligibility is computed.
+    void complete_now(Cycle now);
+    void arbitrate_pending(Cycle now);
+    [[nodiscard]] Cycle next_pending_cycle(Cycle now) const;
+
     /// Attribution for a transaction finishing at `now`: service interval
     /// to the owner, waiters' elapsed time blamed on the owner.
     void account_completion(const BusRequest& finished, Cycle now);
 
     std::unique_ptr<Arbiter> arbiter_;
+    /// Non-null when arbiter_ is the round-robin policy: the paper's
+    /// target arbiter and the campaign default. Arbitration then runs a
+    /// monomorphized scan over the ports in rotation order — no
+    /// candidate table, no virtual dispatch (RoundRobinArbiter is final,
+    /// so calls through this pointer devirtualize) — and next_event_cycle
+    /// skips the virtual next_grant_cycle (work-conserving: the bound is
+    /// the ready cycle itself). Purely an execution-speed monomorphization;
+    /// the generic path computes identical grants.
+    RoundRobinArbiter* rr_ = nullptr;
     std::vector<Port> ports_;
     std::vector<BusCoreCounters> counters_;
     std::vector<ArbCandidate> candidates_;  ///< reused arbitration buffer

@@ -1,8 +1,10 @@
 #include "cache/cache.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/contract.h"
+#include "sim/fnv.h"
 
 namespace rrb {
 
@@ -40,6 +42,7 @@ Cache::Cache(CacheGeometry geometry, ReplacementPolicy replacement,
         std::countr_zero(geometry_.num_sets()));
     set_mask_ = geometry_.num_sets() - 1;
     tags_.resize(geometry_.num_sets() * geometry_.ways);
+    valid_gen_.resize(geometry_.num_sets() * geometry_.ways);
     meta_.resize(geometry_.num_sets() * geometry_.ways);
     if (replacement_ == ReplacementPolicy::kPlru) {
         RRB_REQUIRE(is_pow2(geometry_.ways) && geometry_.ways <= 32,
@@ -101,9 +104,9 @@ void Cache::touch(std::uint64_t set, std::uint32_t way) {
 
 std::uint32_t Cache::choose_victim(std::uint64_t set) {
     // Prefer an invalid way.
-    const TagEntry* entries = &tags_[line_index(set, 0)];
+    const std::uint32_t* gens = &valid_gen_[line_index(set, 0)];
     for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-        if (!entry_valid(entries[w])) return w;
+        if (gens[w] != generation_) return w;
     }
     switch (replacement_) {
         case ReplacementPolicy::kLru:
@@ -127,18 +130,18 @@ std::uint32_t Cache::choose_victim(std::uint64_t set) {
 CacheAccess Cache::install(std::uint64_t set, std::uint64_t tag, bool dirty) {
     CacheAccess result;
     const std::uint32_t way = choose_victim(set);
-    TagEntry& e = tags_[line_index(set, way)];
-    LineMeta& m = meta_[line_index(set, way)];
-    if (entry_valid(e)) {
+    const std::size_t idx = line_index(set, way);
+    LineMeta& m = meta_[idx];
+    if (valid_gen_[idx] == generation_) {
         ++stats_.evictions;
-        result.victim_line = (e.tag << set_shift_) + set;
+        result.victim_line = (tags_[idx] << set_shift_) + set;
         if (m.dirty) {
             ++stats_.writebacks;
             result.dirty_eviction = true;
         }
     }
-    e.valid_gen = generation_;
-    e.tag = tag;
+    valid_gen_[idx] = generation_;
+    tags_[idx] = tag;
     m.dirty = dirty;
     m.order = ++tick_;
     if (replacement_ == ReplacementPolicy::kPlru) plru_touch(set, way);
@@ -196,6 +199,12 @@ void Cache::flush() {
     // never influence a future access. PLRU trees carry no validity and
     // are cleared in place.
     ++generation_;
+    if (generation_ == 0) {
+        // 32-bit generation wrap: clear the array once so a line last
+        // written four billion flushes ago cannot alias back to valid.
+        std::fill(valid_gen_.begin(), valid_gen_.end(), 0u);
+        generation_ = 1;
+    }
     // A flush is a replacement-state change: advancing the access tick
     // invalidates any read_repeat_hit memo a caller holds.
     ++tick_;
@@ -212,6 +221,41 @@ void Cache::reset() {
     // keeps stale read_repeat_hit memos detectable forever.
     rng_ = Pcg32(rng_seed_);
     stats_ = {};
+}
+
+std::uint64_t Cache::state_fingerprint() const {
+    Fnv1a h;
+    const std::uint64_t sets = geometry_.num_sets();
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+            const std::size_t idx = line_index(set, w);
+            const bool valid = valid_gen_[idx] == generation_;
+            h.u64(valid ? 2 + (meta_[idx].dirty ? 1 : 0) : 1);
+            h.u64(valid ? tags_[idx] : 0);
+            if (valid && (replacement_ == ReplacementPolicy::kLru ||
+                          replacement_ == ReplacementPolicy::kFifo)) {
+                // Absolute order ticks grow forever; only their per-set
+                // rank among valid ways is behaviorally meaningful.
+                std::uint64_t rank = 0;
+                for (std::uint32_t o = 0; o < geometry_.ways; ++o) {
+                    const std::size_t oidx = line_index(set, o);
+                    if (valid_gen_[oidx] == generation_ &&
+                        meta_[oidx].order < meta_[idx].order) {
+                        ++rank;
+                    }
+                }
+                h.u64(rank);
+            }
+        }
+        if (replacement_ == ReplacementPolicy::kPlru) {
+            h.u64(plru_bits_[set]);
+        }
+    }
+    if (replacement_ == ReplacementPolicy::kRandom) {
+        h.u64(rng_.state());
+        h.u64(rng_.stream_inc());
+    }
+    return h.value();
 }
 
 void Cache::warm(Addr addr) {

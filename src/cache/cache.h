@@ -151,36 +151,54 @@ public:
         return geometry_;
     }
 
+    /// Replay-mode statistics injection (src/replay): a replaying core
+    /// skips the functional lookups and re-applies the pre-decoded
+    /// outcome counts instead. Statistics only — tag/replacement state
+    /// is deliberately untouched (the replaying core never reads it).
+    void replay_read_hits(std::uint64_t n) noexcept {
+        stats_.read_hits += n;
+    }
+    void replay_read_miss(bool evicted) noexcept {
+        ++stats_.read_misses;
+        if (evicted) ++stats_.evictions;
+    }
+    void replay_write(bool hit) noexcept {
+        if (hit) {
+            ++stats_.write_hits;
+        } else {
+            ++stats_.write_misses;
+        }
+    }
+
+    /// Canonical hash of the functional state: per-line validity and
+    /// tags, replacement state in a representation-independent form
+    /// (LRU/FIFO orders as per-set ranks, not absolute ticks; PLRU
+    /// bits; the victim RNG state), and nothing else. Two caches with
+    /// equal fingerprints produce identical outcome sequences for any
+    /// identical future access stream. Statistics are excluded. Used by
+    /// the replay decoder's loop detection (src/replay/decode.cpp).
+    [[nodiscard]] std::uint64_t state_fingerprint() const;
+
 private:
     // Structure-of-arrays line storage: the lookup path scans only the
-    // 16-byte {tag, valid_gen} entries — one host cache line covers a
-    // whole 4-way set, and a 2048-set L2 partition's tag array fits a
-    // host L1d — while replacement metadata (order, dirty) lives in a
-    // parallel array touched only on hits-with-update and installs.
-    struct TagEntry {
-        std::uint64_t tag = 0;
-        /// Valid iff equal to the cache's current generation_. flush()
-        /// bumps the generation instead of touching every line, making
-        /// the per-run cache invalidation of reused machines O(1).
-        std::uint64_t valid_gen = 0;
-    };
+    // packed 12-byte/line {tag, valid_gen} pair — 8-byte tags and
+    // 4-byte generations in parallel arrays, so a 2048-set L2
+    // partition's lookup state fits a host L1d comfortably — while
+    // replacement metadata (order, dirty) lives in a separate array
+    // touched only on hits-with-update and installs.
     struct LineMeta {
         std::uint64_t order = 0;  ///< LRU timestamp or FIFO insertion tick
         bool dirty = false;
     };
 
-    [[nodiscard]] bool entry_valid(const TagEntry& e) const noexcept {
-        return e.valid_gen == generation_;
-    }
-
     /// Index into the way array of the hit line, if present. Defined in
     /// the header so the read fast paths inline it.
     [[nodiscard]] std::optional<std::uint32_t> find_way(
         std::uint64_t set, std::uint64_t tag) const {
-        const TagEntry* entries = &tags_[line_index(set, 0)];
+        const std::uint64_t* tags = &tags_[line_index(set, 0)];
+        const std::uint32_t* gens = &valid_gen_[line_index(set, 0)];
         for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
-            const TagEntry& e = entries[w];
-            if (e.valid_gen == generation_ && e.tag == tag) return w;
+            if (gens[w] == generation_ && tags[w] == tag) return w;
         }
         return std::nullopt;
     }
@@ -218,11 +236,17 @@ private:
     std::uint32_t line_shift_ = 0;  ///< log2(line_bytes)
     std::uint32_t set_shift_ = 0;   ///< log2(num_sets)
     std::uint64_t set_mask_ = 0;    ///< num_sets - 1
-    std::uint64_t generation_ = 1;  ///< lines with valid_gen == this live
+    /// Lines with valid_gen_ == this are live. flush() bumps the
+    /// generation instead of touching every line, making the per-run
+    /// cache invalidation of reused machines O(1); on the (rare) u32
+    /// wrap the array is cleared in full so stale generations can never
+    /// alias back to validity.
+    std::uint32_t generation_ = 1;
     ReplacementPolicy replacement_;
     WritePolicy write_policy_;
     AllocPolicy alloc_policy_;
-    std::vector<TagEntry> tags_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> valid_gen_;
     std::vector<LineMeta> meta_;
     std::vector<std::uint32_t> plru_bits_;  ///< one tree per set (kPlru)
     std::uint64_t tick_ = 0;  ///< monotonically increasing access counter

@@ -8,7 +8,8 @@ WayPartitionedCache::WayPartitionedCache(CacheGeometry full, CoreId num_cores,
                                          ReplacementPolicy replacement,
                                          WritePolicy write_policy,
                                          AllocPolicy alloc_policy,
-                                         std::uint64_t rng_seed) {
+                                         std::uint64_t rng_seed)
+    : base_rng_seed_(rng_seed) {
     RRB_REQUIRE(num_cores >= 1, "need at least one core");
     full.validate();
     RRB_REQUIRE(full.ways % num_cores == 0,

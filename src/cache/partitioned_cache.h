@@ -47,10 +47,29 @@ public:
     [[nodiscard]] std::uint32_t ways_per_core() const noexcept {
         return partition_geometry_.ways;
     }
+    /// Victim-RNG seed of `core`'s partition (base seed + core). The
+    /// replay decoder constructs its partition replica from this so a
+    /// kRandom-replacement partition evicts identically.
+    [[nodiscard]] std::uint64_t partition_rng_seed(CoreId core) const noexcept {
+        return base_rng_seed_ + core;
+    }
+
+    /// Statistics-only injection for replay mode (Cache::replay_*): the
+    /// replaying core re-applies the baked outcome of one partition read
+    /// without touching tag/replacement state — which it never consults.
+    void replay_read(CoreId core, bool hit, bool evicted) noexcept {
+        Cache& p = partitions_[core];
+        if (hit) {
+            p.replay_read_hits(1);
+        } else {
+            p.replay_read_miss(evicted);
+        }
+    }
 
 private:
     CacheGeometry partition_geometry_;
     std::vector<Cache> partitions_;
+    std::uint64_t base_rng_seed_ = 1;
 };
 
 }  // namespace rrb

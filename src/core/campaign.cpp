@@ -7,6 +7,7 @@
 #include "engine/seed_sequence.h"
 #include "machine/machine.h"
 #include "obs/telemetry.h"
+#include "replay/script_cache.h"
 #include "sim/contract.h"
 #include "sim/fnv.h"
 #include "sim/rng.h"
@@ -36,15 +37,18 @@ Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
                            const Program& scua,
                            const std::vector<Program>& contenders,
                            const HwmCampaignOptions& options,
-                           std::uint64_t run_index) {
+                           std::uint64_t run_index,
+                           replay::ScriptCache* scripts,
+                           std::uint64_t campaign) {
     // Per-run seed derivation (not one RNG shared across runs): run i's
     // offsets depend only on (options.seed, i), never on which thread or
     // in which order the run executes.
     const engine::SeedSequence seeds(options.seed);
     Pcg32 rng(seeds.seed_for(run_index), run_index);
 
-    const std::uint64_t campaign =
-        campaign_fingerprint(scua, contenders, options);
+    if (campaign == 0) {
+        campaign = campaign_fingerprint(scua, contenders, options);
+    }
     const bool reuse_programs = loaded_campaign == campaign;
 
     const MachineConfig& config = machine.config();
@@ -58,7 +62,6 @@ Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
         machine.reset();
         machine.load_program(0, scua);
     }
-    machine.warm_static_footprint(0);
     std::size_t next = 0;
     for (CoreId c = 1; c < config.num_cores; ++c) {
         const Cycle delay =
@@ -74,6 +77,25 @@ Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
             machine.load_program(c, std::move(contender), delay);
         }
         ++next;
+    }
+    // Execution mode. Scripts attach before the warms so a replaying
+    // core's redundant per-run IL1 warm is skipped; warming after the
+    // loads instead of interleaved is behavior-preserving (each warm
+    // touches only the core's own L1 and its private L2 partition).
+    if (scripts != nullptr) {
+        if (scripts->campaign != campaign) {
+            replay::prepare_scripts(*scripts, machine, campaign);
+        }
+        for (CoreId c = 0; c < config.num_cores; ++c) {
+            machine.attach_replay(c, scripts->per_core[c]);
+        }
+        obs::count(obs::kReplayRuns);
+    } else {
+        for (CoreId c = 0; c < config.num_cores; ++c) {
+            machine.attach_replay(c, nullptr);
+        }
+    }
+    for (CoreId c = 0; c < config.num_cores; ++c) {
         machine.warm_static_footprint(c);
     }
     loaded_campaign = campaign;
@@ -92,21 +114,24 @@ Cycle execute_campaign_run(Machine& machine, std::uint64_t& loaded_campaign,
 Cycle hwm_campaign_run(const MachineConfig& config, const Program& scua,
                        const std::vector<Program>& contenders,
                        const HwmCampaignOptions& options,
-                       std::uint64_t run_index) {
+                       std::uint64_t run_index, std::uint64_t campaign) {
     engine::MachineLease lease(config);
     return execute_campaign_run(lease.machine(), lease.campaign(), scua,
-                                contenders, options, run_index);
+                                contenders, options, run_index,
+                                &lease.scripts(), campaign);
 }
 
 Measurement hwm_campaign_measure(const MachineConfig& config,
                                  const Program& scua,
                                  const std::vector<Program>& contenders,
                                  const HwmCampaignOptions& options,
-                                 std::uint64_t run_index) {
+                                 std::uint64_t run_index,
+                                 std::uint64_t campaign) {
     engine::MachineLease lease(config);
     const Cycle finish =
         execute_campaign_run(lease.machine(), lease.campaign(), scua,
-                             contenders, options, run_index);
+                             contenders, options, run_index,
+                             &lease.scripts(), campaign);
     return snapshot_measurement(lease.machine(), 0, finish,
                                 /*deadline_reached=*/false);
 }
@@ -116,7 +141,8 @@ Cycle hwm_campaign_attribute(const MachineConfig& config,
                              const std::vector<Program>& contenders,
                              const HwmCampaignOptions& options,
                              std::uint64_t run_index,
-                             AttributionAccumulator& acc) {
+                             AttributionAccumulator& acc,
+                             std::uint64_t campaign) {
     engine::MachineLease lease(config);
     Machine& machine = lease.machine();
     machine.arm_attribution();
@@ -127,7 +153,8 @@ Cycle hwm_campaign_attribute(const MachineConfig& config,
         ~Disarm() { machine.disarm_attribution(); }
     } disarm{machine};
     const Cycle finish = execute_campaign_run(
-        machine, lease.campaign(), scua, contenders, options, run_index);
+        machine, lease.campaign(), scua, contenders, options, run_index,
+        /*scripts=*/nullptr, campaign);
     machine.finalize_attribution();
     acc.add(run_index, machine.attribution());
     return finish;

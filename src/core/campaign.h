@@ -113,6 +113,10 @@ struct PwcetCampaignResult {
 
 class Machine;
 
+namespace replay {
+struct ScriptCache;
+}  // namespace replay
+
 namespace detail {
 
 /// Identity of the program set a campaign installs on a machine: the
@@ -135,20 +139,38 @@ namespace detail {
 /// naive-stepping reference — sharing it is what makes "bit-identical"
 /// checkable rather than aspirational. Pass `loaded_campaign = 0` for a
 /// machine whose program state is unknown.
+///
+/// `scripts` selects the execution mode: non-null enables micro-op
+/// replay (src/replay) — scripts are decoded into the cache when its
+/// campaign tag differs and attached to the cores each run; null (the
+/// default, and the differential references' mode) interprets, and any
+/// previously attached scripts are detached. Both modes produce
+/// bit-identical results; replay is just faster.
+///
+/// `campaign` is an optional precomputed campaign_fingerprint(scua,
+/// contenders, options): program fingerprints hash every instruction,
+/// which is measurable per-run overhead for large contender bodies, so
+/// shard loops hoist the hash out and pass it in. 0 (the default, and
+/// never a valid fingerprint) means "compute it here"; a non-zero value
+/// MUST equal what campaign_fingerprint would return for these inputs.
 [[nodiscard]] Cycle execute_campaign_run(
     Machine& machine, std::uint64_t& loaded_campaign, const Program& scua,
     const std::vector<Program>& contenders,
-    const HwmCampaignOptions& options, std::uint64_t run_index);
+    const HwmCampaignOptions& options, std::uint64_t run_index,
+    replay::ScriptCache* scripts = nullptr, std::uint64_t campaign = 0);
 
 /// One campaign run on a per-worker leased machine (machine reuse +
 /// event-driven cycle skipping), returning the scua's finish cycle.
 /// Thread-safe: the lease cache is thread-local. Shared by the serial
 /// and parallel campaign paths, which is what keeps them bit-identical.
+/// `campaign` as in execute_campaign_run: optional precomputed
+/// campaign_fingerprint, 0 to compute per call.
 [[nodiscard]] Cycle hwm_campaign_run(const MachineConfig& config,
                                      const Program& scua,
                                      const std::vector<Program>& contenders,
                                      const HwmCampaignOptions& options,
-                                     std::uint64_t run_index);
+                                     std::uint64_t run_index,
+                                     std::uint64_t campaign = 0);
 
 /// hwm_campaign_run with the full Measurement snapshot (black-box PMCs
 /// plus white-box histograms) instead of just the finish cycle. Same
@@ -158,7 +180,8 @@ namespace detail {
 [[nodiscard]] Measurement hwm_campaign_measure(
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
-    const HwmCampaignOptions& options, std::uint64_t run_index);
+    const HwmCampaignOptions& options, std::uint64_t run_index,
+    std::uint64_t campaign = 0);
 
 /// hwm_campaign_run with the cycle-attribution profiler armed on the
 /// leased machine: the run's finalized per-core cause timelines and
@@ -170,7 +193,7 @@ namespace detail {
     const MachineConfig& config, const Program& scua,
     const std::vector<Program>& contenders,
     const HwmCampaignOptions& options, std::uint64_t run_index,
-    AttributionAccumulator& acc);
+    AttributionAccumulator& acc, std::uint64_t campaign = 0);
 
 }  // namespace detail
 

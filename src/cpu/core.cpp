@@ -1,5 +1,6 @@
 #include "cpu/core.h"
 
+#include "replay/microop.h"
 #include "sim/contract.h"
 
 namespace rrb {
@@ -32,7 +33,20 @@ InOrderCore::InOrderCore(CoreId id, const CoreConfig& config,
 void InOrderCore::set_program(Program program, Cycle start_delay) {
     RRB_REQUIRE(!program.body.empty(), "program body must not be empty");
     program_ = std::move(program);
+    script_ = nullptr;  // a script decodes one exact program
+    l2_baked_ = false;
     restart(start_delay);
+}
+
+void InOrderCore::attach_script(const replay::MicroOpScript* script) {
+    RRB_REQUIRE(script == nullptr || attr_ == nullptr,
+                "replay elides the per-instruction attribution charge "
+                "points; armed runs must interpret");
+    script_ = script;
+    l2_baked_ = script_ != nullptr && script_->l2_baked;
+    rp_ = 0;
+    remaining_instrs_ =
+        script_ != nullptr ? script_->total_instructions : 0;
 }
 
 void InOrderCore::restart(Cycle start_delay) {
@@ -51,6 +65,9 @@ void InOrderCore::restart(Cycle start_delay) {
     fetch_memo_line_ = kNoCycle;
     fetch_memo_tick_ = 0;
     attr_cause_dirty_ = true;  // pending resets to kIdle when (re)armed
+    rp_ = 0;
+    remaining_instrs_ =
+        script_ != nullptr ? script_->total_instructions : 0;
     stats_.reset();
 }
 
@@ -103,6 +120,20 @@ void InOrderCore::on_bus_complete(BusSlot slot, Cycle completion) {
             waiting_load_ = false;
             next_free_ = completion;
             prev_load_completion_ = completion;
+            if (script_ != nullptr) {
+                // Replay twin of the advance_pc below: the kLoadMiss op
+                // stayed current while its fill was in flight; retire it
+                // now, charging a body-boundary's loop control after the
+                // data returns, exactly like the interpreter.
+                fetched_ = false;
+                ++stats_.instructions;
+                if ((script_->ops[rp_].flags & replay::MicroOp::kWrap) !=
+                    0) {
+                    next_free_ += program_.loop_control_cycles;
+                }
+                advance_rp(1, 1);
+                return;
+            }
             // pc advances here so loop-control overhead at a body
             // boundary is charged after the data returns.
             advance_pc();
@@ -250,6 +281,163 @@ Cycle InOrderCore::execute_instruction(Cycle now) {
     RRB_ENSURE(false);
 }
 
+void InOrderCore::advance_rp(std::uint32_t ops, std::uint64_t instrs)
+    noexcept {
+    rp_ += ops;
+    remaining_instrs_ -= instrs;
+    if (remaining_instrs_ == 0) {
+        retired_all_ = true;
+        return;
+    }
+    if (script_->looping && rp_ == script_->tail_start) {
+        // End of a steady-state pass: re-enter the loop region unless
+        // exactly the tail remains — then fall through into the tail
+        // ops, whose last op retires the program.
+        if (remaining_instrs_ > script_->tail_instrs) {
+            rp_ = script_->loop_start;
+        }
+    }
+}
+
+Cycle InOrderCore::replay_execute(Cycle now) {
+    const replay::MicroOp& op = script_->ops[rp_];
+
+    // Span fast path: ops [rp_, rp_ + span_ops) are compute / DL1-hit
+    // loads (plus at most one terminal store) that provably execute
+    // back-to-back. With a clean store buffer no op in the range can
+    // stall (no gate, no full-buffer, no drain posting mid-span), so
+    // executing them in one tick with next_free_ = now + sum(cycles)
+    // is cycle-exact. `!fetched_` excludes re-entry after a partial
+    // stall attempt, which would double-charge the head op's fetch.
+    if (op.span_ops >= 2 && !fetched_ &&
+        ((op.flags & replay::MicroOp::kSpanNeedsClean) == 0 ||
+         (store_buffer_.empty() && !drain_in_flight_))) {
+        il1_.replay_read_hits(op.span_il1_hits);
+        stats_.instructions += op.span_instrs;
+        stats_.nops += op.span_nops;
+        if (op.span_loads != 0) {
+            stats_.loads += op.span_loads;
+            dl1_.replay_read_hits(op.span_loads);
+        }
+        if ((op.flags & replay::MicroOp::kSpanStore) != 0) {
+            const replay::MicroOp& last =
+                script_->ops[rp_ + op.span_ops - 1];
+            ++stats_.stores;
+            dl1_.replay_write((last.flags &
+                               replay::MicroOp::kDl1WriteHit) != 0);
+            store_buffer_.push_back(last.line);
+        }
+        next_free_ = now + op.span_cycles;
+        advance_rp(op.span_ops, op.span_instrs);
+        return next_free_;
+    }
+
+    // Primitive path: one op per tick — the interpreter's cycle-level
+    // behavior, minus the functional work it pre-computed.
+    switch (op.kind) {
+        case replay::MicroOp::Kind::kCompute: {
+            if (!fetched_) {
+                if ((op.flags & replay::MicroOp::kIl1FetchHit) != 0) {
+                    il1_.replay_read_hits(1);
+                }
+            }
+            il1_.replay_read_hits(op.il1_chain_hits);
+            stats_.instructions += op.instrs;
+            stats_.nops += op.nops;
+            fetched_ = false;
+            next_free_ = now + op.cycles;
+            advance_rp(1, op.instrs);
+            return next_free_;
+        }
+        case replay::MicroOp::Kind::kLoadHit:
+        case replay::MicroOp::Kind::kLoadMiss: {
+            // The fetch hit is charged once, before the gate check, and
+            // survives stall retries through fetched_ — the interpreter
+            // fetches before gating in exactly this order.
+            if (!fetched_) {
+                if ((op.flags & replay::MicroOp::kIl1FetchHit) != 0) {
+                    il1_.replay_read_hits(1);
+                }
+                fetched_ = true;
+            }
+            if (config_.loads_wait_store_buffer &&
+                (drain_in_flight_ || !store_buffer_.empty())) {
+                ++stats_.load_gate_stall_cycles;
+                return now + 1;  // retry next cycle
+            }
+            ++stats_.loads;
+            if (op.kind == replay::MicroOp::Kind::kLoadHit) {
+                dl1_.replay_read_hits(1);
+                stats_.instructions += 1;
+                fetched_ = false;
+                next_free_ = now + op.cycles;
+                advance_rp(1, 1);
+                return next_free_;
+            }
+            dl1_.replay_read_miss(
+                (op.flags & replay::MicroOp::kDl1Evict) != 0);
+            ++stats_.load_miss_requests;
+            const Cycle ready = now + op.cycles;  // cycles = dl1_latency
+            if (prev_load_completion_ != kNoCycle) {
+                stats_.load_injection_delta.add(ready -
+                                                prev_load_completion_);
+            }
+            waiting_load_ = true;
+            if (l2_baked_) {
+                port_.request_baked(
+                    BusOp::kDataLoad, op.line, ready, BusSlot::kLoad,
+                    (op.flags & replay::MicroOp::kL2Hit) != 0,
+                    (op.flags & replay::MicroOp::kL2Evict) != 0);
+            } else {
+                port_.request(BusOp::kDataLoad, op.line, ready,
+                              BusSlot::kLoad);
+            }
+            return kNoCycle;  // the fill completion wakes us
+        }
+        case replay::MicroOp::Kind::kStore: {
+            if (!fetched_) {
+                if ((op.flags & replay::MicroOp::kIl1FetchHit) != 0) {
+                    il1_.replay_read_hits(1);
+                }
+                fetched_ = true;
+            }
+            if (store_buffer_.size() >= config_.store_buffer_entries) {
+                ++stats_.store_full_stall_cycles;
+                return now + 1;  // retry next cycle
+            }
+            ++stats_.stores;
+            dl1_.replay_write(
+                (op.flags & replay::MicroOp::kDl1WriteHit) != 0);
+            store_buffer_.push_back(op.line);
+            stats_.instructions += 1;
+            fetched_ = false;
+            next_free_ = now + op.cycles;
+            advance_rp(1, 1);
+            return next_free_;
+        }
+        case replay::MicroOp::Kind::kIfetchMiss: {
+            il1_.replay_read_miss(
+                (op.flags & replay::MicroOp::kIl1Evict) != 0);
+            ++stats_.ifetch_requests;
+            waiting_ifetch_ = true;
+            // The op is consumed now; the next op is this same
+            // instruction re-executed with fetched_ set by the fill.
+            advance_rp(1, 0);
+            if (l2_baked_) {
+                port_.request_baked(
+                    BusOp::kInstrFetch, op.line, now, BusSlot::kIfetch,
+                    (op.flags & replay::MicroOp::kL2Hit) != 0,
+                    (op.flags & replay::MicroOp::kL2Evict) != 0);
+            } else {
+                port_.request(BusOp::kInstrFetch, op.line, now,
+                              BusSlot::kIfetch);
+            }
+            return kNoCycle;  // the fill completion wakes us
+        }
+    }
+    RRB_ENSURE(false);
+}
+
 Cycle InOrderCore::tick(Cycle now) {
     if (done_) return kNoCycle;
 
@@ -288,7 +476,8 @@ Cycle InOrderCore::tick(Cycle now) {
 
     if (waiting_ifetch_ || waiting_load_) return kNoCycle;
     if (now < next_free_) return next_free_;
-    return execute_instruction(now);
+    return script_ != nullptr ? replay_execute(now)
+                              : execute_instruction(now);
 }
 
 

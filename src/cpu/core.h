@@ -31,6 +31,11 @@
 
 namespace rrb {
 
+namespace replay {
+struct MicroOp;
+struct MicroOpScript;
+}  // namespace replay
+
 /// Which continuation a completed bus transaction resumes on its core —
 /// the POD completion token that replaced per-request std::function
 /// callbacks on the hot path. The token travels as BusRequest::tag /
@@ -51,6 +56,18 @@ class CoreBusPort {
 public:
     virtual ~CoreBusPort() = default;
     virtual void request(BusOp op, Addr addr, Cycle ready, BusSlot slot) = 0;
+
+    /// request() for a transaction whose L2 outcome was pre-decoded into
+    /// the replay script (MicroOpScript::l2_baked): `l2_hit`/`l2_evict`
+    /// stand in for the live partition lookup the machine would perform
+    /// at issue time. The default ignores the hints and performs a live
+    /// request — correct for test ports, which model no L2.
+    virtual void request_baked(BusOp op, Addr addr, Cycle ready,
+                               BusSlot slot, bool l2_hit, bool l2_evict) {
+        (void)l2_hit;
+        (void)l2_evict;
+        request(op, addr, ready, slot);
+    }
 };
 
 struct CoreConfig {
@@ -160,6 +177,26 @@ public:
         return store_buffer_.size();
     }
 
+    /// Attaches (non-null) or detaches (null) a pre-decoded micro-op
+    /// script (src/replay): the core then replays the pre-computed
+    /// functional outcomes — which instructions retire, which L1
+    /// lookups hit, which lines go to the bus — while all timing
+    /// (stalls, drains, bus/DRAM waits) stays live. The script must
+    /// have been decoded from exactly this core's installed program and
+    /// configuration; results are then bit-identical to interpreting.
+    /// Resets the replay cursor for a fresh run. Mutually exclusive
+    /// with armed attribution (the machine enforces it).
+    void attach_script(const replay::MicroOpScript* script);
+    [[nodiscard]] bool has_script() const noexcept {
+        return script_ != nullptr;
+    }
+    /// True when the attached script carries baked L2 outcomes — the
+    /// machine then skips this core's live L2 partition entirely
+    /// (lookups at issue time and the per-run partition warm).
+    [[nodiscard]] bool replay_l2_baked() const noexcept {
+        return l2_baked_;
+    }
+
     /// Arms (non-null) or disarms (null) cycle attribution. The sink is
     /// machine-owned; the core only charges through it when armed.
     void attach_attribution(CycleAttribution* attribution) noexcept {
@@ -179,6 +216,12 @@ private:
     /// Executes at cycle `now`, returning the core's next event cycle
     /// (each terminal branch knows it outright).
     Cycle execute_instruction(Cycle now);
+    /// execute_instruction's replay twin: drives the attached script
+    /// through the same port/store-buffer/stall machinery.
+    Cycle replay_execute(Cycle now);
+    /// Consumes `ops` script ops retiring `instrs` instructions:
+    /// advances the cursor, handles loop-region wrap and retirement.
+    void advance_rp(std::uint32_t ops, std::uint64_t instrs) noexcept;
     [[nodiscard]] Addr fetch_addr() const noexcept;
     void advance_pc();
 
@@ -217,6 +260,14 @@ private:
     // compare + a hit-counter bump with bit-identical cache behavior.
     Addr fetch_memo_line_ = kNoCycle;
     std::uint64_t fetch_memo_tick_ = 0;
+
+    // Replay state: the attached script (null = interpret), the cursor
+    // into its ops, and the instructions left to retire — the retirement
+    // authority in replay mode (pc_/iteration_ stay untouched).
+    const replay::MicroOpScript* script_ = nullptr;
+    std::uint32_t rp_ = 0;
+    std::uint64_t remaining_instrs_ = 0;
+    bool l2_baked_ = false;  ///< mirror of script_->l2_baked (hot path)
 
     /// Armed cycle-attribution sink (null when disarmed — the default).
     CycleAttribution* attr_ = nullptr;

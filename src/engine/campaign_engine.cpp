@@ -30,11 +30,14 @@ HwmCampaignResult run_hwm_campaign_parallel(
         result.nr = isol.bus_requests;
     }
 
+    // Hash the campaign identity once, not once per run.
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     result.exec_times = run_indexed(
         options.runs,
         [&](std::size_t run) {
             return detail::hwm_campaign_run(config, scua, contenders,
-                                            options, run);
+                                            options, run, campaign);
         },
         engine);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/telemetry.h"
+#include "replay/script_cache.h"
 
 namespace rrb::engine {
 
@@ -14,6 +15,7 @@ struct MachineLease::Entry {
     std::uint64_t campaign = 0;  ///< fingerprint of installed programs
     std::uint32_t pins = 0;      ///< live leases holding this entry
     std::unique_ptr<Machine> machine;
+    replay::ScriptCache scripts;  ///< decoded for `campaign`
 };
 
 namespace {
@@ -75,6 +77,10 @@ MachineLease::~MachineLease() {
 Machine& MachineLease::machine() noexcept { return *entry_->machine; }
 
 std::uint64_t& MachineLease::campaign() noexcept { return entry_->campaign; }
+
+replay::ScriptCache& MachineLease::scripts() noexcept {
+    return entry_->scripts;
+}
 
 std::size_t MachineLease::cached_machines() noexcept {
     return thread_cache().size();

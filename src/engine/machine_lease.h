@@ -22,6 +22,10 @@
 #include "machine/config.h"
 #include "machine/machine.h"
 
+namespace rrb::replay {
+struct ScriptCache;
+}  // namespace rrb::replay
+
 namespace rrb::engine {
 
 /// A leased machine for `config`, valid for the lease's lifetime: live
@@ -45,6 +49,10 @@ public:
     /// Campaign fingerprint of the programs installed by the previous
     /// lease of this machine; write through it after loading new ones.
     [[nodiscard]] std::uint64_t& campaign() noexcept;
+    /// Pre-decoded micro-op scripts for the hosted campaign (replay
+    /// execution mode). Lives and dies with the cached machine, so
+    /// core-held script pointers can never outlive their storage.
+    [[nodiscard]] replay::ScriptCache& scripts() noexcept;
 
     /// Machines currently cached by this thread (introspection/tests).
     [[nodiscard]] static std::size_t cached_machines() noexcept;

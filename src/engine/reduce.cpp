@@ -71,13 +71,18 @@ PwcetShardSlice run_pwcet_campaign_shards(
         slice.first_run = plan.shard_begin(range.first);
         slice.last_run = plan.shard_end(range.last - 1);
     }
+    // Hoisted out of the per-run path: the campaign fingerprint hashes
+    // every contender instruction, which is pure overhead repeated
+    // thousands of times inside the reduce.
+    const std::uint64_t campaign = detail::campaign_fingerprint(
+        scua, contenders, options.protocol);
     slice.shards = reduce_indexed_shards(
         plan, range,
         [&](PwcetAccumulator& acc, std::uint64_t run) {
             acc.add(run, detail::hwm_campaign_measure(config, scua,
                                                       contenders,
                                                       options.protocol,
-                                                      run));
+                                                      run, campaign));
         },
         PwcetAccumulator(options.block_size), engine);
     return slice;
@@ -148,11 +153,13 @@ AttributionShardSlice run_attribution_campaign_shards(
         slice.first_run = plan.shard_begin(range.first);
         slice.last_run = plan.shard_end(range.last - 1);
     }
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     slice.shards = reduce_indexed_shards(
         plan, range,
         [&](AttributionAccumulator& acc, std::uint64_t run) {
             static_cast<void>(detail::hwm_campaign_attribute(
-                config, scua, contenders, options, run, acc));
+                config, scua, contenders, options, run, acc, campaign));
         },
         AttributionAccumulator{}, engine);
     return slice;
@@ -182,12 +189,14 @@ WhiteboxShardSlice run_whitebox_campaign_shards(
         slice.first_run = plan.shard_begin(range.first);
         slice.last_run = plan.shard_end(range.last - 1);
     }
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     slice.shards = reduce_indexed_shards(
         plan, range,
         [&](WhiteboxAccumulator& acc, std::uint64_t run) {
             acc.add(run, detail::hwm_campaign_measure(config, scua,
                                                       contenders, options,
-                                                      run));
+                                                      run, campaign));
         },
         WhiteboxAccumulator{}, engine);
     return slice;

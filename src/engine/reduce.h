@@ -217,12 +217,14 @@ template <typename Accumulator>
     const EngineOptions& engine = {}) {
     RRB_REQUIRE(options.runs >= 1, "need at least one run");
     RRB_REQUIRE(!contenders.empty(), "need at least one contender");
+    const std::uint64_t campaign =
+        detail::campaign_fingerprint(scua, contenders, options);
     return reduce_indexed(
         static_cast<std::uint64_t>(options.runs),
         [&](Accumulator& acc, std::uint64_t run) {
             acc.add(run, detail::hwm_campaign_measure(config, scua,
                                                       contenders, options,
-                                                      run));
+                                                      run, campaign));
         },
         std::move(init), engine);
 }

@@ -72,6 +72,13 @@ void Machine::restart_program(CoreId core, Cycle start_delay) {
     core_next_[core] = 0;
 }
 
+void Machine::attach_replay(CoreId core, const replay::MicroOpScript* script) {
+    RRB_REQUIRE(core < cores_.size(), "core id out of range");
+    RRB_REQUIRE(script == nullptr || attr_ == nullptr,
+                "attribution-armed runs must interpret");
+    cores_[core]->attach_script(script);
+}
+
 void Machine::warm_static_footprint(CoreId core_id) {
     RRB_REQUIRE(core_id < cores_.size(), "core id out of range");
     RRB_REQUIRE(has_program_[core_id], "core has no program");
@@ -79,10 +86,21 @@ void Machine::warm_static_footprint(CoreId core_id) {
     const Program& program = core.program();
     const std::uint32_t il1_line = core.il1().geometry().line_bytes;
     const std::uint32_t l2_line = config_.l2_geometry.line_bytes;
+    // A replaying core never consults its IL1 state (outcomes are baked
+    // into the script, whose decoder replicated this warm), so the
+    // per-run IL1 warm is pure overhead for it. Same for its L2
+    // partition when the script carries baked L2 outcomes; otherwise
+    // the partition is live and the warm stays.
+    const bool warm_il1 = !core.has_script();
+    const bool warm_l2 = !core.replay_l2_baked();
+    if (!warm_il1 && !warm_l2) return;
 
     for (std::size_t i = 0; i < program.body.size(); ++i) {
-        const Addr pc = program.code_base + i * Program::kInstrBytes;
-        core.il1().warm(pc / il1_line * il1_line);
+        if (warm_il1) {
+            const Addr pc = program.code_base + i * Program::kInstrBytes;
+            core.il1().warm(pc / il1_line * il1_line);
+        }
+        if (!warm_l2) continue;
         const Instruction& instr = program.body[i];
         if ((instr.kind == OpKind::kLoad || instr.kind == OpKind::kStore) &&
             instr.addr.kind == AddrPattern::Kind::kFixed) {
@@ -129,6 +147,19 @@ void Machine::Port::request(BusOp op, Addr addr, Cycle ready, BusSlot slot) {
     queue_.push_back({op, addr, ready, slot});
 }
 
+void Machine::Port::request_baked(BusOp op, Addr addr, Cycle ready,
+                                  BusSlot slot, bool l2_hit, bool l2_evict) {
+    if (!busy_ && queue_.empty()) {
+        busy_ = true;
+        machine_.issue_baked(core_, op, addr,
+                             std::max(ready, machine_.now_), slot, l2_hit,
+                             l2_evict);
+        return;
+    }
+    queue_.push_back({op, addr, ready, slot, /*baked=*/true, l2_hit,
+                      l2_evict});
+}
+
 void Machine::Port::try_issue(Cycle now) {
     if (busy_ || queue_.empty()) return;
     const Queued next = queue_.front();
@@ -143,7 +174,12 @@ void Machine::Port::try_issue(Cycle now) {
         machine_.attr_->charge(core_, StallCause::kCompute, next.ready);
         machine_.attr_->charge(core_, StallCause::kPortQueue, ready);
     }
-    machine_.issue(core_, next.op, next.addr, ready, next.slot);
+    if (next.baked) {
+        machine_.issue_baked(core_, next.op, next.addr, ready, next.slot,
+                             next.l2_hit, next.l2_evict);
+    } else {
+        machine_.issue(core_, next.op, next.addr, ready, next.slot);
+    }
 }
 
 void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
@@ -181,6 +217,22 @@ void Machine::issue(CoreId core, BusOp op, Addr addr, Cycle ready,
             break;  // internal ops are never issued through ports
     }
     RRB_ENSURE(false);
+}
+
+void Machine::issue_baked(CoreId core, BusOp op, Addr addr, Cycle ready,
+                          BusSlot slot, bool l2_hit, bool l2_evict) {
+    // Statistics injection stands in for the live partition read; the
+    // transaction shape mirrors issue()'s load/fetch case exactly. No
+    // victim-writeback branch: a baked (storeless) partition never
+    // holds a dirty line, which the decoder enforced.
+    l2_.replay_read(core, l2_hit, l2_evict);
+    if (l2_hit) {
+        bus_->post({core, op, addr, ready, config_.load_hit_service(),
+                    slot_tag(slot)});
+        return;
+    }
+    bus_->post({core, BusOp::kMissRequest, addr, ready,
+                config_.miss_request_cycles, slot_tag(slot)});
 }
 
 void Machine::finish_transaction(CoreId core, BusSlot slot,
@@ -318,6 +370,9 @@ void Machine::arm_attribution() noexcept {
     bus_->attach_attribution(attr_);
     dram_.attach_attribution(attr_);
     for (std::unique_ptr<InOrderCore>& core : cores_) {
+        // Replay elides the per-instruction attribution charge points;
+        // an armed run must interpret, so scripts come off first.
+        core->attach_script(nullptr);
         core->attach_attribution(attr_);
     }
 }

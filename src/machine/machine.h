@@ -60,6 +60,14 @@ public:
     /// load_program performs. Precondition: the core has a program.
     void restart_program(CoreId core, Cycle start_delay = 0);
 
+    /// Attaches (non-null) or detaches (null) a pre-decoded micro-op
+    /// script on a core (replay execution mode, src/replay). The script
+    /// must outlive its attachment and match the core's installed
+    /// program; the caller (core/campaign.cpp) keys scripts by campaign
+    /// fingerprint to guarantee it. Refused while attribution is armed —
+    /// replay elides the per-instruction attribution charge points.
+    void attach_replay(CoreId core, const replay::MicroOpScript* script);
+
     /// Pre-warms the core's caches with the program's *static* footprint:
     /// every code line into the IL1 and every fixed-address data line into
     /// the core's L2 partition. Models the standard measurement practice
@@ -161,15 +169,22 @@ private:
             : machine_(machine), core_(core), queue_(4) {}
         void request(BusOp op, Addr addr, Cycle ready,
                      BusSlot slot) override;
+        void request_baked(BusOp op, Addr addr, Cycle ready, BusSlot slot,
+                           bool l2_hit, bool l2_evict) override;
         void try_issue(Cycle now);
 
     private:
         /// POD queue entry — the whole continuation is the BusSlot tag.
+        /// `baked` routes the issue through the pre-decoded L2 outcome
+        /// (issue_baked) instead of the live partition lookup.
         struct Queued {
             BusOp op = BusOp::kDataLoad;
             Addr addr = 0;
             Cycle ready = 0;
             BusSlot slot = BusSlot::kLoad;
+            bool baked = false;
+            bool l2_hit = false;
+            bool l2_evict = false;
         };
         friend class Machine;
         Machine& machine_;
@@ -179,6 +194,13 @@ private:
     };
 
     void issue(CoreId core, BusOp op, Addr addr, Cycle ready, BusSlot slot);
+    /// issue() with the L2 outcome pre-decoded into the replay script:
+    /// injects the partition statistics and posts the right transaction
+    /// shape without reading the live partition (replay mode, storeless
+    /// programs only — the partition never holds dirty lines, so no
+    /// victim writeback can be owed).
+    void issue_baked(CoreId core, BusOp op, Addr addr, Cycle ready,
+                     BusSlot slot, bool l2_hit, bool l2_evict);
     /// Completion fan-in from the bus / memory controller: the fixed
     /// dispatch table that replaced the per-request closures. `tag`
     /// carries the BusSlot through the whole split-transaction chain.

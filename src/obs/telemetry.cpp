@@ -24,6 +24,8 @@ const char* counter_name(Counter c) noexcept {
         case kSchedDispatches: return "sched_dispatches";
         case kSchedAffinityHits: return "sched_affinity_hits";
         case kSchedSteals: return "sched_steals";
+        case kReplayDecodes: return "replay_decodes";
+        case kReplayRuns: return "replay_runs";
         case kHeapAllocations: return "heap_allocations";
         case kCounterCount: break;
     }

@@ -64,6 +64,8 @@ enum Counter : unsigned {
     kSchedDispatches,    ///< scheduler work items handed to a worker
     kSchedAffinityHits,  ///< dispatch matched the worker's hot lease
     kSchedSteals,        ///< dispatch crossed fingerprints (or first item)
+    kReplayDecodes,      ///< micro-op scripts decoded (deterministic)
+    kReplayRuns,         ///< campaign runs executed in replay mode
     kHeapAllocations,    ///< operator-new count (bench interposer)
     kCounterCount
 };

@@ -1,0 +1,395 @@
+#include "replay/decode.h"
+
+#include <optional>
+#include <vector>
+
+#include "sim/contract.h"
+#include "sim/fnv.h"
+
+namespace rrb::replay {
+
+namespace {
+
+constexpr std::uint32_t kMaxComputeBatch = 64;  // mirror of core.cpp
+
+// Span growth caps: spans are an optimization, so cutting one short is
+// always safe. The aggregate fields are u16/u32; stay comfortably below.
+constexpr std::size_t kMaxSpanOps = 4096;
+constexpr std::uint32_t kMaxSpanInstrs = 0xF000;
+constexpr std::uint64_t kMaxSpanCycles = 0x7000'0000;
+
+/// The functional half of InOrderCore: replica L1s, pc/iteration, the
+/// fetch memo. Every state transition mirrors execute_instruction /
+/// advance_pc exactly; decode failure (overflow, caps) sets `failed`.
+struct FunctionalCore {
+    FunctionalCore(const Program& program, const CoreConfig& config,
+                   CoreId core_id, const L2PartitionSpec* l2_spec)
+        : program(program),
+          config(config),
+          il1(config.il1_geometry, config.l1_replacement,
+              WritePolicy::kWriteThrough, AllocPolicy::kWriteAllocate,
+              /*rng_seed=*/core_id * 2 + 1),
+          dl1(config.dl1_geometry, config.l1_replacement,
+              WritePolicy::kWriteThrough, AllocPolicy::kNoWriteAllocate,
+              /*rng_seed=*/core_id * 2 + 2),
+          il1_line_mask(
+              ~static_cast<Addr>(config.il1_geometry.line_bytes - 1)),
+          dl1_line_mask(
+              ~static_cast<Addr>(config.dl1_geometry.line_bytes - 1)) {
+        // Mirror of Machine::warm_static_footprint's IL1 half: the
+        // replaying core skips the per-run warm, so the decode-time
+        // replica must start from the same warmed state every run does.
+        const std::uint32_t il1_line = config.il1_geometry.line_bytes;
+        for (std::size_t i = 0; i < program.body.size(); ++i) {
+            const Addr pc_addr = program.code_base + i * Program::kInstrBytes;
+            il1.warm(pc_addr / il1_line * il1_line);
+        }
+        if (l2_spec != nullptr && program.count(OpKind::kStore) == 0) {
+            // Storeless: the partition sees only this core's loads and
+            // fetches, in program order — replicable. Mirror the warm of
+            // Machine::warm_static_footprint's L2 half.
+            l2.emplace(l2_spec->geometry, l2_spec->replacement,
+                       l2_spec->write_policy, l2_spec->alloc_policy,
+                       l2_spec->rng_seed);
+            const std::uint32_t l2_line = l2_spec->geometry.line_bytes;
+            for (const Instruction& instr : program.body) {
+                if ((instr.kind == OpKind::kLoad ||
+                     instr.kind == OpKind::kStore) &&
+                    instr.addr.kind == AddrPattern::Kind::kFixed) {
+                    l2->warm(instr.addr.base / l2_line * l2_line);
+                }
+            }
+        }
+    }
+
+    /// Replays one bus-going line through the L2 partition replica and
+    /// stamps the outcome onto the miss op. A dirty eviction would need
+    /// a live DRAM writeback the replay path does not model — it cannot
+    /// happen in a storeless partition, so it fails the decode loudly
+    /// rather than silently mistiming.
+    void bake_l2(MicroOp& miss) {
+        const CacheAccess access = l2->read(miss.line);
+        if (access.hit) {
+            miss.flags |= MicroOp::kL2Hit;
+        } else if (access.victim_line) {
+            miss.flags |= MicroOp::kL2Evict;
+        }
+        if (access.dirty_eviction) failed = true;
+    }
+
+    [[nodiscard]] Addr fetch_addr() const noexcept {
+        return program.code_base + pc * Program::kInstrBytes;
+    }
+
+    /// advance_pc mirror; returns true when the body wrapped.
+    bool advance() noexcept {
+        fetched = false;
+        ++emitted_instrs;
+        ++pc;
+        if (pc == program.body.size()) {
+            pc = 0;
+            ++iteration;
+            return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] bool retired() const noexcept {
+        return emitted_instrs == instr_budget;
+    }
+
+    [[nodiscard]] bool memo_valid() const noexcept {
+        return memo_tick == il1.access_tick() && memo_line != kNoCycle;
+    }
+
+    /// Decodes one op (one interpreter tick of forward progress) into
+    /// `ops`. Precondition: !retired().
+    void step(std::vector<MicroOp>& ops) {
+        MicroOp op;
+        const Instruction& instr = program.body[pc];
+
+        if (!fetched) {
+            const Addr line = fetch_addr() & il1_line_mask;
+            if (line == memo_line && il1.access_tick() == memo_tick) {
+                op.flags |= MicroOp::kIl1FetchHit;
+                fetched = true;
+            } else {
+                const CacheAccess access = il1.read(fetch_addr());
+                if (!access.hit) {
+                    memo_line = kNoCycle;
+                    fetched = true;  // the fill completion sets fetched_
+                    MicroOp miss;
+                    miss.kind = MicroOp::Kind::kIfetchMiss;
+                    miss.line = line;
+                    if (access.victim_line) miss.flags |= MicroOp::kIl1Evict;
+                    if (l2) bake_l2(miss);
+                    ops.push_back(miss);
+                    return;  // same instruction continues next step
+                }
+                op.flags |= MicroOp::kIl1FetchHit;
+                fetched = true;
+                memo_line = line;
+                memo_tick = il1.access_tick();
+            }
+        }
+
+        switch (instr.kind) {
+            case OpKind::kNop:
+            case OpKind::kAlu: {
+                op.kind = MicroOp::Kind::kCompute;
+                op.instrs = 1;
+                if (instr.kind == OpKind::kNop) op.nops = 1;
+                std::uint64_t cycles = instr.latency;
+                if (advance()) cycles += program.loop_control_cycles;
+                std::uint32_t batched = 0;
+                while (!retired() && batched < kMaxComputeBatch) {
+                    const Instruction& chained = program.body[pc];
+                    if (chained.kind != OpKind::kNop &&
+                        chained.kind != OpKind::kAlu) {
+                        break;
+                    }
+                    const Addr chain_line = fetch_addr() & il1_line_mask;
+                    if (chain_line != memo_line ||
+                        il1.access_tick() != memo_tick) {
+                        break;
+                    }
+                    ++op.il1_chain_hits;
+                    if (chained.kind == OpKind::kNop) ++op.nops;
+                    cycles += chained.latency;
+                    ++op.instrs;
+                    if (advance()) cycles += program.loop_control_cycles;
+                    ++batched;
+                }
+                if (cycles > 0xFFFF'FFFFULL) {
+                    failed = true;
+                    return;
+                }
+                op.cycles = static_cast<std::uint32_t>(cycles);
+                ops.push_back(op);
+                return;
+            }
+            case OpKind::kLoad: {
+                const Addr addr = instr.addr.address(iteration);
+                const CacheAccess access = dl1.read(addr);
+                op.instrs = 1;
+                if (access.hit) {
+                    op.kind = MicroOp::Kind::kLoadHit;
+                    std::uint64_t cycles = config.dl1_latency;
+                    if (advance()) cycles += program.loop_control_cycles;
+                    op.cycles = static_cast<std::uint32_t>(cycles);
+                } else {
+                    op.kind = MicroOp::Kind::kLoadMiss;
+                    op.cycles = config.dl1_latency;
+                    op.line = addr & dl1_line_mask;
+                    if (access.victim_line) op.flags |= MicroOp::kDl1Evict;
+                    if (l2) bake_l2(op);
+                    // The completion delivers the wrap's loop_control.
+                    if (advance()) op.flags |= MicroOp::kWrap;
+                }
+                ops.push_back(op);
+                return;
+            }
+            case OpKind::kStore: {
+                const Addr addr = instr.addr.address(iteration);
+                const CacheAccess access = dl1.write(addr);
+                op.kind = MicroOp::Kind::kStore;
+                op.instrs = 1;
+                if (access.hit) op.flags |= MicroOp::kDl1WriteHit;
+                op.line = addr & dl1_line_mask;
+                std::uint64_t cycles = 1;
+                if (advance()) cycles += program.loop_control_cycles;
+                op.cycles = static_cast<std::uint32_t>(cycles);
+                ops.push_back(op);
+                return;
+            }
+        }
+        RRB_ENSURE(false);
+    }
+
+    const Program& program;
+    const CoreConfig& config;
+    Cache il1;
+    Cache dl1;
+    /// L2 partition replica; engaged = outcomes are being baked.
+    std::optional<Cache> l2;
+    Addr il1_line_mask;
+    Addr dl1_line_mask;
+
+    std::size_t pc = 0;
+    std::uint64_t iteration = 0;
+    bool fetched = false;
+    Addr memo_line = kNoCycle;
+    std::uint64_t memo_tick = 0;
+
+    std::uint64_t emitted_instrs = 0;
+    std::uint64_t instr_budget = 0;
+    bool failed = false;
+};
+
+/// Canonical functional-state hash at a body-wrap boundary: both L1s
+/// plus the fetch memo (represented validity-canonically). Equal hashes
+/// at two boundaries mean the op streams from them are identical, since
+/// decode is a pure function of this state once addresses are
+/// iteration-independent.
+std::uint64_t boundary_fingerprint(const FunctionalCore& f) {
+    Fnv1a h;
+    h.u64(f.il1.state_fingerprint());
+    h.u64(f.dl1.state_fingerprint());
+    if (f.l2) h.u64(f.l2->state_fingerprint());
+    h.u64(f.memo_valid() ? f.memo_line : kNoCycle);
+    return h.value();
+}
+
+bool addresses_iteration_independent(const Program& program) {
+    for (const Instruction& instr : program.body) {
+        if (instr.kind != OpKind::kLoad && instr.kind != OpKind::kStore) {
+            continue;
+        }
+        if (instr.addr.kind != AddrPattern::Kind::kFixed) return false;
+    }
+    return true;
+}
+
+/// Marks mergeable spans within ops[begin, end): maximal runs of
+/// kCompute/kLoadHit ops, optionally closed by one kStore. Regions are
+/// never crossed (the runtime wraps rp_ only at region boundaries).
+void build_spans(std::vector<MicroOp>& ops, std::size_t begin,
+                 std::size_t end, bool loads_wait_store_buffer) {
+    std::size_t i = begin;
+    while (i < end) {
+        const MicroOp::Kind kind = ops[i].kind;
+        if (kind != MicroOp::Kind::kCompute &&
+            kind != MicroOp::Kind::kLoadHit) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        std::uint64_t cycles = 0;
+        std::uint32_t instrs = 0;
+        std::uint32_t nops = 0;
+        std::uint32_t il1_hits = 0;
+        std::uint32_t loads = 0;
+        bool has_store = false;
+        while (j < end && j - i < kMaxSpanOps) {
+            const MicroOp& o = ops[j];
+            const bool member = o.kind == MicroOp::Kind::kCompute ||
+                                o.kind == MicroOp::Kind::kLoadHit ||
+                                o.kind == MicroOp::Kind::kStore;
+            if (!member) break;
+            if (cycles + o.cycles > kMaxSpanCycles ||
+                instrs + o.instrs > kMaxSpanInstrs) {
+                break;
+            }
+            cycles += o.cycles;
+            instrs += o.instrs;
+            nops += o.nops;
+            il1_hits += ((o.flags & MicroOp::kIl1FetchHit) != 0 ? 1u : 0u) +
+                        o.il1_chain_hits;
+            if (o.kind == MicroOp::Kind::kLoadHit) ++loads;
+            ++j;
+            if (o.kind == MicroOp::Kind::kStore) {
+                has_store = true;  // a store closes its span
+                break;
+            }
+        }
+        if (j - i >= 2) {
+            MicroOp& head = ops[i];
+            head.span_ops = static_cast<std::uint16_t>(j - i);
+            head.span_cycles = static_cast<std::uint32_t>(cycles);
+            head.span_instrs = static_cast<std::uint16_t>(instrs);
+            head.span_nops = static_cast<std::uint16_t>(nops);
+            head.span_il1_hits = static_cast<std::uint16_t>(il1_hits);
+            head.span_loads = static_cast<std::uint16_t>(loads);
+            // A merged load must never skip a gate stall the interpreter
+            // would take, and a merged store must never skip a full-
+            // buffer stall: both are impossible from a clean buffer.
+            if (has_store || (loads > 0 && loads_wait_store_buffer)) {
+                head.flags |= MicroOp::kSpanNeedsClean;
+            }
+            if (has_store) head.flags |= MicroOp::kSpanStore;
+        }
+        i = j;
+    }
+}
+
+}  // namespace
+
+std::unique_ptr<MicroOpScript> decode_program(const Program& program,
+                                              const CoreConfig& config,
+                                              CoreId core_id,
+                                              const L2PartitionSpec* l2,
+                                              const DecodeLimits& limits) {
+    RRB_REQUIRE(!program.body.empty(), "program body must not be empty");
+    auto script = std::make_unique<MicroOpScript>();
+    script->total_instructions = program.total_instructions();
+    script->program_fingerprint = fingerprint(program);
+
+    FunctionalCore f(program, config, core_id, l2);
+    script->l2_baked = f.l2.has_value();
+    f.instr_budget = script->total_instructions;
+    const bool loop_eligible = addresses_iteration_independent(program);
+
+    struct Boundary {
+        std::uint64_t hash = 0;
+        std::uint32_t op_index = 0;
+        std::uint64_t instrs = 0;
+    };
+    std::vector<Boundary> boundaries;
+    std::uint64_t last_boundary_iteration = 0;
+
+    std::vector<MicroOp>& ops = script->ops;
+    bool found_loop = false;
+
+    while (!f.retired()) {
+        if (loop_eligible && !found_loop && f.pc == 0 && !f.fetched &&
+            f.iteration > last_boundary_iteration) {
+            last_boundary_iteration = f.iteration;
+            const std::uint64_t hash = boundary_fingerprint(f);
+            for (const Boundary& b : boundaries) {
+                if (b.hash != hash) continue;
+                // Steady state: the stream from boundary b repeats
+                // forever. Keep [b.op_index, here) as the loop region
+                // and decode the final (possibly partial) pass as the
+                // tail, with retirement at its true position.
+                script->looping = true;
+                script->loop_start = b.op_index;
+                script->tail_start = static_cast<std::uint32_t>(ops.size());
+                script->loop_instrs = f.emitted_instrs - b.instrs;
+                const std::uint64_t rem =
+                    script->total_instructions - b.instrs;
+                script->tail_instrs =
+                    (rem - 1) % script->loop_instrs + 1;
+                f.instr_budget = f.emitted_instrs + script->tail_instrs;
+                found_loop = true;
+                break;
+            }
+            if (!found_loop) {
+                if (boundaries.size() >= limits.max_boundaries) {
+                    return nullptr;
+                }
+                boundaries.push_back({hash,
+                                      static_cast<std::uint32_t>(ops.size()),
+                                      f.emitted_instrs});
+            }
+        }
+        if (ops.size() >= limits.max_ops) return nullptr;
+        f.step(ops);
+        if (f.failed) return nullptr;
+    }
+
+    if (!script->looping) {
+        script->loop_start = static_cast<std::uint32_t>(ops.size());
+        script->tail_start = static_cast<std::uint32_t>(ops.size());
+    }
+
+    build_spans(ops, 0, script->loop_start, config.loads_wait_store_buffer);
+    if (script->looping) {
+        build_spans(ops, script->loop_start, script->tail_start,
+                    config.loads_wait_store_buffer);
+        build_spans(ops, script->tail_start, ops.size(),
+                    config.loads_wait_store_buffer);
+    }
+    return script;
+}
+
+}  // namespace rrb::replay

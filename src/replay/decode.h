@@ -1,0 +1,59 @@
+// One-shot decode pass: program + core config -> micro-op script.
+//
+// The decoder runs the *functional* half of InOrderCore::execute_instruction
+// against replica L1 caches: instruction fetch through a warmed IL1
+// (mirroring Machine::warm_static_footprint), nop/alu batching with the
+// fetch memo, DL1 lookups with real replacement state, address-pattern
+// evaluation per iteration. Timing never enters: stall retries resolve to
+// the same next access, so the emitted op stream is exact for every run
+// of the campaign regardless of seeds, start delays or contention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "replay/microop.h"
+#include "sim/types.h"
+
+namespace rrb::replay {
+
+struct DecodeLimits {
+    /// Hard cap on emitted ops; exceeding it without retiring the
+    /// program (and without finding a steady-state loop) fails the
+    /// decode — the core then stays on the interpreter.
+    std::uint32_t max_ops = 1u << 20;
+    /// Body-wrap state snapshots examined for loop detection.
+    std::uint32_t max_boundaries = 4096;
+};
+
+/// The replica blueprint of one core's private L2 partition, for baking
+/// partition-local L2 outcomes into the script (MicroOpScript::l2_baked).
+/// Mirror of what Machine's WayPartitionedCache builds for the core:
+/// partition (not full) geometry, the shared policies, and the
+/// partition's own victim-RNG seed.
+struct L2PartitionSpec {
+    CacheGeometry geometry;
+    ReplacementPolicy replacement = ReplacementPolicy::kLru;
+    WritePolicy write_policy = WritePolicy::kWriteBack;
+    AllocPolicy alloc_policy = AllocPolicy::kWriteAllocate;
+    std::uint64_t rng_seed = 1;
+};
+
+/// Decodes `program` as core `core_id` (the id fixes the L1 victim-RNG
+/// seeds) would execute it under `config`. Returns nullptr when the
+/// program cannot be scripted within the limits — callers fall back to
+/// the interpreter, never fail.
+///
+/// With a non-null `l2` and a storeless program, the per-access outcomes
+/// of the core's L2 partition are additionally baked into the miss ops
+/// (the replaying machine then skips the live partition entirely). A
+/// program with stores ignores `l2`: store drains write into the
+/// partition on bus completion, interleaving with load-miss reads in a
+/// timing-dependent order the decoder cannot replay.
+[[nodiscard]] std::unique_ptr<MicroOpScript> decode_program(
+    const Program& program, const CoreConfig& config, CoreId core_id,
+    const L2PartitionSpec* l2 = nullptr, const DecodeLimits& limits = {});
+
+}  // namespace rrb::replay

@@ -1,0 +1,58 @@
+#include "replay/script_cache.h"
+
+#include "machine/machine.h"
+#include "obs/telemetry.h"
+#include "replay/decode.h"
+
+namespace rrb::replay {
+
+void prepare_scripts(ScriptCache& cache, Machine& machine,
+                     std::uint64_t campaign) {
+    cache.clear();
+    const MachineConfig& config = machine.config();
+    cache.per_core.assign(config.num_cores, nullptr);
+    // Under kRandom L1 replacement the victim RNG is seeded from the
+    // core id, so equal programs still decode to different outcome
+    // streams on different cores. The same applies to the L2 partition
+    // replica — but only for programs that bake L2 outcomes at all
+    // (storeless ones; see decode.h).
+    const bool l1_random =
+        config.core.l1_replacement == ReplacementPolicy::kRandom;
+    const bool l2_random =
+        config.l2_replacement == ReplacementPolicy::kRandom;
+    for (CoreId c = 0; c < config.num_cores; ++c) {
+        const Program& program = machine.core(c).program();
+        if (program.body.empty()) continue;  // no program installed
+        const std::uint64_t fp = fingerprint(program);
+        const bool bakes_l2 = program.count(OpKind::kStore) == 0;
+        const bool core_specific = l1_random || (l2_random && bakes_l2);
+        if (!core_specific) {
+            const MicroOpScript* shared = nullptr;
+            for (const std::unique_ptr<MicroOpScript>& s : cache.owned) {
+                if (s->program_fingerprint == fp) {
+                    shared = s.get();
+                    break;
+                }
+            }
+            if (shared != nullptr) {
+                cache.per_core[c] = shared;
+                continue;
+            }
+        }
+        L2PartitionSpec l2_spec;
+        l2_spec.geometry = machine.l2().partition_geometry();
+        l2_spec.replacement = config.l2_replacement;
+        l2_spec.write_policy = config.l2_write_policy;
+        l2_spec.alloc_policy = config.l2_alloc_policy;
+        l2_spec.rng_seed = machine.l2().partition_rng_seed(c);
+        std::unique_ptr<MicroOpScript> script =
+            decode_program(program, config.core, c, &l2_spec);
+        if (script == nullptr) continue;  // interpreter fallback
+        obs::count(obs::kReplayDecodes);
+        cache.per_core[c] = script.get();
+        cache.owned.push_back(std::move(script));
+    }
+    cache.campaign = campaign;
+}
+
+}  // namespace rrb::replay

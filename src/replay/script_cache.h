@@ -1,0 +1,48 @@
+// Per-campaign script storage: decoded once when a machine first hosts
+// a campaign's program set, then re-attached run after run.
+//
+// Lifetime: engine::MachineLease stores one ScriptCache next to each
+// cached machine, so scripts and the machine whose cores point at them
+// are created and destroyed together. prepare_scripts() re-decodes only
+// when the campaign fingerprint changes — for an N-run campaign that is
+// one decode pass per (program, config), amortized to nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "replay/microop.h"
+
+namespace rrb {
+class Machine;
+}  // namespace rrb
+
+namespace rrb::replay {
+
+struct ScriptCache {
+    /// Campaign fingerprint the scripts were decoded for (0 = none).
+    std::uint64_t campaign = 0;
+    /// Owned decoded scripts (deduplicated across cores).
+    std::vector<std::unique_ptr<MicroOpScript>> owned;
+    /// Per-core attachment, indexed by CoreId; nullptr = that core
+    /// interprets (no program, or the decode declined).
+    std::vector<const MicroOpScript*> per_core;
+
+    void clear() {
+        campaign = 0;
+        owned.clear();
+        per_core.clear();
+    }
+};
+
+/// Decodes scripts for every core of `machine` that has a program
+/// installed, tagging the cache with `campaign`. Cores sharing a
+/// program fingerprint share one script — except under kRandom L1
+/// replacement, where the per-core victim-RNG seed makes outcomes
+/// core-specific. A failed decode leaves that core on the interpreter.
+/// Call after the campaign's programs are loaded, before attaching.
+void prepare_scripts(ScriptCache& cache, Machine& machine,
+                     std::uint64_t campaign);
+
+}  // namespace rrb::replay

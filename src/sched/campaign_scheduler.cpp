@@ -245,10 +245,13 @@ void CampaignScheduler::execute(const WorkItem& item,
         const obs::Span span("shard", campaign.span, item.shard,
                              last - first);
         PwcetAccumulator acc(work.options.block_size);
+        // Hash the campaign identity once per shard, not once per run.
+        const std::uint64_t fp = detail::campaign_fingerprint(
+            work.scua, work.contenders, work.options.protocol);
         for (std::uint64_t i = first; i < last; ++i) {
             acc.add(i, detail::hwm_campaign_measure(
                            work.config, work.scua, work.contenders,
-                           work.options.protocol, i));
+                           work.options.protocol, i, fp));
             if (options.runs != nullptr) options.runs->tick();
             if (options.batch != nullptr) {
                 options.batch->aggregate().tick();

@@ -33,6 +33,12 @@ public:
     /// Bernoulli trial with probability p (clamped to [0,1]).
     bool next_bool(double p);
 
+    /// Raw generator state, exposed for canonical state fingerprints
+    /// (replay decode loop detection): two generators with equal
+    /// (state, stream_inc) produce identical future sequences.
+    [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+    [[nodiscard]] std::uint64_t stream_inc() const noexcept { return inc_; }
+
 private:
     std::uint64_t state_;
     std::uint64_t inc_;

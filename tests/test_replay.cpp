@@ -1,0 +1,304 @@
+// Unit tests for the replay subsystem (src/replay): script decode
+// determinism, the interpreter fallback, L2-outcome baking eligibility,
+// per-core script sharing, the lease-held script cache lifetime, and a
+// direct replay-vs-interpret differential through the campaign run
+// protocol. The full configuration-grid bit-identity proof lives in
+// tests/test_hotpath.cpp; these tests pin the replay layer's own
+// contracts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/estimator.h"
+#include "engine/machine_lease.h"
+#include "kernels/autobench.h"
+#include "kernels/rsk.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+#include "replay/decode.h"
+#include "replay/microop.h"
+#include "replay/script_cache.h"
+
+namespace rrb {
+namespace {
+
+Program cacheb_program() {
+    return make_autobench(Autobench::kCacheb, 0x0100'0000, 12, 9);
+}
+
+Program store_program() {
+    RskParams params;
+    params.access = OpKind::kStore;
+    params.unroll = 2;
+    params.iterations = 10;
+    return make_rsk(params);
+}
+
+replay::L2PartitionSpec partition_spec(Machine& machine,
+                                       const MachineConfig& config,
+                                       CoreId core) {
+    replay::L2PartitionSpec spec;
+    spec.geometry = machine.l2().partition_geometry();
+    spec.replacement = config.l2_replacement;
+    spec.write_policy = config.l2_write_policy;
+    spec.alloc_policy = config.l2_alloc_policy;
+    spec.rng_seed = machine.l2().partition_rng_seed(core);
+    return spec;
+}
+
+void expect_same_op(const replay::MicroOp& a, const replay::MicroOp& b,
+                    const std::string& what) {
+    EXPECT_EQ(a.kind, b.kind) << what;
+    EXPECT_EQ(a.flags, b.flags) << what;
+    EXPECT_EQ(a.il1_chain_hits, b.il1_chain_hits) << what;
+    EXPECT_EQ(a.nops, b.nops) << what;
+    EXPECT_EQ(a.instrs, b.instrs) << what;
+    EXPECT_EQ(a.span_ops, b.span_ops) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.line, b.line) << what;
+    EXPECT_EQ(a.span_cycles, b.span_cycles) << what;
+    EXPECT_EQ(a.span_instrs, b.span_instrs) << what;
+    EXPECT_EQ(a.span_nops, b.span_nops) << what;
+    EXPECT_EQ(a.span_il1_hits, b.span_il1_hits) << what;
+    EXPECT_EQ(a.span_loads, b.span_loads) << what;
+}
+
+void expect_same_script(const replay::MicroOpScript& a,
+                        const replay::MicroOpScript& b) {
+    EXPECT_EQ(a.looping, b.looping);
+    EXPECT_EQ(a.l2_baked, b.l2_baked);
+    EXPECT_EQ(a.loop_start, b.loop_start);
+    EXPECT_EQ(a.tail_start, b.tail_start);
+    EXPECT_EQ(a.tail_instrs, b.tail_instrs);
+    EXPECT_EQ(a.loop_instrs, b.loop_instrs);
+    EXPECT_EQ(a.total_instructions, b.total_instructions);
+    EXPECT_EQ(a.program_fingerprint, b.program_fingerprint);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        expect_same_op(a.ops[i], b.ops[i], "op " + std::to_string(i));
+    }
+}
+
+TEST(ScriptDecode, DeterministicForSameProgramAndConfig) {
+    // Same (program, config, core) must produce the same script, op for
+    // op — the property that lets equal-fingerprint cores share one
+    // script and lets a re-decode never change campaign numbers.
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    const Program program = cacheb_program();
+    const auto a = replay::decode_program(program, config.core, 0);
+    const auto b = replay::decode_program(program, config.core, 0);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    expect_same_script(*a, *b);
+    EXPECT_EQ(a->program_fingerprint, fingerprint(program));
+}
+
+TEST(ScriptDecode, StructurallySaneLoopRegions) {
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    const auto script =
+        replay::decode_program(cacheb_program(), config.core, 0);
+    ASSERT_NE(script, nullptr);
+    EXPECT_GT(script->total_instructions, 0u);
+    EXPECT_LE(script->loop_start, script->tail_start);
+    EXPECT_LE(script->tail_start, script->ops.size());
+    if (script->looping) {
+        EXPECT_GT(script->loop_instrs, 0u);
+        // The tail is one final (possibly partial) pass of the loop.
+        EXPECT_LE(script->tail_instrs, script->loop_instrs);
+    } else {
+        EXPECT_EQ(script->tail_start, script->ops.size());
+    }
+}
+
+TEST(ScriptDecode, TightLimitsDeclineInsteadOfTruncating) {
+    // A cap too small to cover the program (and find its loop) must
+    // return nullptr — the caller falls back to the interpreter; a
+    // truncated script would silently change results.
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    replay::DecodeLimits limits;
+    limits.max_ops = 4;
+    EXPECT_EQ(replay::decode_program(cacheb_program(), config.core, 0,
+                                     nullptr, limits),
+              nullptr);
+}
+
+TEST(ScriptDecode, BakesL2OnlyForStorelessPrograms) {
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    Machine machine(config);
+    const replay::L2PartitionSpec spec =
+        partition_spec(machine, config, 0);
+
+    // Storeless program + partition spec: outcomes baked.
+    const auto baked =
+        replay::decode_program(cacheb_program(), config.core, 0, &spec);
+    ASSERT_NE(baked, nullptr);
+    EXPECT_TRUE(baked->l2_baked);
+
+    // A program with stores decodes fine but must not bake: store
+    // drains write into the partition in a timing-dependent order.
+    const auto with_stores =
+        replay::decode_program(store_program(), config.core, 0, &spec);
+    ASSERT_NE(with_stores, nullptr);
+    EXPECT_FALSE(with_stores->l2_baked);
+
+    // No spec, no baking.
+    const auto unbaked =
+        replay::decode_program(cacheb_program(), config.core, 0);
+    ASSERT_NE(unbaked, nullptr);
+    EXPECT_FALSE(unbaked->l2_baked);
+}
+
+TEST(ScriptDecode, BakedAndUnbakedScriptsAgreeOnEverythingButL2Flags) {
+    // Baking only adds the kL2Hit/kL2Evict bits on miss ops; the op
+    // stream itself (kinds, lines, cycles, spans) is identical.
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    Machine machine(config);
+    const replay::L2PartitionSpec spec =
+        partition_spec(machine, config, 0);
+    const Program program = cacheb_program();
+    const auto baked =
+        replay::decode_program(program, config.core, 0, &spec);
+    const auto plain = replay::decode_program(program, config.core, 0);
+    ASSERT_NE(baked, nullptr);
+    ASSERT_NE(plain, nullptr);
+    ASSERT_EQ(baked->ops.size(), plain->ops.size());
+    const std::uint8_t l2_bits =
+        replay::MicroOp::kL2Hit | replay::MicroOp::kL2Evict;
+    for (std::size_t i = 0; i < baked->ops.size(); ++i) {
+        const replay::MicroOp& b = baked->ops[i];
+        const replay::MicroOp& p = plain->ops[i];
+        EXPECT_EQ(b.kind, p.kind) << i;
+        EXPECT_EQ(b.line, p.line) << i;
+        EXPECT_EQ(b.cycles, p.cycles) << i;
+        const bool miss_kind =
+            b.kind == replay::MicroOp::Kind::kLoadMiss ||
+            b.kind == replay::MicroOp::Kind::kIfetchMiss;
+        const std::uint8_t mask =
+            miss_kind ? static_cast<std::uint8_t>(~l2_bits)
+                      : static_cast<std::uint8_t>(~0);
+        EXPECT_EQ(b.flags & mask, p.flags & mask) << i;
+    }
+}
+
+TEST(PrepareScripts, SharesOneScriptAcrossEqualPrograms) {
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    Machine machine(config);
+    machine.load_program(0, cacheb_program());
+    const std::vector<Program> contenders =
+        make_rsk_contenders(config, OpKind::kLoad);
+    for (CoreId c = 1; c < config.num_cores; ++c) {
+        machine.load_program(c, contenders[(c - 1) % contenders.size()]);
+    }
+    replay::ScriptCache cache;
+    replay::prepare_scripts(cache, machine, /*campaign=*/1);
+    EXPECT_EQ(cache.campaign, 1u);
+    ASSERT_EQ(cache.per_core.size(), config.num_cores);
+    ASSERT_NE(cache.per_core[0], nullptr);
+    ASSERT_NE(cache.per_core[1], nullptr);
+    // Contender cores run the same program: one shared script.
+    EXPECT_EQ(cache.per_core[1], cache.per_core[2]);
+    EXPECT_EQ(cache.per_core[2], cache.per_core[3]);
+    EXPECT_NE(cache.per_core[0], cache.per_core[1]);
+    EXPECT_EQ(cache.owned.size(), 2u);  // scua + shared contender
+}
+
+TEST(PrepareScripts, RandomReplacementMakesScriptsCoreSpecific) {
+    // Under kRandom L1 replacement the victim RNG is seeded per core,
+    // so equal programs still decode to core-specific outcome streams.
+    MachineConfig config = MachineConfig::ngmp_ref();
+    config.core.l1_replacement = ReplacementPolicy::kRandom;
+    Machine machine(config);
+    const std::vector<Program> contenders =
+        make_rsk_contenders(config, OpKind::kLoad);
+    for (CoreId c = 1; c < config.num_cores; ++c) {
+        machine.load_program(c, contenders[(c - 1) % contenders.size()]);
+    }
+    replay::ScriptCache cache;
+    replay::prepare_scripts(cache, machine, /*campaign=*/1);
+    EXPECT_NE(cache.per_core[1], cache.per_core[2]);
+    EXPECT_NE(cache.per_core[2], cache.per_core[3]);
+}
+
+TEST(LeaseScripts, SurviveReacquisitionAndDieWithTheMachine) {
+    engine::MachineLease::drop_thread_cache();
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    const replay::MicroOpScript* scua_script = nullptr;
+    {
+        engine::MachineLease lease(config);
+        Machine& machine = lease.machine();
+        machine.load_program(0, cacheb_program());
+        replay::prepare_scripts(lease.scripts(), machine, /*campaign=*/7);
+        scua_script = lease.scripts().per_core[0];
+        ASSERT_NE(scua_script, nullptr);
+    }
+    {
+        // Same fingerprint -> same cached machine -> the decoded
+        // scripts are still there; no re-decode needed.
+        engine::MachineLease lease(config);
+        EXPECT_EQ(lease.scripts().campaign, 7u);
+        ASSERT_EQ(lease.scripts().per_core.size(),
+                  std::size_t{config.num_cores});
+        EXPECT_EQ(lease.scripts().per_core[0], scua_script);
+    }
+    // Evicting the machine destroys its scripts with it; a fresh lease
+    // starts with an empty cache.
+    engine::MachineLease::drop_thread_cache();
+    {
+        engine::MachineLease lease(config);
+        EXPECT_EQ(lease.scripts().campaign, 0u);
+        EXPECT_TRUE(lease.scripts().owned.empty());
+    }
+    engine::MachineLease::drop_thread_cache();
+}
+
+TEST(Replay, CampaignRunsMatchInterpreterBitForBit) {
+    // The same campaign run through the shared protocol body, once
+    // interpreting and once replaying (scripts non-null): finish cycle
+    // and the whole Measurement must match, including the L2 partition
+    // statistics the baked path injects instead of looking up.
+    const MachineConfig config = MachineConfig::ngmp_ref();
+    const Program scua = cacheb_program();
+    const std::vector<Program> contenders =
+        make_rsk_contenders(config, OpKind::kLoad);
+    HwmCampaignOptions options;
+    options.runs = 4;
+    options.seed = 3;
+    options.max_start_delay = 499;
+
+    Machine interp(config);
+    Machine replayed(config);
+    std::uint64_t interp_campaign = 0;
+    std::uint64_t replay_campaign = 0;
+    replay::ScriptCache scripts;
+    for (std::uint64_t run = 0; run < options.runs; ++run) {
+        const Cycle fi = detail::execute_campaign_run(
+            interp, interp_campaign, scua, contenders, options, run);
+        const Cycle fr = detail::execute_campaign_run(
+            replayed, replay_campaign, scua, contenders, options, run,
+            &scripts);
+        ASSERT_NE(fi, kNoCycle);
+        EXPECT_EQ(fi, fr) << "run " << run;
+        for (CoreId c = 0; c < config.num_cores; ++c) {
+            const std::string what =
+                "run " + std::to_string(run) + " core " + std::to_string(c);
+            EXPECT_EQ(interp.core(c).stats().instructions,
+                      replayed.core(c).stats().instructions)
+                << what;
+            EXPECT_EQ(interp.l2().stats(c).read_hits,
+                      replayed.l2().stats(c).read_hits)
+                << what;
+            EXPECT_EQ(interp.l2().stats(c).read_misses,
+                      replayed.l2().stats(c).read_misses)
+                << what;
+            EXPECT_EQ(interp.l2().stats(c).evictions,
+                      replayed.l2().stats(c).evictions)
+                << what;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace rrb
