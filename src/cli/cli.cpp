@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/rrb.h"
+#include "fault/fault.h"
 #include "obs/heartbeat.h"
 #include "sched/batch_spec.h"
 #include "sched/campaign_scheduler.h"
@@ -1134,10 +1135,28 @@ int cmd_pwcet(const ParsedFlags& flags, std::ostream& out,
     return report_pwcet(r, scenario.config().ubd_analytic(), out);
 }
 
+/// Merge fan-ins treat each argument as a distinct slice, so the same
+/// path twice would double-count its shards; reject by name up front
+/// (the codec would also catch it as duplicate coverage, but a usage
+/// error should not cost a file load first).
+void require_unique_inputs(const std::vector<std::string>& inputs,
+                           const char* command) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+            if (inputs[i] == inputs[j]) {
+                throw std::invalid_argument(
+                    std::string(command) +
+                    ": duplicate checkpoint file '" + inputs[i] + "'");
+            }
+        }
+    }
+}
+
 int cmd_merge(const ParsedFlags& flags, std::ostream& out,
               std::ostream& err) {
     RRB_REQUIRE(!flags.inputs.empty(),
                 "merge needs at least one checkpoint file");
+    require_unique_inputs(flags.inputs, "merge");
     TelemetrySession telemetry(flags, "merge");
     const Session session;
     const MergedPwcetCampaign merged = session.merge(flags.inputs);
@@ -1261,6 +1280,7 @@ int cmd_merge_whitebox(const ParsedFlags& flags, std::ostream& out,
                        std::ostream& err) {
     RRB_REQUIRE(!flags.inputs.empty(),
                 "merge-whitebox needs at least one checkpoint file");
+    require_unique_inputs(flags.inputs, "merge-whitebox");
     TelemetrySession telemetry(flags, "merge-whitebox");
     const Session session;
     const MergedWhiteboxCampaign merged =
@@ -1509,12 +1529,24 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out,
         << " runs on " << jobs << " jobs (one shared queue)\n";
     // Space-separated columns, no padding, like sweep-pwcet: rows are
     // machine-diffable byte for byte.
-    out << "name runs seed hwm etb bounded checkpoint\n";
+    out << "name runs seed hwm etb bounded checkpoint status\n";
     bool any_unbounded = false;
     bool any_degenerate = false;
+    std::vector<const BatchPointResult*> failed;
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const BatchPointResult& point = result.points[i];
         const Scenario& scenario = items[i].scenario;
+        if (!point.ok) {
+            // The campaign is this scenario's failure domain: no
+            // checkpoint is written for it (never a torn or partial
+            // one), the other scenarios' rows are exactly what an
+            // all-healthy batch prints.
+            failed.push_back(&point);
+            out << point.name << " " << scenario.run_protocol().runs
+                << " " << scenario.run_protocol().seed
+                << " - - - - FAILED\n";
+            continue;
+        }
         const std::string path = flags.out_dir + "/" + point.name + ".ckpt";
         save_pwcet_checkpoint(path, point.checkpoint);
         // The ETB verdict is the round-robin Equation 1, as everywhere
@@ -1528,7 +1560,18 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out,
             << scenario.run_protocol().seed << " "
             << point.result.high_water_mark << " " << etb << " "
             << (rr ? (bounded ? "yes" : "NO") : "n/a") << " " << path
-            << "\n";
+            << " ok\n";
+    }
+    if (!failed.empty()) {
+        // Execution failure dominates the verdict codes: a bound or fit
+        // verdict over an incomplete batch would be misleading.
+        for (const BatchPointResult* point : failed) {
+            out << "scenario '" << point->name << "' failed: "
+                << point->error << "\n";
+        }
+        out << "batch failed: " << failed.size() << " of "
+            << result.points.size() << " scenarios did not complete\n";
+        return 4;
     }
     if (any_unbounded) {
         out << "bound violated on at least one round-robin scenario\n";
@@ -1751,6 +1794,11 @@ std::string usage() {
            "standalone\n"
            "                       'pwcet --shard 0/1' of that scenario\n"
            "  --out-dir D          checkpoint directory (default .)\n"
+           "                       a failed scenario is reported FAILED "
+           "and\n"
+           "                       exits 4; the others still complete "
+           "and\n"
+           "                       checkpoint\n"
            "\n"
            "merge:\n"
            "  rrbtool merge F1 F2 ...   merge checkpoint files; rejects\n"
@@ -1782,6 +1830,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
 
     try {
+        // Deterministic fault injection for whole-process smoke tests:
+        // armed from RRB_FAULTS for this command only (no-op when the
+        // variable is unset or a test armed the injector itself). A
+        // malformed spec lands in the invalid_argument handler below.
+        const fault::ScopedEnvArm faults;
         if (command == "estimate") return cmd_estimate(flags, out);
         if (command == "calibrate") return cmd_calibrate(flags, out);
         if (command == "baseline") return cmd_baseline(flags, out);
@@ -1815,6 +1868,18 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         // verdicts the campaign exit codes carry.
         err << "error: " << e.what() << "\n";
         return 1;
+    } catch (const std::exception& e) {
+        // Anything else is an internal/runtime failure (a worker died,
+        // an engine invariant tripped) — report it instead of letting
+        // it escape to std::terminate, on a code no verdict uses
+        // (sysexits EX_SOFTWARE).
+        err << "error: command '" << command
+            << "' failed: " << e.what() << "\n";
+        return 70;
+    } catch (...) {
+        err << "error: command '" << command
+            << "' failed with an unknown error\n";
+        return 70;
     }
     // Unreachable while command_specs() and the dispatch above agree;
     // fail loudly rather than silently succeed if they ever drift.

@@ -290,6 +290,18 @@ BatchResult Session::batch(const std::vector<BatchItem>& items,
     result.points.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
         const BatchItem& item = items[i];
+        const sched::CampaignScheduler::CampaignStatus& status =
+            scheduler.status(i);
+        if (status.failed) {
+            // This scenario's failure domain only: report it and keep
+            // collecting the healthy campaigns' results.
+            BatchPointResult point;
+            point.name = item.name;
+            point.ok = false;
+            point.error = status.error;
+            result.points.push_back(std::move(point));
+            continue;
+        }
         engine::PwcetShardSlice slice = scheduler.take(i);
         const engine::ReducePlan plan =
             engine::ReducePlan::for_count(static_cast<std::uint64_t>(
@@ -405,6 +417,19 @@ MergedWhiteboxCampaign Session::merge_whitebox(
 PwcetCampaignResult Session::resume(const Scenario& scenario,
                                     const PwcetSpec& spec,
                                     const std::vector<std::string>& paths) {
+    return resume_impl(scenario, spec, paths, nullptr);
+}
+
+PwcetCampaignResult Session::resume(const Scenario& scenario,
+                                    const PwcetSpec& spec,
+                                    const std::vector<std::string>& paths,
+                                    ResumeRecovery& recovery) {
+    return resume_impl(scenario, spec, paths, &recovery);
+}
+
+PwcetCampaignResult Session::resume_impl(
+    const Scenario& scenario, const PwcetSpec& spec,
+    const std::vector<std::string>& paths, ResumeRecovery* recovery) {
     scenario.validate();
     const obs::Span span("session.resume", 0,
                          scenario.run_protocol().runs);
@@ -416,31 +441,69 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
     // Load and validate: every checkpoint must identify as a slice of
     // *this* campaign before any of its state is trusted. The expected
     // meta knows everything except the isolation baseline (measured,
-    // not specified); the first checkpoint supplies it and every later
-    // one must agree.
+    // not specified); the first *accepted* checkpoint supplies it and
+    // every later one must agree. In recovery mode a checkpoint that
+    // fails to load or identify is quarantined (or, if unreadable at
+    // the I/O level, just recorded) and its coverage recomputed; in
+    // strict mode it throws exactly as before.
     constexpr std::size_t kNobody = static_cast<std::size_t>(-1);
     std::vector<PwcetAccumulator> by_shard(plan.shards());
     std::vector<std::size_t> owner(plan.shards(), kNobody);
     bool have_baseline = false;
     for (std::size_t i = 0; i < paths.size(); ++i) {
-        PwcetCheckpoint checkpoint = load_pwcet_checkpoint(paths[i]);
-        const CheckpointMeta& meta = checkpoint.meta;
-        if (!have_baseline) {
-            expected.et_isolation = meta.et_isolation;
-            expected.nr = meta.nr;
+        PwcetCheckpoint checkpoint;
+        try {
+            checkpoint = load_pwcet_checkpoint(paths[i]);
+            // Adopt the baseline transactionally: a mismatched first
+            // checkpoint must not poison `expected` for its successors.
+            CheckpointMeta candidate = expected;
+            if (!have_baseline) {
+                candidate.et_isolation = checkpoint.meta.et_isolation;
+                candidate.nr = checkpoint.meta.nr;
+            }
+            require_same_campaign(checkpoint.meta, candidate, paths[i],
+                                  "the campaign being resumed");
+            expected = candidate;
             have_baseline = true;
+        } catch (const CheckpointError& e) {
+            if (recovery == nullptr) throw;
+            RecoveryAction action;
+            action.path = paths[i];
+            action.reason = e.reason().empty() ? e.what() : e.reason();
+            if (e.kind() != CheckpointError::Kind::kIo) {
+                // The file exists but is not a usable slice of this
+                // campaign — move it aside so a re-run cannot trip
+                // over it again.
+                action.quarantined_to = quarantine_checkpoint(paths[i]);
+            }
+            recovery->actions.push_back(std::move(action));
+            continue;
         }
-        require_same_campaign(meta, expected, paths[i],
-                              "the campaign being resumed");
+        bool duplicate_noted = false;
         for (std::size_t s = 0; s < checkpoint.shards.size(); ++s) {
             const std::size_t index =
                 static_cast<std::size_t>(checkpoint.first_shard) + s;
             if (owner[index] != kNobody) {
-                throw CheckpointError("duplicate slice: shard " +
-                                      std::to_string(index) +
-                                      " appears in both " +
-                                      paths[owner[index]] + " and " +
-                                      paths[i]);
+                if (recovery == nullptr) {
+                    throw CheckpointError("duplicate slice: shard " +
+                                          std::to_string(index) +
+                                          " appears in both " +
+                                          paths[owner[index]] + " and " +
+                                          paths[i]);
+                }
+                // Valid data, redundant coverage (e.g. the same slice
+                // checkpointed twice across crashes): first owner
+                // wins, the file stays in place.
+                if (!duplicate_noted) {
+                    duplicate_noted = true;
+                    recovery->actions.push_back(
+                        {paths[i],
+                         "shard " + std::to_string(index) +
+                             " already covered by " + paths[owner[index]] +
+                             "; ignoring the duplicate coverage",
+                         std::string()});
+                }
+                continue;
             }
             owner[index] = i;
             by_shard[index] = std::move(checkpoint.shards[s]);
@@ -474,6 +537,11 @@ PwcetCampaignResult Session::resume(const Scenario& scenario,
         }
         std::size_t end = s;
         while (end < plan.shards() && owner[end] == kNobody) ++end;
+        obs::count(obs::kResumeShardsRerun,
+                   static_cast<std::uint64_t>(end - s));
+        if (recovery != nullptr) {
+            recovery->shards_rerun += static_cast<std::uint64_t>(end - s);
+        }
         engine::PwcetShardSlice fresh = engine::run_pwcet_campaign_shards(
             scenario.config(), scenario.scua_program(),
             scenario.contender_programs(), options, {s, end},

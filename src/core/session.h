@@ -101,9 +101,16 @@ struct BatchItem {
 /// One completed batch campaign: the whole-campaign checkpoint (slice
 /// 0 of 1 — loadable by merge() on its own or alongside nothing else)
 /// and the finalized result, both bit-identical to running
-/// `pwcet(scenario, spec)` standalone.
+/// `pwcet(scenario, spec)` standalone. Campaigns are independent
+/// failure domains (sched::CampaignScheduler supervision): when a
+/// scenario's campaign fails, its point comes back with ok == false
+/// and the first captured error — checkpoint/result are
+/// default-constructed and meaningless — while every other point is
+/// exactly what an all-healthy batch would have produced.
 struct BatchPointResult {
     std::string name;
+    bool ok = true;
+    std::string error;  ///< first captured failure, when !ok
     PwcetCheckpoint checkpoint;
     PwcetCampaignResult result;
 };
@@ -242,7 +249,41 @@ public:
         const Scenario& scenario, const PwcetSpec& spec,
         const std::vector<std::string>& paths);
 
+    /// One defensive step resume took in recovery mode, recorded so the
+    /// operator (and the telemetry report, via the
+    /// checkpoints_quarantined / resume_shards_rerun counters) can see
+    /// exactly what was salvaged versus recomputed.
+    struct RecoveryAction {
+        std::string path;    ///< the checkpoint file acted on
+        std::string reason;  ///< why it could not be used as-is
+        /// `<path>.corrupt` when the file was quarantined; empty when
+        /// it was left in place (e.g. valid data duplicating coverage).
+        std::string quarantined_to;
+    };
+
+    struct ResumeRecovery {
+        std::vector<RecoveryAction> actions;
+        std::uint64_t shards_rerun = 0;  ///< shards not taken from disk
+    };
+
+    /// Recovery-mode resume, for completing a campaign after a crash
+    /// with whatever landed on disk: instead of throwing, an
+    /// unreadable/corrupt/mismatched checkpoint is quarantined to
+    /// `<path>.corrupt` and a duplicate-coverage file is ignored — each
+    /// recorded in `recovery` — and the uncovered ranges re-run. The
+    /// merged result is still bit-identical to `pwcet(scenario, spec)`:
+    /// recovery changes which work re-runs, never what it computes.
+    [[nodiscard]] PwcetCampaignResult resume(
+        const Scenario& scenario, const PwcetSpec& spec,
+        const std::vector<std::string>& paths, ResumeRecovery& recovery);
+
 private:
+    /// Shared body of the two resume overloads; `recovery == nullptr`
+    /// is strict mode (every bad checkpoint throws).
+    [[nodiscard]] PwcetCampaignResult resume_impl(
+        const Scenario& scenario, const PwcetSpec& spec,
+        const std::vector<std::string>& paths, ResumeRecovery* recovery);
+
     /// EngineOptions carrying the session policy and the shared pool.
     [[nodiscard]] engine::EngineOptions engine_options(
         engine::ProgressCounter* sink);

@@ -25,6 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "core/experiment.h"
 #include "engine/campaign_engine.h"
 #include "engine/thread_pool.h"
+#include "fault/fault.h"
 #include "isa/program.h"
 #include "machine/config.h"
 #include "obs/telemetry.h"
@@ -149,6 +152,15 @@ template <typename Accumulator, typename Fold>
             pool.submit([&slots, &plan, &range, &fold, &engine, &init,
                          parent_span, s] {
                 const std::size_t shard = range.first + s;
+                // Fault site: a worker dying mid-campaign before its
+                // shard folds (key: plan shard index). Off the per-run
+                // path — one disarmed load per shard.
+                if (fault::should_fire(fault::Site::kShardThrow,
+                                       shard)) {
+                    throw std::runtime_error(
+                        "injected shard worker failure (shard " +
+                        std::to_string(shard) + ")");
+                }
                 const std::uint64_t first = plan.shard_begin(shard);
                 const std::uint64_t last = plan.shard_end(shard);
                 const std::uint64_t begin_ns =

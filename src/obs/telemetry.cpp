@@ -27,6 +27,11 @@ const char* counter_name(Counter c) noexcept {
         case kReplayDecodes: return "replay_decodes";
         case kReplayRuns: return "replay_runs";
         case kHeapAllocations: return "heap_allocations";
+        case kSchedRetries: return "sched_retries";
+        case kSchedFailures: return "sched_failures";
+        case kSchedItemsSkipped: return "sched_items_skipped";
+        case kCheckpointsQuarantined: return "checkpoints_quarantined";
+        case kResumeShardsRerun: return "resume_shards_rerun";
         case kCounterCount: break;
     }
     return "?";

@@ -67,6 +67,14 @@ enum Counter : unsigned {
     kReplayDecodes,      ///< micro-op scripts decoded (deterministic)
     kReplayRuns,         ///< campaign runs executed in replay mode
     kHeapAllocations,    ///< operator-new count (bench interposer)
+    kSchedRetries,       ///< work-item attempts retried after a
+                         ///< transient failure
+    kSchedFailures,      ///< campaigns marked failed by the supervisor
+    kSchedItemsSkipped,  ///< dispatched items skipped because their
+                         ///< campaign had already failed
+    kCheckpointsQuarantined,  ///< checkpoint files renamed *.corrupt
+    kResumeShardsRerun,  ///< shards re-executed by resume to cover
+                         ///< gaps (deterministic given coverage)
     kCounterCount
 };
 

@@ -1,8 +1,10 @@
 #include "replay/decode.h"
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sim/contract.h"
 #include "sim/fnv.h"
 
@@ -320,6 +322,18 @@ std::unique_ptr<MicroOpScript> decode_program(const Program& program,
                                               const L2PartitionSpec* l2,
                                               const DecodeLimits& limits) {
     RRB_REQUIRE(!program.body.empty(), "program body must not be empty");
+    // Fault site: a forced decode overflow (key: decode sequence
+    // number). Returning nullptr takes the real overflow path — the
+    // caller falls back to the interpreter, which is bit-identical by
+    // the replay contract, so campaigns survive this unchanged.
+    if (fault::armed()) {
+        static std::atomic<std::uint64_t> decode_sequence{0};
+        const std::uint64_t sequence =
+            decode_sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (fault::should_fire(fault::Site::kDecodeOverflow, sequence)) {
+            return nullptr;
+        }
+    }
     auto script = std::make_unique<MicroOpScript>();
     script->total_instructions = program.total_instructions();
     script->program_fingerprint = fingerprint(program);

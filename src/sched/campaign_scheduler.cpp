@@ -4,8 +4,10 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <string>
 
 #include "core/experiment.h"
+#include "fault/fault.h"
 #include "obs/telemetry.h"
 #include "sim/contract.h"
 
@@ -18,6 +20,24 @@ namespace {
 /// same queue (same fingerprint bucket) so the baseline also lands on a
 /// worker with a hot lease.
 constexpr std::size_t kIsolationItem = static_cast<std::size_t>(-1);
+
+/// Per-item attempt budget: a TransientError is retried in place this
+/// many times total before it counts as the campaign's failure. The
+/// item restarts from a fresh accumulator, so a retry cannot perturb
+/// results — only the advisory progress counters may overshoot if the
+/// failure struck mid-fold.
+constexpr std::size_t kMaxAttempts = 3;
+
+/// Human-readable first line for CampaignStatus::error.
+std::string describe(const std::exception_ptr& error) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
 
 }  // namespace
 
@@ -53,6 +73,13 @@ struct CampaignScheduler::Campaign {
     std::uint64_t nr = 0;
     std::vector<std::optional<PwcetAccumulator>> slots;  ///< by shard
     bool taken = false;
+    /// Failure domain: set once by the first throwing item (later items
+    /// of this campaign are skipped, not executed). The flag is the
+    /// workers' fast check; error/status are written under the state
+    /// mutex before the flag is released.
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    CampaignStatus status;
 };
 
 /// One queued (campaign, shard) unit of work.
@@ -162,9 +189,9 @@ void CampaignScheduler::run(const RunOptions& options) {
 
     // One drain loop per pool worker (never more loops than items):
     // each loop pulls items — affinity first, steal otherwise — until
-    // the queue is dry. A loop that dies on an item failure leaves the
-    // rest of the queue to the surviving loops; wait_idle rethrows the
-    // first failure once the pool drains.
+    // the queue is dry. execute() supervises every item, so no loop
+    // ever dies: failures are captured per campaign and the loops keep
+    // draining the surviving campaigns' work.
     const std::size_t loops = std::min(pool_.thread_count(), total_items);
     for (std::size_t w = 0; w < loops; ++w) {
         pool_.submit([this, &options] {
@@ -216,10 +243,78 @@ bool CampaignScheduler::next_item(std::uint64_t& last_fingerprint,
     return true;
 }
 
+void CampaignScheduler::fail(Campaign& campaign,
+                             std::exception_ptr error) noexcept {
+    const std::scoped_lock lock(state_->mutex);
+    if (campaign.status.failed) return;  // first failure wins
+    campaign.status.failed = true;
+    campaign.status.error = describe(error);
+    campaign.error = std::move(error);
+    campaign.failed.store(true, std::memory_order_release);
+    obs::count(obs::kSchedFailures);
+}
+
 void CampaignScheduler::execute(const WorkItem& item,
                                 const RunOptions& options) {
     Campaign& campaign = *campaigns_[item.campaign];
+    if (campaign.failed.load(std::memory_order_acquire)) {
+        // The campaign already failed; its remaining queued items are
+        // drained without work so `remaining` still reaches zero (the
+        // span closes, sweep progress ticks) and other campaigns' items
+        // behind them in the bucket are reached.
+        obs::count(obs::kSchedItemsSkipped);
+    } else {
+        for (std::size_t attempt = 1;; ++attempt) {
+            try {
+                run_item(item, options);
+                break;
+            } catch (const fault::TransientError&) {
+                if (attempt < kMaxAttempts) {
+                    obs::count(obs::kSchedRetries);
+                    continue;
+                }
+                fail(campaign, std::current_exception());
+                break;
+            } catch (...) {
+                fail(campaign, std::current_exception());
+                break;
+            }
+        }
+    }
+
+    if (campaign.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (campaign.span != 0) {
+            obs::TelemetryRegistry::instance().close_span(campaign.span);
+        }
+        if (options.campaigns_done != nullptr) {
+            options.campaigns_done->tick();
+        }
+    }
+}
+
+void CampaignScheduler::run_item(const WorkItem& item,
+                                 const RunOptions& options) {
+    Campaign& campaign = *campaigns_[item.campaign];
     const PwcetCampaignWork& work = campaign.work;
+
+    // Fault sites, evaluated at item start — before any progress tick,
+    // so an injected retry replays the item exactly (key: campaign
+    // index in submission order; shard items only, so a rule's match
+    // count is the campaign's shard count).
+    if (item.shard != kIsolationItem) {
+        if (fault::should_fire(fault::Site::kTransientIo,
+                               item.campaign)) {
+            throw fault::TransientError(
+                "injected transient I/O failure (campaign " +
+                std::to_string(item.campaign) + ")");
+        }
+        if (fault::should_fire(fault::Site::kShardThrow,
+                               item.campaign)) {
+            throw std::runtime_error(
+                "injected shard worker failure (campaign " +
+                std::to_string(item.campaign) + ")");
+        }
+    }
 
     if (item.shard == kIsolationItem) {
         // The deterministic baseline the sequential slice measures
@@ -266,15 +361,13 @@ void CampaignScheduler::execute(const WorkItem& item,
                            begin_ns);
         }
     }
+}
 
-    if (campaign.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        if (campaign.span != 0) {
-            obs::TelemetryRegistry::instance().close_span(campaign.span);
-        }
-        if (options.campaigns_done != nullptr) {
-            options.campaigns_done->tick();
-        }
-    }
+const CampaignScheduler::CampaignStatus& CampaignScheduler::status(
+    std::size_t index) const {
+    RRB_REQUIRE(ran_, "run() the batch before reading statuses");
+    RRB_REQUIRE(index < campaigns_.size(), "campaign index out of range");
+    return campaigns_[index]->status;
 }
 
 engine::PwcetShardSlice CampaignScheduler::take(std::size_t index) {
@@ -282,6 +375,12 @@ engine::PwcetShardSlice CampaignScheduler::take(std::size_t index) {
     RRB_REQUIRE(index < campaigns_.size(), "campaign index out of range");
     Campaign& campaign = *campaigns_[index];
     RRB_REQUIRE(!campaign.taken, "campaign result already taken");
+    if (campaign.status.failed) {
+        // The caller asked for a result that does not exist; hand the
+        // original failure back on the calling thread (Session::sweep's
+        // "throws on failure" contract rides on this).
+        std::rethrow_exception(campaign.error);
+    }
     campaign.taken = true;
 
     engine::PwcetShardSlice slice;

@@ -23,11 +23,25 @@
 // the fingerprint class with the most work left, so no core ever idles
 // while any queue is non-empty. Dispatch decisions are observable via
 // the sched_* telemetry counters (hits + steals == dispatches).
+//
+// Supervision: each campaign is its own failure domain. A work item
+// that throws marks *its* campaign failed (first exception captured;
+// sched_failures counts campaigns, not throws) while every other
+// campaign keeps draining — already-queued items of a failed campaign
+// are dispatched but skipped (sched_items_skipped), so the dispatch
+// invariant hits + steals == dispatches == enqueued always holds.
+// Failures of class fault::TransientError (transient I/O, lease
+// rebuild) are retried in place up to a bounded per-item budget
+// (sched_retries) before counting as a campaign failure. take() on a
+// failed campaign rethrows its captured exception; status() reports
+// without throwing — how Session::batch turns one bad scenario into a
+// per-point error instead of a poisoned batch.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <string>
 #include <utility>
@@ -129,15 +143,27 @@ public:
     };
 
     /// Drains every queued item across the pool; returns when the whole
-    /// batch is done. Call once. Rethrows the first item failure (after
-    /// the surviving workers drain the rest of the queue).
+    /// batch is done. Call once. Never throws for item failures: each
+    /// campaign is supervised independently (see the module comment) —
+    /// inspect status() or let take() rethrow per campaign.
     void run(const RunOptions& options);
     void run() { run(RunOptions{}); }
+
+    /// Post-run verdict for one campaign: ok, or failed with the first
+    /// captured exception's message.
+    struct CampaignStatus {
+        bool failed = false;
+        std::string error;
+    };
+
+    /// Valid after run(). Never throws.
+    [[nodiscard]] const CampaignStatus& status(std::size_t index) const;
 
     /// Moves campaign `index`'s result out as the full-plan slice —
     /// bit-identical to engine::run_pwcet_campaign_shards over the same
     /// inputs with range {0, plan.shards()}. Valid once per campaign,
-    /// after run().
+    /// after run(). Rethrows the campaign's first captured exception if
+    /// it failed.
     [[nodiscard]] engine::PwcetShardSlice take(std::size_t index);
 
     /// Total work items (isolation baselines + shards) this batch holds.
@@ -150,6 +176,8 @@ private:
     struct State;
 
     void execute(const WorkItem& item, const RunOptions& options);
+    void run_item(const WorkItem& item, const RunOptions& options);
+    void fail(Campaign& campaign, std::exception_ptr error) noexcept;
     [[nodiscard]] bool next_item(std::uint64_t& last_fingerprint,
                                  WorkItem& out);
 

@@ -1,11 +1,19 @@
 #include "stats/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <utility>
 
+#include "fault/fault.h"
+#include "obs/telemetry.h"
 #include "sim/contract.h"
 #include "sim/fnv.h"
 
@@ -559,29 +567,110 @@ namespace {
 std::vector<std::uint8_t> read_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        throw CheckpointError("could not open checkpoint file " + path);
+        throw CheckpointError(CheckpointError::Kind::kIo, path,
+                              "could not open checkpoint file");
     }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
     if (in.bad()) {
-        throw CheckpointError("could not read checkpoint file " + path);
+        throw CheckpointError(CheckpointError::Kind::kIo, path,
+                              "could not read checkpoint file");
     }
     return bytes;
 }
 
+[[noreturn]] void io_error(int fd, const std::string& path,
+                           const std::string& reason) {
+    const int err = errno;
+    if (fd >= 0) ::close(fd);
+    throw CheckpointError(
+        CheckpointError::Kind::kIo, path,
+        err != 0 ? reason + " (" + std::strerror(err) + ")" : reason);
+}
+
+/// Every save is numbered process-wide so fault specs can target "the
+/// Nth save" (ckpt-truncate:2) regardless of which campaign issues it.
+std::uint64_t next_save_sequence() {
+    static std::atomic<std::uint64_t> sequence{0};
+    return sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Crash-safe publication: write <path>.tmp in the same directory (a
+// rename must not cross filesystems), fsync the data, rename over
+// `path`, fsync the directory so the rename itself is durable. The
+// final path only ever holds a complete old file or a complete new
+// file; every injected or real failure before the rename leaves at
+// worst a stale .tmp no loader reads. The fault hooks simulate a crash
+// at each stage by throwing *after* producing exactly the on-disk
+// state the crash would leave.
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& bytes) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-        throw CheckpointError("could not write checkpoint file " + path);
+    const std::uint64_t sequence = next_save_sequence();
+    const std::string tmp = path + ".tmp";
+    errno = 0;
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) io_error(-1, path, "could not create " + tmp);
+    std::size_t limit = bytes.size();
+    const bool torn =
+        fault::should_fire(fault::Site::kCheckpointTruncate, sequence);
+    if (torn) limit /= 2;  // the crash lands mid-payload
+    std::size_t written = 0;
+    while (written < limit) {
+        const ::ssize_t n = ::write(fd, bytes.data() + written,
+                                    limit - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            io_error(fd, path, "could not write " + tmp);
+        }
+        written += static_cast<std::size_t>(n);
     }
+    if (torn) {
+        ::close(fd);
+        errno = 0;
+        io_error(-1, path,
+                 "injected crash left a torn temp file " + tmp);
+    }
+    if (fault::should_fire(fault::Site::kCheckpointFsync, sequence)) {
+        ::close(fd);
+        errno = 0;
+        io_error(-1, path, "injected fsync failure on " + tmp);
+    }
+    if (::fsync(fd) != 0) io_error(fd, path, "could not fsync " + tmp);
+    if (::close(fd) != 0) io_error(-1, path, "could not close " + tmp);
+    if (fault::should_fire(fault::Site::kCheckpointRename, sequence)) {
+        errno = 0;
+        io_error(-1, path,
+                 "injected rename failure publishing " + tmp);
+    }
+    errno = 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        io_error(-1, path, "could not rename " + tmp + " into place");
+    }
+    // Durability of the rename: fsync the containing directory.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    errno = 0;
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd < 0) io_error(-1, path, "could not open directory " + dir);
+    if (::fsync(dirfd) != 0) {
+        io_error(dirfd, path, "could not fsync directory " + dir);
+    }
+    ::close(dirfd);
 }
 
 }  // namespace
+
+std::string quarantine_checkpoint(const std::string& path) {
+    const std::string target = path + ".corrupt";
+    errno = 0;
+    if (std::rename(path.c_str(), target.c_str()) != 0) {
+        io_error(-1, path, "could not quarantine to " + target);
+    }
+    obs::count(obs::kCheckpointsQuarantined);
+    return target;
+}
 
 void save_pwcet_checkpoint(const std::string& path,
                            const PwcetCheckpoint& checkpoint) {
@@ -592,7 +681,8 @@ PwcetCheckpoint load_pwcet_checkpoint(const std::string& path) {
     try {
         return decode_pwcet_checkpoint(read_file(path));
     } catch (const CheckpointError& e) {
-        throw CheckpointError(path + ": " + e.what());
+        if (!e.path().empty()) throw;
+        throw CheckpointError(e.kind(), path, e.reason());
     }
 }
 
@@ -605,7 +695,8 @@ WhiteboxCheckpoint load_whitebox_checkpoint(const std::string& path) {
     try {
         return decode_whitebox_checkpoint(read_file(path));
     } catch (const CheckpointError& e) {
-        throw CheckpointError(path + ": " + e.what());
+        if (!e.path().empty()) throw;
+        throw CheckpointError(e.kind(), path, e.reason());
     }
 }
 
@@ -646,8 +737,9 @@ void require_same_campaign(const CheckpointMeta& meta,
                            const std::string& reference_name) {
     const auto mismatch = [&](const char* what) {
         throw CheckpointError(
-            source + ": " + what + " differs from " + reference_name +
-            " — these checkpoints are not slices of one campaign");
+            CheckpointError::Kind::kMismatch, source,
+            std::string(what) + " differs from " + reference_name +
+                " — these checkpoints are not slices of one campaign");
     };
     if (meta.scenario_fingerprint != reference.scenario_fingerprint) {
         mismatch("scenario fingerprint");

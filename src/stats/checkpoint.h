@@ -45,8 +45,39 @@ namespace rrb {
 /// is bad *data*, typically from another process or machine.
 class CheckpointError : public std::runtime_error {
 public:
+    /// Why the checkpoint was rejected, structured so recovery code
+    /// (Session::resume's quarantine scan, the CLI) can act on the
+    /// class of failure instead of parsing the message:
+    ///   kIo       — the file could not be read/written/renamed
+    ///   kCorrupt  — the bytes decode to no valid checkpoint
+    ///   kMismatch — a valid checkpoint of a *different* campaign
+    enum class Kind { kIo, kCorrupt, kMismatch };
+
     explicit CheckpointError(const std::string& what)
-        : std::runtime_error(what) {}
+        : CheckpointError(Kind::kCorrupt, std::string(), what) {}
+
+    CheckpointError(Kind kind, std::string path, std::string reason)
+        : std::runtime_error(path.empty() ? reason
+                                          : path + ": " + reason),
+          kind_(kind),
+          path_(std::move(path)),
+          reason_(std::move(reason)) {}
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    /// The offending file, empty when the error predates a path (pure
+    /// byte-level decode).
+    [[nodiscard]] const std::string& path() const noexcept {
+        return path_;
+    }
+    /// The path-free explanation (what() is "path: reason").
+    [[nodiscard]] const std::string& reason() const noexcept {
+        return reason_;
+    }
+
+private:
+    Kind kind_ = Kind::kCorrupt;
+    std::string path_;
+    std::string reason_;
 };
 
 /// Little-endian byte encoder. Fixed-width fields only — the format
@@ -203,8 +234,12 @@ struct WhiteboxCheckpoint {
 [[nodiscard]] WhiteboxCheckpoint decode_whitebox_checkpoint(
     std::span<const std::uint8_t> bytes);
 
-/// File forms; load throws CheckpointError naming the path on any I/O
-/// or decode failure.
+/// File forms. Saves are crash-safe: the bytes go to a same-directory
+/// temp file (`<path>.tmp`) which is fsynced, renamed over `path`, and
+/// the directory fsynced — a crash at any point leaves either the old
+/// complete file or the new complete file at `path`, never torn bytes
+/// (at worst a stale `.tmp`, which no loader ever reads). Load throws
+/// CheckpointError naming the path on any I/O or decode failure.
 void save_pwcet_checkpoint(const std::string& path,
                            const PwcetCheckpoint& checkpoint);
 [[nodiscard]] PwcetCheckpoint load_pwcet_checkpoint(const std::string& path);
@@ -212,6 +247,14 @@ void save_whitebox_checkpoint(const std::string& path,
                               const WhiteboxCheckpoint& checkpoint);
 [[nodiscard]] WhiteboxCheckpoint load_whitebox_checkpoint(
     const std::string& path);
+
+/// Takes a bad checkpoint file out of the live set by renaming it to
+/// `<path>.corrupt` (overwriting an earlier quarantine of the same
+/// path), so a re-run of the same resume/merge never trips over it
+/// again, and returns the quarantine path. Bumps the
+/// checkpoints_quarantined telemetry counter. Throws
+/// CheckpointError(Kind::kIo) if the rename itself fails.
+std::string quarantine_checkpoint(const std::string& path);
 
 /// The accumulator-to-result step shared by the monolithic campaign
 /// (engine/reduce.cpp) and the checkpoint merge: one implementation, so

@@ -331,7 +331,8 @@ TEST(Cli, MergeValidation) {
     // Flags are rejected: merge takes checkpoint files only.
     EXPECT_EQ(invoke({"merge", "--jobs", "2"}).code, 1);
 
-    // The same slice twice is a duplicate, not a bigger campaign.
+    // The same file twice is rejected up front, before any I/O, naming
+    // the repeated argument.
     const std::string path = testing::TempDir() + "rrb_dup.ckpt";
     EXPECT_EQ(invoke({"pwcet", "--runs", "16", "--block-size", "4",
                       "--iterations", "20", "--shard", "0/2",
@@ -340,11 +341,46 @@ TEST(Cli, MergeValidation) {
               0);
     const CliResult dup = invoke({"merge", path, path});
     EXPECT_EQ(dup.code, 1);
-    EXPECT_NE(dup.err.find("duplicate slice"), std::string::npos);
+    EXPECT_NE(dup.err.find("duplicate checkpoint file"),
+              std::string::npos);
+    EXPECT_NE(dup.err.find(path), std::string::npos);
+
+    // Distinct files carrying the same slice still reach the codec's
+    // duplicate-coverage check.
+    const std::string copy = testing::TempDir() + "rrb_dup_copy.ckpt";
+    {
+        std::ifstream src(path, std::ios::binary);
+        std::ofstream dst(copy, std::ios::binary);
+        dst << src.rdbuf();
+    }
+    const CliResult same_slice = invoke({"merge", path, copy});
+    EXPECT_EQ(same_slice.code, 1);
+    EXPECT_NE(same_slice.err.find("duplicate slice"), std::string::npos);
+    std::remove(copy.c_str());
+
     // A lone half-campaign is incomplete.
     const CliResult half = invoke({"merge", path});
     EXPECT_EQ(half.code, 1);
     EXPECT_NE(half.err.find("incomplete campaign"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, MergeWhiteboxValidation) {
+    // Zero inputs and duplicate file arguments are usage errors for the
+    // white-box merge too — same guard, same message shape.
+    const CliResult none = invoke({"merge-whitebox"});
+    EXPECT_EQ(none.code, 1);
+    EXPECT_NE(none.err.find("at least one checkpoint"), std::string::npos);
+
+    const std::string path = testing::TempDir() + "rrb_wb_dup.ckpt";
+    EXPECT_EQ(invoke({"whitebox", "--runs", "8", "--iterations", "15",
+                      "--shard", "0/2", "--checkpoint-out", path})
+                  .code,
+              0);
+    const CliResult dup = invoke({"merge-whitebox", path, path});
+    EXPECT_EQ(dup.code, 1);
+    EXPECT_NE(dup.err.find("duplicate checkpoint file"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
